@@ -1,0 +1,90 @@
+//! The Apache 1.3.27 baseline model.
+//!
+//! "Apache implements the process-per-connection concurrency model and
+//! uses a bounded worker process pool of 150 processes to serve
+//! simultaneous client connections." A worker is held for the whole life
+//! of its connection — including the client's think time — and the §II
+//! multiprogramming argument applies: context switching, scheduling,
+//! cache misses and lock contention inflate per-request CPU cost as the
+//! number of live worker processes grows.
+
+/// Apache model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ApacheParams {
+    /// Worker process pool size (paper: 150).
+    pub workers: usize,
+    /// Listen backlog; overflow drops SYNs silently.
+    pub backlog: usize,
+    /// Per-request CPU demand with a single quiescent process, in µs.
+    pub base_cpu_us: u64,
+    /// Multiprogramming overhead per live worker process (fractional
+    /// service inflation per process).
+    pub overhead_per_process: f64,
+    /// Cap on the total overhead factor.
+    pub max_overhead: f64,
+    /// Run-queue/scheduling latency each request suffers per live worker
+    /// process, in µs (delay, not CPU consumption): with many runnable
+    /// processes a request waits longer to be scheduled even when CPU
+    /// cycles remain.
+    pub sched_latency_per_process_us: u64,
+}
+
+impl Default for ApacheParams {
+    fn default() -> Self {
+        Self {
+            workers: 150,
+            backlog: 32,
+            base_cpu_us: 1600,
+            overhead_per_process: 0.006,
+            max_overhead: 1.8,
+            sched_latency_per_process_us: 100,
+        }
+    }
+}
+
+impl ApacheParams {
+    /// Effective per-request CPU demand (µs) with `live` worker processes.
+    pub fn service_us(&self, live: usize) -> u64 {
+        let overhead = (self.overhead_per_process * live as f64).min(self.max_overhead);
+        (self.base_cpu_us as f64 * (1.0 + overhead)) as u64
+    }
+
+    /// Extra scheduling latency (µs) a request suffers with `live` worker
+    /// processes (capped at the worker-pool size — only live processes
+    /// compete for the run queue).
+    pub fn sched_latency_us(&self, live: usize) -> u64 {
+        self.sched_latency_per_process_us * live.min(self.workers) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_pool_size() {
+        let p = ApacheParams::default();
+        assert_eq!(p.workers, 150);
+    }
+
+    #[test]
+    fn overhead_grows_with_processes_and_caps() {
+        let p = ApacheParams::default();
+        let idle = p.service_us(1);
+        let mid = p.service_us(75);
+        let full = p.service_us(150);
+        assert!(idle < mid && mid < full);
+        // Cap: 1000 processes no worse than the cap allows.
+        let capped = p.service_us(1000);
+        assert_eq!(
+            capped,
+            (p.base_cpu_us as f64 * (1.0 + p.max_overhead)) as u64
+        );
+    }
+
+    #[test]
+    fn quiescent_service_is_near_base() {
+        let p = ApacheParams::default();
+        assert!(p.service_us(0) == p.base_cpu_us);
+    }
+}

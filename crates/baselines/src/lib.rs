@@ -1,0 +1,30 @@
+//! # nserver-baselines
+//!
+//! The comparison systems and simulation experiments of the paper's
+//! evaluation:
+//!
+//! * [`apache`] — a model of Apache 1.3.27's process-per-connection
+//!   architecture: a bounded pool of 150 worker processes, a finite listen
+//!   backlog whose overflow silently drops SYNs, and multiprogramming
+//!   overhead that grows with the number of live worker processes.
+//! * [`world`] — the discrete-event experiment world reproducing the
+//!   paper's testbed for Figures 3, 4 and 6: up to 1024 clients with
+//!   SpecWeb99-like requests, a shared ~100 Mbit/s network, a 4-CPU
+//!   server host, a disk with an 80 MB OS buffer cache, and either the
+//!   Apache model or the simulated COPS-HTTP event-driven server (which
+//!   reuses `nserver-core`'s *actual* overload-control policy code).
+//! * [`scheduling`] — the Fig. 5 differentiated-service experiment,
+//!   driving `nserver-core`'s *actual* [`nserver_core::scheduler::
+//!   PriorityQuotaQueue`] under a two-class saturated workload.
+//! * [`presets`] — SPED and MPED architecture emulations expressed as
+//!   N-Server option presets (the paper notes both architectures "can be
+//!   emulated using the N-Server").
+
+pub mod apache;
+pub mod presets;
+pub mod scheduling;
+pub mod world;
+
+pub use apache::ApacheParams;
+pub use scheduling::{run_scheduling_experiment, SchedulingOutcome, SchedulingParams};
+pub use world::{ExperimentParams, Outcome, ServerKind, World};

@@ -1,0 +1,68 @@
+//! SPED and MPED architecture emulations.
+//!
+//! Related work (§III of the paper): the Zeus web server and the Harvest
+//! cache use a **single-process event-driven (SPED)** architecture; Pai,
+//! Druschel and Zwaenepoel's Flash uses **multi-process event-driven
+//! (MPED)** — SPED plus helper processes for blocking I/O. The paper
+//! claims "Both of these two architectures can be emulated using the
+//! N-Server"; these presets are that claim made concrete as option
+//! configurations.
+
+use nserver_core::options::{
+    CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
+    ServerOptions, ThreadAllocation,
+};
+
+/// SPED: one process/thread does everything — a single dispatcher with
+/// handlers run inline (O2 = No) and synchronous completions (a blocking
+/// operation blocks the whole server, which is exactly SPED's known
+/// weakness on disk-bound workloads).
+pub fn sped_options() -> ServerOptions {
+    ServerOptions {
+        dispatcher_threads: DispatcherThreads::Single,
+        separate_handler_pool: false,
+        encode_decode: true,
+        completion_mode: CompletionMode::Synchronous,
+        thread_allocation: ThreadAllocation::Static { threads: 1 },
+        file_cache: FileCacheOption::No,
+        idle_shutdown_ms: None,
+        event_scheduling: EventScheduling::No,
+        overload_control: OverloadControl::No,
+        mode: Mode::Production,
+        profiling: false,
+        logging: false,
+    }
+}
+
+/// MPED (Flash-style): the SPED event loop plus helper processes for
+/// blocking I/O — a single inline dispatcher with **asynchronous**
+/// completions routed through the Proactor helper pool.
+pub fn mped_options(helpers: usize) -> ServerOptions {
+    let _ = helpers; // helper-pool size is a builder knob, not an option
+    ServerOptions {
+        completion_mode: CompletionMode::Asynchronous,
+        ..sped_options()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sped_is_single_threaded_inline() {
+        let o = sped_options();
+        o.validate().unwrap();
+        assert!(!o.separate_handler_pool);
+        assert_eq!(o.dispatcher_threads.count(), 1);
+        assert_eq!(o.completion_mode, CompletionMode::Synchronous);
+    }
+
+    #[test]
+    fn mped_adds_async_helpers_to_sped() {
+        let o = mped_options(4);
+        o.validate().unwrap();
+        assert!(!o.separate_handler_pool);
+        assert_eq!(o.completion_mode, CompletionMode::Asynchronous);
+    }
+}

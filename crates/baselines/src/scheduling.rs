@@ -1,0 +1,246 @@
+//! The Fig. 5 differentiated-service experiment.
+//!
+//! "An ISP hosts two types of Web content: a corporate portal and
+//! personal homepages. … Web accesses to the corporate portal are
+//! prioritized." Requests are classified by client IP; the event
+//! scheduler serves the two priority levels by quota. Under saturation,
+//! the throughput ratio between the classes approximates the quota ratio
+//! (with a small gap, because the server "exerts no control over … many
+//! operating system resources").
+//!
+//! This module drives `nserver-core`'s *actual*
+//! [`PriorityQuotaQueue`] — the same structure the real framework swaps
+//! in when O8 is enabled — inside a discrete-event loop with a 2-CPU
+//! service stage and no file cache (both per the paper's setup).
+
+use nserver_core::event::Priority;
+use nserver_core::queue::EventQueue;
+use nserver_core::scheduler::PriorityQuotaQueue;
+use nserver_netsim::{CpuPool, Model, Scheduler, SimRng, SimTime};
+
+/// Parameters of the differentiated-service run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulingParams {
+    /// Quota for homepage requests (priority level 1), the `x` of `x/y`.
+    pub homepage_quota: u32,
+    /// Quota for portal requests (priority level 0), the `y` of `x/y`.
+    pub portal_quota: u32,
+    /// Clients generating portal requests.
+    pub portal_clients: usize,
+    /// Clients generating homepage requests (0 = the paper's rightmost
+    /// "portal only" bar).
+    pub homepage_clients: usize,
+    /// Per-request service demand, µs (cache disabled ⇒ every request
+    /// touches the disk path; the paper keeps the workload heavy).
+    pub service_us: u64,
+    /// Server CPUs (the Fig. 5 host is a dual-processor machine).
+    pub cpus: usize,
+    /// Think time between a client's requests.
+    pub think: SimTime,
+    /// Measurement window (after warmup).
+    pub measure: SimTime,
+    /// Warmup.
+    pub warmup: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SchedulingParams {
+    /// The paper's setup for a given `x/y` quota pair.
+    pub fn paper(homepage_quota: u32, portal_quota: u32) -> Self {
+        Self {
+            homepage_quota,
+            portal_quota,
+            portal_clients: 48,
+            homepage_clients: 48,
+            service_us: 2_500,
+            cpus: 2,
+            think: SimTime::from_millis(5),
+            measure: SimTime::from_secs(60),
+            warmup: SimTime::from_secs(5),
+            seed: 0x5EED_0005,
+        }
+    }
+
+    /// The rightmost Fig. 5 column: portal-only maximal throughput.
+    pub fn portal_only() -> Self {
+        Self {
+            homepage_clients: 0,
+            ..Self::paper(1, 1)
+        }
+    }
+}
+
+/// Throughput per content class.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulingOutcome {
+    /// Portal responses per second.
+    pub portal_rps: f64,
+    /// Homepage responses per second.
+    pub homepage_rps: f64,
+}
+
+impl SchedulingOutcome {
+    /// Portal/homepage throughput ratio (∞-safe: 0 when no homepages).
+    pub fn ratio(&self) -> f64 {
+        if self.homepage_rps == 0.0 {
+            0.0
+        } else {
+            self.portal_rps / self.homepage_rps
+        }
+    }
+}
+
+enum Ev {
+    /// A client issues a request (client id, class: 0 portal / 1 home).
+    Issue(u32, u8),
+    /// The scheduler should try to start work on an idle CPU.
+    Drain,
+    /// A request finished service (client id, class).
+    Done(u32, u8),
+}
+
+struct SchedWorld {
+    params: SchedulingParams,
+    queue: PriorityQuotaQueue<(u32, u8)>,
+    cpu: CpuPool,
+    busy: usize,
+    rng: SimRng,
+    counts: [u64; 2],
+    measuring_from: SimTime,
+}
+
+impl SchedWorld {
+    fn try_start(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        while self.busy < self.params.cpus {
+            let Some((client, class)) = self.queue.pop() else {
+                return;
+            };
+            self.busy += 1;
+            // Small service-time jitter keeps the classes from phase-lock.
+            let jitter = self.rng.below(self.params.service_us / 10 + 1);
+            let demand = SimTime::from_micros(self.params.service_us + jitter);
+            let done = self.cpu.run(now, demand);
+            sched.at(done, Ev::Done(client, class));
+        }
+    }
+}
+
+impl Model for SchedWorld {
+    type Ev = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Issue(client, class) => {
+                // Portal = priority 0 (quota y), homepage = priority 1
+                // (quota x) — the IP-based priority policy of the paper.
+                self.queue.push((client, class), Priority(class));
+                self.try_start(now, sched);
+            }
+            Ev::Drain => self.try_start(now, sched),
+            Ev::Done(client, class) => {
+                self.busy -= 1;
+                if now >= self.measuring_from {
+                    self.counts[class as usize] += 1;
+                }
+                sched.after(self.params.think, Ev::Issue(client, class));
+                sched.at(now, Ev::Drain);
+            }
+        }
+    }
+}
+
+/// Run the Fig. 5 experiment for one quota setting.
+pub fn run_scheduling_experiment(params: SchedulingParams) -> SchedulingOutcome {
+    let mut rng = SimRng::new(params.seed);
+    let mut world = SchedWorld {
+        queue: PriorityQuotaQueue::new(vec![
+            params.portal_quota.max(1),
+            params.homepage_quota.max(1),
+        ]),
+        cpu: CpuPool::new(params.cpus),
+        busy: 0,
+        rng: rng.fork(1),
+        counts: [0, 0],
+        measuring_from: params.warmup,
+        params,
+    };
+    let mut sched = Scheduler::new();
+    let mut id = 0;
+    for _ in 0..params.portal_clients {
+        sched.at(SimTime::from_micros(rng.below(10_000)), Ev::Issue(id, 0));
+        id += 1;
+    }
+    for _ in 0..params.homepage_clients {
+        sched.at(SimTime::from_micros(rng.below(10_000)), Ev::Issue(id, 1));
+        id += 1;
+    }
+    sched.run_until(&mut world, params.warmup + params.measure);
+    let secs = params.measure.as_secs_f64();
+    SchedulingOutcome {
+        portal_rps: world.counts[0] as f64 / secs,
+        homepage_rps: world.counts[1] as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(mut p: SchedulingParams) -> SchedulingParams {
+        p.warmup = SimTime::from_secs(2);
+        p.measure = SimTime::from_secs(20);
+        p
+    }
+
+    #[test]
+    fn equal_quotas_give_equal_service() {
+        let out = run_scheduling_experiment(short(SchedulingParams::paper(1, 1)));
+        let ratio = out.ratio();
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_ratio_tracks_quota_ratio() {
+        for (x, y) in [(1u32, 2u32), (1, 5), (1, 10)] {
+            let out = run_scheduling_experiment(short(SchedulingParams::paper(x, y)));
+            let expect = y as f64 / x as f64;
+            let ratio = out.ratio();
+            // "There is a small gap between the ratio of priority levels
+            // and the actual throughput ratio" — allow 25%.
+            assert!(
+                (ratio - expect).abs() / expect < 0.25,
+                "quota {y}/{x}: ratio {ratio}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn portal_only_run_reaches_cpu_bound_maximum() {
+        let out = run_scheduling_experiment(short(SchedulingParams::portal_only()));
+        assert_eq!(out.homepage_rps, 0.0);
+        // 2 CPUs at ~2.5–2.75 ms per request ⇒ ~730–800 rps ceiling.
+        assert!(
+            out.portal_rps > 500.0,
+            "portal-only throughput {}",
+            out.portal_rps
+        );
+        // And prioritised runs never exceed the portal-only maximum.
+        let shared = run_scheduling_experiment(short(SchedulingParams::paper(1, 10)));
+        assert!(shared.portal_rps <= out.portal_rps * 1.05);
+    }
+
+    #[test]
+    fn total_throughput_is_conserved_across_quota_settings() {
+        // The scheduler redistributes service; it does not create or
+        // destroy capacity.
+        let a = run_scheduling_experiment(short(SchedulingParams::paper(1, 1)));
+        let b = run_scheduling_experiment(short(SchedulingParams::paper(1, 10)));
+        let total_a = a.portal_rps + a.homepage_rps;
+        let total_b = b.portal_rps + b.homepage_rps;
+        assert!(
+            (total_a - total_b).abs() / total_a < 0.05,
+            "{total_a} vs {total_b}"
+        );
+    }
+}

@@ -1,0 +1,791 @@
+//! The discrete-event experiment world for the COPS-HTTP vs Apache
+//! studies (Figures 3, 4 and 6).
+//!
+//! The world composes the `nserver-netsim` substrate — shared link, CPU
+//! pool, disk + OS buffer cache, listen queue, SYN backoff — with a client
+//! population implementing the paper's workload ("establish a connection…
+//! issue 5 HTTP requests… 20 milliseconds pause after receiving each
+//! page") and one of two server models:
+//!
+//! * **Apache**: process-per-connection with a bounded worker pool; a
+//!   worker is held for the entire connection (including think time), and
+//!   per-request CPU inflates with the number of live processes. SYNs
+//!   that overflow the backlog are dropped and retransmitted with
+//!   exponential backoff — the mechanism behind Fig. 4's fairness
+//!   collapse.
+//! * **COPS-HTTP**: event-driven; accepts every connection (unless the
+//!   watermark overload controller pauses accepts — Fig. 6), runs
+//!   requests through a single-dispatcher stage whose cost grows mildly
+//!   with the number of open connections, then a worker-pool CPU stage,
+//!   an optional 20 MB application file cache, the OS buffer cache, and
+//!   the disk. The overload gate is `nserver-core`'s *actual*
+//!   [`nserver_core::overload::Watermark`] policy object.
+
+use std::collections::VecDeque;
+
+use nserver_core::overload::Watermark;
+use nserver_netsim::{
+    jain_index, BufferCache, CpuPool, Disk, Histogram, Link, ListenQueue, Model, OnlineStats,
+    Scheduler, SimRng, SimTime, SynRetransmit,
+};
+use nserver_specweb::{AccessSampler, ClientConfig, FileSet};
+
+use crate::apache::ApacheParams;
+
+/// Parameters of the simulated COPS-HTTP server.
+#[derive(Debug, Clone, Copy)]
+pub struct CopsParams {
+    /// Event-processor worker threads (Table 1: static pool).
+    pub worker_threads: usize,
+    /// Per-request CPU demand on a worker, in µs.
+    pub base_cpu_us: u64,
+    /// Fixed dispatcher cost per request, in µs.
+    pub dispatch_base_us: u64,
+    /// Dispatcher cost growth per open connection, in ns (readiness
+    /// polling over the connection set).
+    pub dispatch_per_conn_ns: u64,
+    /// Application file cache size (None disables O6).
+    pub app_cache_bytes: Option<u64>,
+    /// Extra CPU burned while decoding each request, µs (Fig. 6 uses
+    /// 50 000 — the paper's 50 ms sleep).
+    pub decode_extra_us: u64,
+    /// Watermark overload control on the reactive event-processor queue
+    /// (high, low); None disables O9.
+    pub watermark: Option<(usize, usize)>,
+    /// SPED emulation: file I/O blocks the event-processing thread
+    /// instead of overlapping through the Proactor helpers (the known
+    /// weakness of single-process event-driven servers on disk-bound
+    /// workloads — paper §III).
+    pub blocking_file_io: bool,
+}
+
+impl Default for CopsParams {
+    fn default() -> Self {
+        Self {
+            worker_threads: 4,
+            base_cpu_us: 3000,
+            dispatch_base_us: 80,
+            dispatch_per_conn_ns: 1200,
+            app_cache_bytes: Some(20 * 1024 * 1024),
+            decode_extra_us: 0,
+            watermark: None,
+            blocking_file_io: false,
+        }
+    }
+}
+
+impl CopsParams {
+    /// SPED (Zeus/Harvest-style): one thread does everything, and a disk
+    /// read stalls it.
+    pub fn sped() -> Self {
+        Self {
+            worker_threads: 1,
+            blocking_file_io: true,
+            app_cache_bytes: None,
+            ..Self::default()
+        }
+    }
+
+    /// MPED (Flash-style): one event-processing thread, but blocking file
+    /// I/O is overlapped by helper processes.
+    pub fn mped() -> Self {
+        Self {
+            worker_threads: 1,
+            blocking_file_io: false,
+            app_cache_bytes: None,
+            ..Self::default()
+        }
+    }
+}
+
+/// Which server runs in this world.
+#[derive(Debug, Clone, Copy)]
+pub enum ServerKind {
+    /// The Apache 1.3 process-per-connection baseline.
+    Apache(ApacheParams),
+    /// The simulated event-driven COPS-HTTP.
+    Cops(CopsParams),
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentParams {
+    /// Number of web clients.
+    pub clients: usize,
+    /// Server model.
+    pub kind: ServerKind,
+    /// Server CPUs (4 on the Fig. 3/4 testbed, 2 on the Fig. 5/6 one).
+    pub cpus: usize,
+    /// Shared network bandwidth in bits/s ("slightly higher than
+    /// 100 MBits/sec").
+    pub link_bits_per_sec: u64,
+    /// One-way network latency between clients and server.
+    pub net_oneway: SimTime,
+    /// Think time after each page.
+    pub think: SimTime,
+    /// Requests per connection.
+    pub reqs_per_conn: u32,
+    /// Total file-set size (paper: 204.8 MB).
+    pub fileset_bytes: u64,
+    /// OS buffer cache size (paper: 80 MB).
+    pub os_cache_bytes: u64,
+    /// Disk positioning time.
+    pub disk_seek: SimTime,
+    /// Disk transfer bandwidth, bytes/s.
+    pub disk_bytes_per_sec: u64,
+    /// Warmup before measurement starts.
+    pub warmup: SimTime,
+    /// Measurement window ("each measurement ran for 5 minutes").
+    pub measure: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// The Fig. 3 / Fig. 4 testbed with a given client count and server.
+    pub fn figure3(clients: usize, kind: ServerKind) -> Self {
+        Self {
+            clients,
+            kind,
+            cpus: 4,
+            link_bits_per_sec: 115_000_000,
+            net_oneway: SimTime::from_millis(50),
+            think: SimTime::from_millis(ClientConfig::default().think_time_ms),
+            reqs_per_conn: ClientConfig::default().requests_per_connection,
+            fileset_bytes: (204.8 * 1024.0 * 1024.0) as u64,
+            os_cache_bytes: 80 * 1024 * 1024,
+            disk_seek: SimTime::from_millis(4),
+            disk_bytes_per_sec: 30_000_000,
+            warmup: SimTime::from_secs(30),
+            measure: SimTime::from_secs(120),
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// The Fig. 6 testbed (2 CPUs, LAN latency, CPU-bound decode, cache
+    /// disabled to keep the workload heavy, smaller measurement window).
+    pub fn figure6(clients: usize, overload_control: bool) -> Self {
+        let cops = CopsParams {
+            decode_extra_us: 50_000,
+            app_cache_bytes: None,
+            watermark: if overload_control { Some((20, 5)) } else { None },
+            ..CopsParams::default()
+        };
+        Self {
+            clients,
+            kind: ServerKind::Cops(cops),
+            cpus: 2,
+            link_bits_per_sec: 100_000_000,
+            net_oneway: SimTime::from_micros(300),
+            warmup: SimTime::from_secs(10),
+            measure: SimTime::from_secs(60),
+            ..Self::figure3(clients, ServerKind::Cops(cops))
+        }
+    }
+}
+
+/// Measured results of one run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Responses per second over the measurement window.
+    pub throughput_rps: f64,
+    /// Jain fairness index over per-client response counts.
+    pub fairness: f64,
+    /// Mean response time (request sent → response received), ms.
+    pub mean_response_ms: f64,
+    /// Mean combined time (includes connection-establishment wait), ms.
+    pub mean_combined_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_response_ms: f64,
+    /// Total measured responses.
+    pub responses: u64,
+    /// SYN drops over the whole run (Apache backlog overflow).
+    pub syn_drops: u64,
+    /// Accepts postponed by the overload controller (COPS).
+    pub accepts_deferred: u64,
+    /// Application cache hit rate (COPS with O6 on).
+    pub app_cache_hit_rate: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// SYN in flight or backing off.
+    Connecting,
+    /// Handshake accepted server-side; waiting for the Accepted notice or
+    /// for a worker (Apache backlog) / gate (COPS postponed).
+    Queued,
+    /// Request in flight.
+    WaitingResp,
+    /// Thinking between pages.
+    Thinking,
+}
+
+struct Client {
+    gen: u32,
+    phase: Phase,
+    reqs_done: u32,
+    responses_measured: u64,
+    backoff: SynRetransmit,
+    connect_started: SimTime,
+    req_sent: SimTime,
+    first_req_of_conn: bool,
+    file: u64,
+}
+
+/// Simulation events; every client-directed event carries the connection
+/// generation so stale events are ignored after a reconnect.
+pub enum Ev {
+    /// Client initiates a connection.
+    Connect(u32),
+    /// SYN reaches the server.
+    SynArrive(u32, u32),
+    /// Client retransmission timer.
+    SynTimeout(u32, u32),
+    /// Connection establishment visible to the client.
+    Accepted(u32, u32),
+    /// Request reaches the server.
+    ReqArrive(u32, u32),
+    /// Dispatcher + CPU stages finished.
+    ServiceDone(u32, u32),
+    /// File bytes available (cache or disk).
+    DiskDone(u32, u32),
+    /// Response fully received by the client.
+    RespArrive(u32, u32),
+    /// Think time elapsed.
+    ThinkDone(u32, u32),
+}
+
+/// The experiment world.
+pub struct World {
+    params: ExperimentParams,
+    fileset: FileSet,
+    sampler: AccessSampler,
+    rng: SimRng,
+    clients: Vec<Client>,
+    // Substrate.
+    link: Link,
+    cpu: CpuPool,
+    dispatch: CpuPool,
+    disk: Disk,
+    os_cache: BufferCache,
+    app_cache: Option<BufferCache>,
+    // Apache state.
+    free_workers: usize,
+    live_workers: usize,
+    backlog: ListenQueue<u32>,
+    // COPS state.
+    open_conns: usize,
+    watermark: Option<Watermark>,
+    postponed: VecDeque<u32>,
+    cpu_inflight: usize,
+    /// Connections accepted whose first request has not reached the CPU
+    /// stage yet; the gate counts them as anticipated load so a drain of
+    /// postponed clients cannot overshoot the high watermark.
+    pending_accepts: usize,
+    accepts_deferred: u64,
+    // Measurement.
+    measure_start: SimTime,
+    resp_stats: OnlineStats,
+    combined_stats: OnlineStats,
+    resp_hist: Histogram,
+    responses: u64,
+}
+
+impl World {
+    /// Build a world from parameters.
+    pub fn new(params: ExperimentParams) -> Self {
+        let fileset = FileSet::specweb99(params.fileset_bytes);
+        let sampler = AccessSampler::new(&fileset);
+        let mut rng = SimRng::new(params.seed);
+        let clients = (0..params.clients)
+            .map(|_| Client {
+                gen: 0,
+                phase: Phase::Connecting,
+                reqs_done: 0,
+                responses_measured: 0,
+                backoff: SynRetransmit::solaris(),
+                connect_started: SimTime::ZERO,
+                req_sent: SimTime::ZERO,
+                first_req_of_conn: true,
+                file: 0,
+            })
+            .collect();
+        let _ = rng.next_u64();
+        let (apache_workers, apache_backlog, cops_watermark, app_cache) = match params.kind {
+            ServerKind::Apache(a) => (a.workers, a.backlog, None, None),
+            ServerKind::Cops(c) => (
+                0,
+                0,
+                c.watermark.map(|(h, l)| Watermark::new(h, l)),
+                c.app_cache_bytes.map(BufferCache::new),
+            ),
+        };
+        Self {
+            fileset,
+            sampler,
+            rng,
+            clients,
+            link: Link::with_frame(params.link_bits_per_sec, 1500, 40, params.net_oneway),
+            cpu: CpuPool::new(match params.kind {
+                ServerKind::Apache(_) => params.cpus,
+                // COPS runs a fixed worker pool; it cannot use more CPUs
+                // than it has workers.
+                ServerKind::Cops(c) => params.cpus.min(c.worker_threads),
+            }),
+            dispatch: CpuPool::new(1),
+            disk: Disk::new(params.disk_seek, params.disk_bytes_per_sec),
+            os_cache: BufferCache::new(params.os_cache_bytes),
+            app_cache,
+            free_workers: apache_workers,
+            live_workers: 0,
+            backlog: ListenQueue::new(apache_backlog.max(1)),
+            open_conns: 0,
+            watermark: cops_watermark,
+            postponed: VecDeque::new(),
+            cpu_inflight: 0,
+            pending_accepts: 0,
+            accepts_deferred: 0,
+            measure_start: params.warmup,
+            params,
+            resp_stats: OnlineStats::new(),
+            combined_stats: OnlineStats::new(),
+            resp_hist: Histogram::new(),
+            responses: 0,
+        }
+    }
+
+    /// Run the experiment: warmup, measurement window, and collection.
+    pub fn run(mut self) -> Outcome {
+        let mut sched = Scheduler::new();
+        // Stagger connection starts over one second to avoid lockstep.
+        for c in 0..self.params.clients {
+            let jitter = SimTime::from_micros(self.rng.below(1_000_000));
+            sched.at(jitter, Ev::Connect(c as u32));
+        }
+        let end = self.params.warmup + self.params.measure;
+        sched.run_until(&mut self, end);
+
+        let per_client: Vec<f64> = self
+            .clients
+            .iter()
+            .map(|c| c.responses_measured as f64)
+            .collect();
+        let app_cache_hit_rate = self.app_cache.as_ref().map_or(0.0, |c| c.hit_rate());
+        Outcome {
+            throughput_rps: self.responses as f64 / self.params.measure.as_secs_f64(),
+            fairness: jain_index(&per_client),
+            mean_response_ms: self.resp_stats.mean(),
+            mean_combined_ms: self.combined_stats.mean(),
+            p95_response_ms: self.resp_hist.quantile(0.95).as_millis_f64(),
+            responses: self.responses,
+            syn_drops: self.backlog.dropped(),
+            accepts_deferred: self.accepts_deferred,
+            app_cache_hit_rate,
+        }
+    }
+
+    fn is_apache(&self) -> bool {
+        matches!(self.params.kind, ServerKind::Apache(_))
+    }
+
+    fn stale(&self, c: u32, gen: u32) -> bool {
+        self.clients[c as usize].gen != gen
+    }
+
+    fn send_request(&mut self, now: SimTime, c: u32, sched: &mut Scheduler<Ev>) {
+        let file = self.sampler.sample_with(
+            &self.fileset,
+            self.rng.next_f64(),
+            self.rng.next_f64(),
+            self.rng.next_f64(),
+        );
+        let client = &mut self.clients[c as usize];
+        client.file = file;
+        client.req_sent = now;
+        client.phase = Phase::WaitingResp;
+        let gen = client.gen;
+        sched.after(self.params.net_oneway, Ev::ReqArrive(c, gen));
+    }
+
+    fn gate_load(&self) -> usize {
+        self.cpu_inflight + self.pending_accepts
+    }
+
+    fn accept_cops(&mut self, now: SimTime, c: u32, sched: &mut Scheduler<Ev>) {
+        self.open_conns += 1;
+        self.pending_accepts += 1;
+        self.clients[c as usize].phase = Phase::Queued;
+        let gen = self.clients[c as usize].gen;
+        sched.at(now + self.params.net_oneway, Ev::Accepted(c, gen));
+    }
+
+    fn close_conn(&mut self, now: SimTime, c: u32, sched: &mut Scheduler<Ev>) {
+        if self.is_apache() {
+            self.live_workers -= 1;
+            self.free_workers += 1;
+            if let Some(next) = self.backlog.accept() {
+                self.free_workers -= 1;
+                self.live_workers += 1;
+                let gen = self.clients[next as usize].gen;
+                sched.at(now + self.params.net_oneway, Ev::Accepted(next, gen));
+            }
+        } else {
+            self.open_conns -= 1;
+        }
+        let client = &mut self.clients[c as usize];
+        client.gen += 1;
+        client.reqs_done = 0;
+        client.phase = Phase::Connecting;
+        client.backoff = SynRetransmit::solaris();
+        sched.at(now, Ev::Connect(c));
+    }
+
+    /// Service time of the file access for client `c`'s current request
+    /// when the event thread performs it synchronously (SPED emulation).
+    fn file_io_time(&mut self, c: u32) -> SimTime {
+        let file = self.clients[c as usize].file;
+        let size = self.fileset.file(file).size;
+        if self.os_cache.access(file, size) {
+            SimTime::from_micros(200)
+        } else {
+            // Dedicated seek + transfer; the thread is parked meanwhile.
+            self.params.disk_seek
+                + SimTime::from_micros(size * 1_000_000 / self.params.disk_bytes_per_sec)
+        }
+    }
+
+    /// Re-evaluate the COPS overload gate; drain postponed clients while
+    /// accepting resumes.
+    fn reevaluate_gate(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.watermark.is_none() {
+            return;
+        }
+        // Accept postponed clients one at a time, re-observing the gate
+        // after each: every accept raises the anticipated load, so the
+        // drain stops at the high watermark instead of flooding the queue.
+        loop {
+            let load = self.gate_load();
+            let paused = self
+                .watermark
+                .as_mut()
+                .map(|wm| wm.observe(load))
+                .unwrap_or(false);
+            if paused {
+                return;
+            }
+            match self.postponed.pop_front() {
+                Some(c) => self.accept_cops(now, c, sched),
+                None => return,
+            }
+        }
+    }
+}
+
+impl Model for World {
+    type Ev = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Connect(c) => {
+                let client = &mut self.clients[c as usize];
+                client.connect_started = now;
+                client.first_req_of_conn = true;
+                client.phase = Phase::Connecting;
+                let gen = client.gen;
+                sched.after(self.params.net_oneway, Ev::SynArrive(c, gen));
+                let delay = client.backoff.next_delay();
+                sched.after(delay, Ev::SynTimeout(c, gen));
+            }
+            Ev::SynArrive(c, gen) => {
+                if self.stale(c, gen) || self.clients[c as usize].phase != Phase::Connecting {
+                    return;
+                }
+                if self.is_apache() {
+                    if self.free_workers > 0 {
+                        self.free_workers -= 1;
+                        self.live_workers += 1;
+                        self.clients[c as usize].phase = Phase::Queued;
+                        sched.after(self.params.net_oneway, Ev::Accepted(c, gen));
+                    } else if self.backlog.offer(c) {
+                        // Handshake completes; the client waits (no
+                        // retransmissions) until a worker frees up.
+                        self.clients[c as usize].phase = Phase::Queued;
+                    }
+                    // else: SYN dropped silently; the retransmission timer
+                    // is already armed.
+                } else {
+                    let load = self.gate_load();
+                    let gate_paused = match self.watermark.as_mut() {
+                        Some(wm) => wm.observe(load),
+                        None => false,
+                    };
+                    if gate_paused {
+                        self.accepts_deferred += 1;
+                        self.clients[c as usize].phase = Phase::Queued;
+                        self.postponed.push_back(c);
+                    } else {
+                        self.accept_cops(now, c, sched);
+                    }
+                }
+            }
+            Ev::SynTimeout(c, gen) => {
+                if self.stale(c, gen) || self.clients[c as usize].phase != Phase::Connecting {
+                    return;
+                }
+                // Retransmit the SYN and arm the next (doubled) timer.
+                sched.after(self.params.net_oneway, Ev::SynArrive(c, gen));
+                let delay = self.clients[c as usize].backoff.next_delay();
+                sched.after(delay, Ev::SynTimeout(c, gen));
+            }
+            Ev::Accepted(c, gen) => {
+                if self.stale(c, gen) {
+                    return;
+                }
+                self.send_request(now, c, sched);
+            }
+            Ev::ReqArrive(c, gen) => {
+                if self.stale(c, gen) {
+                    return;
+                }
+                let done = match self.params.kind {
+                    ServerKind::Apache(a) => {
+                        let demand = SimTime::from_micros(a.service_us(self.live_workers));
+                        let sched_wait =
+                            SimTime::from_micros(a.sched_latency_us(self.live_workers));
+                        self.cpu.run(now, demand) + sched_wait
+                    }
+                    ServerKind::Cops(cp) => {
+                        self.cpu_inflight += 1;
+                        if self.clients[c as usize].first_req_of_conn {
+                            self.pending_accepts = self.pending_accepts.saturating_sub(1);
+                        }
+                        let disp = SimTime::from_micros(
+                            cp.dispatch_base_us
+                                + cp.dispatch_per_conn_ns * self.open_conns as u64 / 1000,
+                        );
+                        let disp_done = self.dispatch.run(now, disp);
+                        let mut demand =
+                            SimTime::from_micros(cp.base_cpu_us + cp.decode_extra_us);
+                        if cp.blocking_file_io {
+                            // SPED: the event thread itself waits out the
+                            // file access, so its time is CPU occupancy.
+                            demand += self.file_io_time(c);
+                        }
+                        self.cpu.run(disp_done, demand)
+                    }
+                };
+                sched.at(done, Ev::ServiceDone(c, gen));
+            }
+            Ev::ServiceDone(c, gen) => {
+                if !self.is_apache() {
+                    self.cpu_inflight = self.cpu_inflight.saturating_sub(1);
+                    self.reevaluate_gate(now, sched);
+                }
+                if self.stale(c, gen) {
+                    return;
+                }
+                if let ServerKind::Cops(cp) = self.params.kind {
+                    if cp.blocking_file_io {
+                        // SPED: the file time was already charged to the
+                        // event thread in ReqArrive.
+                        sched.at(now, Ev::DiskDone(c, gen));
+                        return;
+                    }
+                }
+                let file = self.clients[c as usize].file;
+                let size = self.fileset.file(file).size;
+                // COPS application cache (O6), then the OS buffer cache,
+                // then the disk.
+                let app_hit = self
+                    .app_cache
+                    .as_mut()
+                    .is_some_and(|cache| cache.access(file, size));
+                let ready = if app_hit {
+                    now + SimTime::from_micros(100)
+                } else if self.os_cache.access(file, size) {
+                    now + SimTime::from_micros(200)
+                } else {
+                    self.disk.read(now, size)
+                };
+                sched.at(ready, Ev::DiskDone(c, gen));
+            }
+            Ev::DiskDone(c, gen) => {
+                if self.stale(c, gen) {
+                    return;
+                }
+                let size = self.fileset.file(self.clients[c as usize].file).size;
+                let arrive = self.link.send(now, size + 300);
+                sched.at(arrive, Ev::RespArrive(c, gen));
+            }
+            Ev::RespArrive(c, gen) => {
+                if self.stale(c, gen) {
+                    return;
+                }
+                let measure_start = self.measure_start;
+                let client = &mut self.clients[c as usize];
+                if now >= measure_start {
+                    client.responses_measured += 1;
+                    self.responses += 1;
+                    let resp = now - client.req_sent;
+                    self.resp_stats.add_time_ms(resp);
+                    self.resp_hist.record(resp);
+                    let combined_from = if client.first_req_of_conn {
+                        client.connect_started
+                    } else {
+                        client.req_sent
+                    };
+                    self.combined_stats.add_time_ms(now - combined_from);
+                }
+                client.first_req_of_conn = false;
+                client.reqs_done += 1;
+                if client.reqs_done < self.params.reqs_per_conn {
+                    client.phase = Phase::Thinking;
+                    let gen = client.gen;
+                    sched.after(self.params.think, Ev::ThinkDone(c, gen));
+                } else {
+                    self.close_conn(now, c, sched);
+                }
+            }
+            Ev::ThinkDone(c, gen) => {
+                if self.stale(c, gen) {
+                    return;
+                }
+                self.send_request(now, c, sched);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(params: ExperimentParams) -> Outcome {
+        World::new(params).run()
+    }
+
+    fn short(mut p: ExperimentParams) -> ExperimentParams {
+        p.warmup = SimTime::from_secs(5);
+        p.measure = SimTime::from_secs(30);
+        p
+    }
+
+    #[test]
+    fn single_client_gets_reasonable_service() {
+        let out = quick(short(ExperimentParams::figure3(
+            1,
+            ServerKind::Cops(CopsParams::default()),
+        )));
+        assert!(out.responses > 50, "responses {}", out.responses);
+        assert!((out.fairness - 1.0).abs() < 1e-9);
+        // Cycle ≈ 2×50ms RTT + service + think ⇒ response ≈ 100–150 ms.
+        assert!(
+            (90.0..250.0).contains(&out.mean_response_ms),
+            "mean {}",
+            out.mean_response_ms
+        );
+    }
+
+    #[test]
+    fn throughput_scales_then_saturates_on_the_link() {
+        let t16 = quick(short(ExperimentParams::figure3(
+            16,
+            ServerKind::Cops(CopsParams::default()),
+        )))
+        .throughput_rps;
+        let t64 = quick(short(ExperimentParams::figure3(
+            64,
+            ServerKind::Cops(CopsParams::default()),
+        )))
+        .throughput_rps;
+        let t512 = quick(short(ExperimentParams::figure3(
+            512,
+            ServerKind::Cops(CopsParams::default()),
+        )))
+        .throughput_rps;
+        let t1024 = quick(short(ExperimentParams::figure3(
+            1024,
+            ServerKind::Cops(CopsParams::default()),
+        )))
+        .throughput_rps;
+        assert!(t64 > t16 * 2.5, "linear region: {t16} -> {t64}");
+        // Saturation: 512 -> 1024 gains little or nothing.
+        assert!(t1024 < t512 * 1.15, "saturated: {t512} -> {t1024}");
+    }
+
+    #[test]
+    fn apache_is_unfair_beyond_its_worker_pool() {
+        let apache = quick(short(ExperimentParams::figure3(
+            1024,
+            ServerKind::Apache(ApacheParams::default()),
+        )));
+        let cops = quick(short(ExperimentParams::figure3(
+            1024,
+            ServerKind::Cops(CopsParams::default()),
+        )));
+        assert!(
+            apache.fairness < 0.75,
+            "apache fairness {}",
+            apache.fairness
+        );
+        assert!(cops.fairness > 0.9, "cops fairness {}", cops.fairness);
+        assert!(apache.syn_drops > 0, "backlog overflow must drop SYNs");
+    }
+
+    #[test]
+    fn apache_is_fair_at_light_load() {
+        let apache = quick(short(ExperimentParams::figure3(
+            32,
+            ServerKind::Apache(ApacheParams::default()),
+        )));
+        assert!(apache.fairness > 0.95, "fairness {}", apache.fairness);
+        assert_eq!(apache.syn_drops, 0);
+    }
+
+    #[test]
+    fn overload_control_reduces_response_time_without_hurting_throughput() {
+        let without = quick(ExperimentParams::figure6(64, false));
+        let with = quick(ExperimentParams::figure6(64, true));
+        assert!(
+            with.mean_response_ms < without.mean_response_ms * 0.6,
+            "with {} vs without {}",
+            with.mean_response_ms,
+            without.mean_response_ms
+        );
+        assert!(
+            with.throughput_rps > without.throughput_rps * 0.9,
+            "throughput {} vs {}",
+            with.throughput_rps,
+            without.throughput_rps
+        );
+        assert!(with.accepts_deferred > 0, "the gate must have engaged");
+    }
+
+    #[test]
+    fn app_cache_gets_hits_under_zipf_popularity() {
+        let out = quick(short(ExperimentParams::figure3(
+            64,
+            ServerKind::Cops(CopsParams::default()),
+        )));
+        assert!(
+            out.app_cache_hit_rate > 0.3,
+            "hit rate {}",
+            out.app_cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = quick(short(ExperimentParams::figure3(
+            32,
+            ServerKind::Cops(CopsParams::default()),
+        )));
+        let b = quick(short(ExperimentParams::figure3(
+            32,
+            ServerKind::Cops(CopsParams::default()),
+        )));
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.fairness, b.fairness);
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation for option O6: operation cost and achieved hit rate of the
+//! five cache replacement policies on a Zipf-popular trace.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nserver_cache::{FileCache, PolicyKind};
+use nserver_netsim::SimRng;
+use nserver_specweb::Zipf;
+
+fn trace(n: usize) -> Vec<(u64, usize)> {
+    let zipf = Zipf::new(500, 1.0);
+    let mut rng = SimRng::new(42);
+    (0..n)
+        .map(|_| {
+            let key = zipf.sample_with(rng.next_f64()) as u64;
+            let size = 256 + (key % 16) as usize * 512;
+            (key, size)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let ops = trace(10_000);
+    let mut g = c.benchmark_group("cache_policies");
+    for kind in PolicyKind::all() {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut cache: FileCache<u64> = FileCache::new(512 * 1024, kind);
+                for &(key, size) in &ops {
+                    if cache.get(&key).is_none() {
+                        cache.insert(key, Arc::new(vec![0u8; size]));
+                    }
+                }
+                black_box(cache.stats().hit_rate())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

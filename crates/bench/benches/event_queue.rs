@@ -1,0 +1,53 @@
+//! Ablation for option O8: FIFO event queue vs the priority-quota queue.
+//! The paper's generative argument is that the priority machinery is
+//! only paid for when generated in — this bench quantifies the cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nserver_core::event::Priority;
+use nserver_core::queue::{EventQueue, FifoQueue};
+use nserver_core::scheduler::PriorityQuotaQueue;
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+
+    g.bench_function("fifo_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = FifoQueue::new();
+            for i in 0..1000u32 {
+                q.push(black_box(i), Priority(0));
+            }
+            while let Some(v) = q.pop() {
+                black_box(v);
+            }
+        })
+    });
+
+    g.bench_function("priority_quota_push_pop_1k_2levels", |b| {
+        b.iter(|| {
+            let mut q = PriorityQuotaQueue::new(vec![8, 1]);
+            for i in 0..1000u32 {
+                q.push(black_box(i), Priority((i % 2) as u8));
+            }
+            while let Some(v) = q.pop() {
+                black_box(v);
+            }
+        })
+    });
+
+    g.bench_function("priority_quota_push_pop_1k_4levels", |b| {
+        b.iter(|| {
+            let mut q = PriorityQuotaQueue::new(vec![16, 8, 4, 1]);
+            for i in 0..1000u32 {
+                q.push(black_box(i), Priority((i % 4) as u8));
+            }
+            while let Some(v) = q.pop() {
+                black_box(v);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Throughput of the handwritten HTTP protocol library (the Decode and
+//! Encode hook implementations of COPS-HTTP).
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nserver_http::{encode_response, parse_request, ParseOutcome, Response, Version};
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http_parser");
+
+    let simple = b"GET /dir0001/class1_5 HTTP/1.1\r\nHost: testbed\r\n\r\n";
+    g.bench_function("parse_simple_get", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&simple[..]);
+            match parse_request(&mut buf) {
+                ParseOutcome::Complete(req) => black_box(req),
+                other => panic!("{other:?}"),
+            }
+        })
+    });
+
+    let mut headed = Vec::new();
+    headed.extend_from_slice(b"GET /x HTTP/1.1\r\n");
+    for i in 0..16 {
+        headed.extend_from_slice(format!("X-Header-{i}: value-{i}\r\n").as_bytes());
+    }
+    headed.extend_from_slice(b"\r\n");
+    g.bench_function("parse_16_headers", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&headed[..]);
+            match parse_request(&mut buf) {
+                ParseOutcome::Complete(req) => black_box(req),
+                other => panic!("{other:?}"),
+            }
+        })
+    });
+
+    let pipelined: Vec<u8> = (0..5)
+        .flat_map(|i| format!("GET /f{i} HTTP/1.1\r\nHost: h\r\n\r\n").into_bytes())
+        .collect();
+    g.bench_function("parse_pipelined_5", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&pipelined[..]);
+            let mut n = 0;
+            while let ParseOutcome::Complete(req) = parse_request(&mut buf) {
+                black_box(req);
+                n += 1;
+            }
+            assert_eq!(n, 5);
+        })
+    });
+
+    let body = Arc::new(vec![0u8; 16 * 1024]);
+    g.bench_function("encode_16k_response", |b| {
+        b.iter(|| {
+            let resp = Response::ok(Arc::clone(&body), "text/html", Version::Http11);
+            let mut out = BytesMut::with_capacity(17 * 1024);
+            encode_response(&resp, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

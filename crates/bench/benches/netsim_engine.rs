@@ -1,0 +1,75 @@
+//! Substrate cost: raw event throughput of the discrete-event engine and
+//! its components — the budget every simulated experiment spends from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nserver_netsim::{CpuPool, Link, Model, Scheduler, SimTime};
+
+struct Chain {
+    remaining: u64,
+}
+
+enum Ev {
+    Tick,
+}
+
+impl Model for Chain {
+    type Ev = Ev;
+    fn handle(&mut self, _now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimTime::from_micros(1), Ev::Tick);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_engine");
+
+    g.bench_function("chain_100k_events", |b| {
+        b.iter(|| {
+            let mut m = Chain { remaining: 100_000 };
+            let mut s = Scheduler::new();
+            s.at(SimTime::ZERO, Ev::Tick);
+            let n = s.run_to_completion(&mut m);
+            black_box(n)
+        })
+    });
+
+    g.bench_function("heap_fanout_10k", |b| {
+        b.iter(|| {
+            let mut m = Chain { remaining: 0 };
+            let mut s = Scheduler::new();
+            for i in 0..10_000u64 {
+                s.at(SimTime::from_micros((i * 7919) % 100_000), Ev::Tick);
+            }
+            black_box(s.run_to_completion(&mut m))
+        })
+    });
+
+    g.bench_function("link_send_10k", |b| {
+        b.iter(|| {
+            let mut link = Link::new(100_000_000);
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                t = link.send(SimTime::from_micros(i), black_box(1460));
+            }
+            black_box(t)
+        })
+    });
+
+    g.bench_function("cpu_pool_run_10k", |b| {
+        b.iter(|| {
+            let mut pool = CpuPool::new(4);
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                t = pool.run(SimTime::from_micros(i * 3), SimTime::from_micros(500));
+            }
+            black_box(t)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation for option O2: request round-trip latency through a live
+//! framework instance with handlers inline on the dispatcher (classic
+//! Reactor) vs handed to the Event Processor pool.
+
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nserver_core::options::{ServerOptions, ThreadAllocation};
+use nserver_core::pipeline::{Action, Codec, ConnCtx, ProtocolError, Service};
+use nserver_core::server::ServerBuilder;
+use nserver_core::transport::{mem, ReadOutcome, StreamIo};
+
+struct LineCodec;
+
+impl Codec for LineCodec {
+    type Request = String;
+    type Response = String;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<String>, ProtocolError> {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let line = buf.split_to(i + 1);
+                Ok(Some(String::from_utf8_lossy(&line[..i]).into_owned()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn encode(&self, r: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(r.as_bytes());
+        out.extend_from_slice(b"\n");
+        Ok(())
+    }
+}
+
+struct Echo;
+
+impl Service<LineCodec> for Echo {
+    fn handle(&self, _ctx: &ConnCtx, req: String) -> Action<String> {
+        Action::Reply(req)
+    }
+}
+
+fn round_trip(stream: &mut mem::MemStream) {
+    stream.try_write(b"ping\n").unwrap();
+    let mut buf = [0u8; 64];
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        match stream.try_read(&mut buf[got..]).unwrap() {
+            ReadOutcome::Data(n) => {
+                got += n;
+                if buf[..got].contains(&b'\n') {
+                    return;
+                }
+            }
+            ReadOutcome::WouldBlock => std::hint::spin_loop(),
+            ReadOutcome::Closed => panic!("closed"),
+        }
+    }
+    panic!("timed out");
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reactor_dispatch");
+    g.sample_size(20);
+
+    // O2 = No: inline handlers.
+    {
+        let (listener, connector) = mem::listener("inline");
+        let opts = ServerOptions {
+            separate_handler_pool: false,
+            thread_allocation: ThreadAllocation::Static { threads: 1 },
+            ..ServerOptions::default()
+        };
+        let server = ServerBuilder::new(opts, LineCodec, Echo).unwrap().serve(listener);
+        let mut stream = connector.connect();
+        round_trip(&mut stream); // warm up
+        g.bench_function("inline_round_trip", |b| {
+            b.iter(|| round_trip(&mut stream))
+        });
+        server.shutdown();
+    }
+
+    // O2 = Yes: Event Processor pool.
+    {
+        let (listener, connector) = mem::listener("pool");
+        let opts = ServerOptions {
+            separate_handler_pool: true,
+            thread_allocation: ThreadAllocation::Static { threads: 2 },
+            ..ServerOptions::default()
+        };
+        let server = ServerBuilder::new(opts, LineCodec, Echo).unwrap().serve(listener);
+        let mut stream = connector.connect();
+        round_trip(&mut stream);
+        g.bench_function("pooled_round_trip", |b| {
+            b.iter(|| round_trip(&mut stream))
+        });
+        server.shutdown();
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 3 — throughput of COPS-HTTP vs Apache, 1…1024 clients (log x).
+//!
+//! Expected shape (paper): Apache slightly ahead under light load
+//! (< 32 clients); COPS-HTTP ahead from 32 to 256; both saturate on the
+//! network above 256; Apache slightly ahead again at 1024 — at the cost
+//! of the fairness collapse Fig. 4 shows.
+//!
+//! `--quick` shortens the simulated warmup/measurement windows.
+
+use nserver_baselines::{ApacheParams, ExperimentParams, ServerKind, World};
+use nserver_baselines::world::CopsParams;
+use nserver_bench::{quick_mode, render_table, write_csv, CLIENT_LADDER};
+use nserver_netsim::SimTime;
+
+fn run(clients: usize, kind: ServerKind, quick: bool) -> f64 {
+    let mut p = ExperimentParams::figure3(clients, kind);
+    if quick {
+        p.warmup = SimTime::from_secs(5);
+        p.measure = SimTime::from_secs(30);
+    }
+    World::new(p).run().throughput_rps
+}
+
+fn main() {
+    let quick = quick_mode();
+    println!("FIG. 3 — THROUGHPUT, COPS-HTTP vs APACHE (responses/second)");
+    println!(
+        "simulated testbed: 4-CPU server, ~115 Mbit/s shared network, SpecWeb99-like\n\
+         file set (204.8 MB), 5 requests/connection, 20 ms think time{}\n",
+        if quick { " [--quick windows]" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &clients in &CLIENT_LADDER {
+        let apache = run(clients, ServerKind::Apache(ApacheParams::default()), quick);
+        let cops = run(clients, ServerKind::Cops(CopsParams::default()), quick);
+        let winner = if (apache - cops).abs() / apache.max(cops) < 0.005 {
+            "~tie"
+        } else if cops > apache {
+            "COPS-HTTP"
+        } else {
+            "Apache"
+        };
+        rows.push(vec![
+            clients.to_string(),
+            format!("{apache:.1}"),
+            format!("{cops:.1}"),
+            winner.to_string(),
+        ]);
+        csv.push(format!("{clients},{apache:.2},{cops:.2}"));
+        eprintln!("  ran {clients} clients: apache {apache:.1} vs cops {cops:.1}");
+    }
+    println!(
+        "{}",
+        render_table(&["clients", "Apache rps", "COPS-HTTP rps", "leader"], &rows)
+    );
+    println!(
+        "Paper shape: Apache ahead <32 clients; COPS ahead 32–256; both\n\
+         saturate >256 (network-bound); Apache slightly ahead at 1024."
+    );
+    write_csv("fig3_throughput.csv", "clients,apache_rps,cops_rps", &csv);
+}

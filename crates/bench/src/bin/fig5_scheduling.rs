@@ -1,0 +1,82 @@
+//! Fig. 5 — differentiated service levels via event scheduling (option
+//! O8): throughput of corporate-portal vs personal-homepage requests at
+//! several priority-quota settings, plus the portal-only maximum.
+//!
+//! Expected shape (paper): the throughput ratio between the classes
+//! tracks the quota ratio, with a small gap ("the COPS-HTTP variant
+//! exerts no control over the management and scheduling of many operating
+//! system resources").
+
+use nserver_baselines::{run_scheduling_experiment, SchedulingParams};
+use nserver_bench::{quick_mode, render_table, write_csv};
+use nserver_netsim::SimTime;
+
+fn main() {
+    let quick = quick_mode();
+    let shrink = |mut p: SchedulingParams| {
+        if quick {
+            p.warmup = SimTime::from_secs(2);
+            p.measure = SimTime::from_secs(15);
+        }
+        p
+    };
+
+    println!("FIG. 5 — SERVICE THROUGHPUT FOR DIFFERENTIATED SERVICE LEVELS");
+    println!(
+        "priority setting x/y: x = homepage quota, y = corporate-portal quota;\n\
+         cache disabled, dual-CPU host, both classes saturating the server\n"
+    );
+
+    let settings: [(u32, u32); 4] = [(1, 1), (1, 2), (1, 5), (1, 10)];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (x, y) in settings {
+        let out = run_scheduling_experiment(shrink(SchedulingParams::paper(x, y)));
+        rows.push(vec![
+            format!("{x}/{y}"),
+            format!("{:.1}", out.homepage_rps),
+            format!("{:.1}", out.portal_rps),
+            format!("{:.2}", out.ratio()),
+            format!("{:.2}", y as f64 / x as f64),
+        ]);
+        csv.push(format!(
+            "{x}/{y},{:.2},{:.2},{:.3}",
+            out.homepage_rps,
+            out.portal_rps,
+            out.ratio()
+        ));
+        eprintln!("  ran quota {x}/{y}");
+    }
+    let max = run_scheduling_experiment(shrink(SchedulingParams::portal_only()));
+    rows.push(vec![
+        "portal only".into(),
+        "0.0".into(),
+        format!("{:.1}", max.portal_rps),
+        "-".into(),
+        "-".into(),
+    ]);
+    csv.push(format!("portal_only,0,{:.2},0", max.portal_rps));
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "setting x/y",
+                "homepage rps",
+                "portal rps",
+                "measured ratio",
+                "quota ratio",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Paper shape: measured portal/homepage ratio ≈ quota ratio y/x, with a\n\
+         small gap; the rightmost column is the portal-only maximum."
+    );
+    write_csv(
+        "fig5_scheduling.csv",
+        "setting,homepage_rps,portal_rps,ratio",
+        &csv,
+    );
+}

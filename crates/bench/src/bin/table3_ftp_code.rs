@@ -1,0 +1,96 @@
+//! Table 3 — the COPS-FTP code distribution.
+//!
+//! The paper transformed Apache FTPServer into an event-driven server:
+//! 8,141 NCSS reused, 1,186 removed, 1,897 added, 2,937 generated. Our
+//! reproduction measures the same categories over this repository:
+//!
+//! * **Generated** — the framework `nserver-codegen` emits for the
+//!   COPS-FTP option preset;
+//! * **Reused** — the protocol-agnostic legacy library (`ftp/src/legacy`),
+//!   our stand-in for the reused Apache FTPServer code;
+//! * **Added** — the event-driven adaptation layer (codec, service,
+//!   session, command parser, preset);
+//! * **Removed** — not applicable here (we wrote the legacy library
+//!   fresh rather than trimming a larger code base); reported as 0 with
+//!   the paper value alongside.
+
+use nserver_bench::{render_table, stats_for, write_csv};
+use nserver_codegen::{generate, CodeStats};
+use nserver_ftp::cops_ftp_options;
+
+fn main() {
+    let generated_fw = generate("cops-ftp", &cops_ftp_options(), "../crates");
+    let generated = generated_fw.generated_stats();
+
+    let reused = stats_for(
+        "ftp",
+        &[
+            "legacy/mod.rs",
+            "legacy/replies.rs",
+            "legacy/users.rs",
+            "legacy/vfs.rs",
+        ],
+    );
+    let added = stats_for(
+        "ftp",
+        &["lib.rs", "codec.rs", "commands.rs", "service.rs", "session.rs", "preset.rs"],
+    );
+    let removed = CodeStats::default();
+
+    let paper = [
+        ("Reused code", 124, 945, 8141),
+        ("Removed code", 18, 199, 1186),
+        ("Added code", 23, 150, 1897),
+        ("Generated code", 84, 480, 2937),
+    ];
+    let ours = [reused, removed, added, generated];
+
+    println!("TABLE 3 — THE CODE DISTRIBUTION OF COPS-FTP");
+    println!("(paper counts Java classes/methods/NCSS; ours count Rust types/fns/NCSS)\n");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for ((name, p_classes, p_methods, p_ncss), s) in paper.iter().zip(&ours) {
+        rows.push(vec![
+            name.to_string(),
+            format!("{p_classes}"),
+            format!("{p_methods}"),
+            format!("{p_ncss}"),
+            format!("{}", s.classes),
+            format!("{}", s.methods),
+            format!("{}", s.ncss),
+        ]);
+        csv.push(format!(
+            "{name},{p_classes},{p_methods},{p_ncss},{},{},{}",
+            s.classes, s.methods, s.ncss
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Category",
+                "paper classes",
+                "paper methods",
+                "paper NCSS",
+                "our types",
+                "our fns",
+                "our NCSS",
+            ],
+            &rows,
+        )
+    );
+
+    let hand = reused.ncss + added.ncss;
+    println!(
+        "Shape check: generated code carries the concurrency machinery; the\n\
+         event-driven adaptation layer (added: {} NCSS) is small relative to the\n\
+         reused library ({} NCSS) — handwritten total {} NCSS vs {} generated.",
+        added.ncss, reused.ncss, hand, generated.ncss
+    );
+
+    write_csv(
+        "table3_ftp_code.csv",
+        "category,paper_classes,paper_methods,paper_ncss,our_types,our_fns,our_ncss",
+        &csv,
+    );
+}

@@ -1,0 +1,168 @@
+//! # nserver-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation section. One binary per artifact:
+//!
+//! | binary             | reproduces |
+//! |--------------------|------------|
+//! | `table1_options`   | Table 1 — option values for COPS-FTP / COPS-HTTP |
+//! | `table2_crosscut`  | Table 2 — option × class crosscut matrix |
+//! | `table3_ftp_code`  | Table 3 — COPS-FTP code distribution |
+//! | `table4_http_code` | Table 4 — COPS-HTTP code distribution |
+//! | `fig3_throughput`  | Fig. 3 — throughput vs #clients, COPS-HTTP vs Apache |
+//! | `fig4_fairness`    | Fig. 4 — Jain fairness vs #clients |
+//! | `fig5_scheduling`  | Fig. 5 — differentiated service throughput |
+//! | `fig6_overload`    | Fig. 6 — response time with/without overload control |
+//!
+//! Each binary prints an aligned table (with the paper's qualitative
+//! expectations alongside) and writes a CSV into `results/`.
+//! Simulation-backed figures accept `--quick` for a shortened run.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The client-count ladder of Figures 3 and 4 (log-scale x axis, 1…1024).
+pub const CLIENT_LADDER: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// The client-count ladder of Figure 6 (1…128).
+pub const FIG6_LADDER: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Where result CSVs go (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Workspace `crates/` directory (to read handwritten sources for the
+/// code-distribution tables).
+pub fn crates_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(|p| p.to_path_buf()).unwrap_or_default()
+}
+
+/// Write a CSV file into `results/`; prints the path on success.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(name);
+    let mut text = String::from(header);
+    text.push('\n');
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Count code metrics of a source file, excluding its `#[cfg(test)]`
+/// module (the paper's NCSS figures measure shipped code, not tests).
+pub fn production_stats(path: &std::path::Path) -> nserver_codegen::CodeStats {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let cut = text.find("#[cfg(test)]").unwrap_or(text.len());
+    nserver_codegen::count_source(&text[..cut])
+}
+
+/// Sum production code metrics over files under a crate's `src`, given
+/// paths relative to that `src` directory.
+pub fn stats_for(crate_name: &str, files: &[&str]) -> nserver_codegen::CodeStats {
+    let src = crates_dir().join(crate_name).join("src");
+    files
+        .iter()
+        .map(|f| production_stats(&src.join(f)))
+        .fold(nserver_codegen::CodeStats::default(), |a, b| a.merge(b))
+}
+
+/// `--quick` flag: shrink simulation windows for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_log_spaced() {
+        for w in CLIENT_LADDER.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert_eq!(CLIENT_LADDER[10], 1024);
+        assert_eq!(FIG6_LADDER[7], 128);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["a", "b"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn production_stats_excludes_tests() {
+        let dir = std::env::temp_dir().join(format!("nbench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.rs");
+        std::fs::write(&p, "fn a() {}\n#[cfg(test)]\nmod tests { fn b() {} }\n").unwrap();
+        let s = production_stats(&p);
+        assert_eq!(s.methods, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_for_reads_real_crates() {
+        let s = stats_for("http", &["parse.rs", "types.rs"]);
+        assert!(s.ncss > 100, "ncss {}", s.ncss);
+        assert!(s.methods > 10);
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The byte-bounded file cache that the generated framework embeds when
+//! template option O6 is enabled.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::policy::{EntryId, EntryMeta, PolicyKind, ReplacementPolicy};
+
+/// Cache statistics, feeding the performance-profiling option (O11): the
+/// paper explicitly lists "the file cache hit rate" among the statistics a
+/// profiled N-Server gathers automatically.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the entry resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Insertions refused by the policy's admission test.
+    pub rejected: u64,
+    /// Bytes evicted over the cache lifetime.
+    pub evicted_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<K> {
+    key: K,
+    data: Arc<Vec<u8>>,
+    meta: EntryMeta,
+}
+
+/// A byte-capacity-bounded in-memory file cache with a pluggable
+/// replacement policy.
+///
+/// Values are `Arc<Vec<u8>>` so a hit hands out a cheap shared reference —
+/// the server can keep sending a file that has since been evicted.
+pub struct FileCache<K: Eq + Hash + Clone> {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    next_id: EntryId,
+    ids: HashMap<K, EntryId>,
+    entries: HashMap<EntryId, Entry<K>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone> FileCache<K> {
+    /// Create a cache bounded to `capacity` bytes with a built-in policy.
+    pub fn new(capacity: u64, policy: PolicyKind) -> Self {
+        Self::with_policy(capacity, policy.build())
+    }
+
+    /// Create a cache with an arbitrary (possibly custom) policy object.
+    pub fn with_policy(capacity: u64, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            clock: 0,
+            next_id: 0,
+            ids: HashMap::new(),
+            entries: HashMap::new(),
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up a file. Counts a hit or miss and refreshes recency/frequency.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<Arc<Vec<u8>>>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let now = self.tick();
+        if let Some(&id) = self.ids.get(key) {
+            let entry = self.entries.get_mut(&id).expect("id map out of sync");
+            entry.meta.last_access = now;
+            entry.meta.access_count += 1;
+            let meta = entry.meta;
+            let data = Arc::clone(&entry.data);
+            self.policy.on_access(id, &meta);
+            self.stats.hits += 1;
+            Some(data)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Check residency without perturbing statistics or recency.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.ids.contains_key(key)
+    }
+
+    /// Insert (or replace) a file. Returns `false` when the policy's
+    /// admission test refused the object (e.g. LRU-Threshold and oversized
+    /// documents) — the caller then serves the bytes without caching them.
+    pub fn insert(&mut self, key: K, data: Arc<Vec<u8>>) -> bool {
+        let size = data.len() as u64;
+        if !self.policy.admits(size, self.capacity) {
+            self.stats.rejected += 1;
+            return false;
+        }
+        // Replacing an existing entry: drop the old one first.
+        if let Some(&id) = self.ids.get(&key) {
+            self.remove_id(id, false);
+        }
+        // Evict until the newcomer fits.
+        while self.used + size > self.capacity {
+            match self.policy.choose_victim(size) {
+                Some(victim) => self.remove_id(victim, true),
+                None => return false, // nothing left to evict; cannot fit
+            }
+        }
+        let now = self.tick();
+        let id = self.next_id;
+        self.next_id += 1;
+        let meta = EntryMeta {
+            size,
+            last_access: now,
+            access_count: 1,
+            inserted_at: now,
+        };
+        self.ids.insert(key.clone(), id);
+        self.entries.insert(id, Entry { key, data, meta });
+        self.used += size;
+        self.policy.on_insert(id, &meta);
+        true
+    }
+
+    /// Explicitly invalidate a file (e.g. after it changed on disk).
+    pub fn invalidate<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        if let Some(&id) = self.ids.get(key) {
+            self.remove_id(id, false);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_id(&mut self, id: EntryId, is_eviction: bool) {
+        if let Some(entry) = self.entries.remove(&id) {
+            self.ids.remove(&entry.key);
+            self.used -= entry.meta.size;
+            self.policy.on_remove(id);
+            if is_eviction {
+                self.stats.evictions += 1;
+                self.stats.evicted_bytes += entry.meta.size;
+            }
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Name of the active replacement policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+/// Thread-safe cache handle shared between event-processor workers.
+#[derive(Clone)]
+pub struct SharedFileCache<K: Eq + Hash + Clone> {
+    inner: Arc<Mutex<FileCache<K>>>,
+}
+
+impl<K: Eq + Hash + Clone> SharedFileCache<K> {
+    /// Wrap a cache for shared use.
+    pub fn new(cache: FileCache<K>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// See [`FileCache::get`].
+    pub fn get<Q>(&self, key: &Q) -> Option<Arc<Vec<u8>>>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.inner.lock().get(key)
+    }
+
+    /// See [`FileCache::insert`].
+    pub fn insert(&self, key: K, data: Arc<Vec<u8>>) -> bool {
+        self.inner.lock().insert(key, data)
+    }
+
+    /// See [`FileCache::invalidate`].
+    pub fn invalidate<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.inner.lock().invalidate(key)
+    }
+
+    /// See [`FileCache::stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
+    }
+
+    /// See [`FileCache::used_bytes`].
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CustomPolicy;
+
+    fn blob(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        assert!(c.get(&"x").is_none());
+        c.insert("x", blob(10));
+        assert!(c.get(&"x").is_some());
+        assert!(c.get(&"y").is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_never_exceeded_on_lru() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        for i in 0..20 {
+            c.insert(i, blob(30));
+            assert!(c.used_bytes() <= 100);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 17);
+    }
+
+    #[test]
+    fn lru_eviction_order_through_cache() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(40));
+        c.insert("b", blob(40));
+        c.get(&"a"); // refresh a
+        c.insert("c", blob(40)); // evicts b
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
+        assert!(c.contains(&"c"));
+    }
+
+    #[test]
+    fn replacing_a_key_reuses_space() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(60));
+        c.insert("a", blob(80));
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.len(), 1);
+        // Replacement is not an eviction.
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn threshold_policy_rejects_oversized_insert() {
+        let mut c = FileCache::new(
+            1000,
+            PolicyKind::LruThreshold {
+                max_size_permille: 100,
+            },
+        );
+        assert!(!c.insert("big", blob(500)));
+        assert!(c.insert("small", blob(100)));
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn object_larger_than_capacity_is_never_cached() {
+        let mut c = FileCache::new(50, PolicyKind::Lru);
+        assert!(!c.insert("huge", blob(51)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_removes_without_counting_eviction() {
+        let mut c = FileCache::new(100, PolicyKind::Lfu);
+        c.insert("a", blob(10));
+        assert!(c.invalidate(&"a"));
+        assert!(!c.invalidate(&"a"));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_hands_out_shared_data() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(10));
+        let d1 = c.get(&"a").unwrap();
+        // Evict "a" and confirm the handed-out Arc stays valid.
+        c.insert("b", blob(95));
+        assert!(!c.contains(&"a"));
+        assert_eq!(d1.len(), 10);
+    }
+
+    #[test]
+    fn custom_policy_plugs_in() {
+        // Evict the biggest file first.
+        let policy = CustomPolicy::new(|entries, _| {
+            entries.iter().max_by_key(|(_, m)| m.size).map(|(id, _)| *id)
+        });
+        let mut c = FileCache::with_policy(100, Box::new(policy));
+        c.insert("small", blob(10));
+        c.insert("big", blob(80));
+        c.insert("mid", blob(50)); // must evict "big"
+        assert!(c.contains(&"small"));
+        assert!(!c.contains(&"big"));
+        assert!(c.contains(&"mid"));
+        assert_eq!(c.policy_name(), "Custom");
+    }
+
+    #[test]
+    fn all_policies_respect_capacity_under_zipfish_trace() {
+        for kind in PolicyKind::all() {
+            let mut c = FileCache::new(10_000, kind);
+            for i in 0u64..500 {
+                // Skewed popularity: half the accesses go to 3 hot keys.
+                let key = if i % 2 == 0 { i % 3 } else { i % 37 };
+                let size = 100 + (key % 13) * 120;
+                if c.get(&key).is_none() {
+                    c.insert(key, blob(size as usize));
+                }
+                assert!(
+                    c.used_bytes() <= 10_000,
+                    "{} exceeded capacity",
+                    kind.name()
+                );
+            }
+            let s = c.stats();
+            assert!(s.hits > 0, "{} never hit", kind.name());
+        }
+    }
+
+    #[test]
+    fn shared_cache_is_cloneable_and_consistent() {
+        let shared = SharedFileCache::new(FileCache::new(100, PolicyKind::Lru));
+        let other = shared.clone();
+        shared.insert("k".to_string(), blob(10));
+        assert!(other.get("k").is_some());
+        assert_eq!(other.stats().hits, 1);
+        assert_eq!(shared.used_bytes(), 10);
+    }
+
+    #[test]
+    fn shared_cache_concurrent_access() {
+        use std::thread;
+        let shared = SharedFileCache::new(FileCache::new(50_000, PolicyKind::Lru));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = shared.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = t * 1000 + i % 20;
+                    if c.get(&key).is_none() {
+                        c.insert(key, Arc::new(vec![0u8; 64]));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(shared.used_bytes() <= 50_000);
+    }
+}

@@ -1,0 +1,125 @@
+//! Least-Recently-Used replacement.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::policy::{EntryId, EntryMeta, ReplacementPolicy};
+
+/// Classic LRU: the victim is always the entry whose last access is oldest.
+///
+/// Implemented as a `BTreeMap<access_tick, id>` plus an `id -> tick` index,
+/// giving `O(log n)` insert/access/evict without an intrusive list.
+#[derive(Debug, Default)]
+pub struct Lru {
+    by_recency: BTreeMap<u64, EntryId>,
+    tick_of: HashMap<EntryId, u64>,
+}
+
+impl Lru {
+    /// Create an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, id: EntryId, tick: u64) {
+        if let Some(old) = self.tick_of.insert(id, tick) {
+            self.by_recency.remove(&old);
+        }
+        self.by_recency.insert(tick, id);
+    }
+
+    /// Number of tracked entries (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.tick_of.len()
+    }
+
+    /// True when no entries are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tick_of.is_empty()
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_insert(&mut self, id: EntryId, meta: &EntryMeta) {
+        self.touch(id, meta.last_access);
+    }
+
+    fn on_access(&mut self, id: EntryId, meta: &EntryMeta) {
+        self.touch(id, meta.last_access);
+    }
+
+    fn on_remove(&mut self, id: EntryId) {
+        if let Some(tick) = self.tick_of.remove(&id) {
+            self.by_recency.remove(&tick);
+        }
+    }
+
+    fn choose_victim(&mut self, _incoming_size: u64) -> Option<EntryId> {
+        self.by_recency.values().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_at(t: u64) -> EntryMeta {
+        EntryMeta {
+            size: 1,
+            last_access: t,
+            access_count: 1,
+            inserted_at: t,
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_insertion_first() {
+        let mut p = Lru::new();
+        p.on_insert(1, &meta_at(0));
+        p.on_insert(2, &meta_at(1));
+        p.on_insert(3, &meta_at(2));
+        assert_eq!(p.choose_victim(0), Some(1));
+    }
+
+    #[test]
+    fn access_refreshes_recency() {
+        let mut p = Lru::new();
+        p.on_insert(1, &meta_at(0));
+        p.on_insert(2, &meta_at(1));
+        p.on_access(1, &meta_at(2));
+        assert_eq!(p.choose_victim(0), Some(2));
+    }
+
+    #[test]
+    fn remove_untracks_entry() {
+        let mut p = Lru::new();
+        p.on_insert(1, &meta_at(0));
+        p.on_insert(2, &meta_at(1));
+        p.on_remove(1);
+        assert_eq!(p.choose_victim(0), Some(2));
+        p.on_remove(2);
+        assert_eq!(p.choose_victim(0), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn remove_of_unknown_id_is_harmless() {
+        let mut p = Lru::new();
+        p.on_remove(42);
+        assert_eq!(p.choose_victim(0), None);
+    }
+
+    #[test]
+    fn victim_is_stable_without_mutation() {
+        let mut p = Lru::new();
+        p.on_insert(7, &meta_at(3));
+        p.on_insert(8, &meta_at(4));
+        assert_eq!(p.choose_victim(0), Some(7));
+        assert_eq!(p.choose_victim(0), Some(7));
+        assert_eq!(p.len(), 2);
+    }
+}

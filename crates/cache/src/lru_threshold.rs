@@ -1,0 +1,103 @@
+//! LRU-Threshold replacement (Abrams et al. — reference [1] of the paper).
+
+use crate::lru::Lru;
+use crate::policy::{EntryId, EntryMeta, ReplacementPolicy};
+
+/// LRU with an admission threshold: documents larger than a configured
+/// fraction of the cache capacity are never cached at all (they would
+/// displace too many small, popular documents); everything admitted is
+/// managed with plain LRU.
+#[derive(Debug)]
+pub struct LruThreshold {
+    inner: Lru,
+    max_size_permille: u32,
+}
+
+impl LruThreshold {
+    /// `max_size_permille` is the largest cacheable object size expressed in
+    /// parts-per-thousand of the cache capacity (e.g. `250` = 25 %).
+    pub fn new(max_size_permille: u32) -> Self {
+        Self {
+            inner: Lru::new(),
+            max_size_permille,
+        }
+    }
+
+    /// The configured threshold in permille of capacity.
+    pub fn max_size_permille(&self) -> u32 {
+        self.max_size_permille
+    }
+}
+
+impl ReplacementPolicy for LruThreshold {
+    fn name(&self) -> &'static str {
+        "LRU-Threshold"
+    }
+
+    fn admits(&self, size: u64, capacity: u64) -> bool {
+        // ceil-free integer compare: size/capacity <= permille/1000.
+        size.saturating_mul(1000) <= capacity.saturating_mul(self.max_size_permille as u64)
+    }
+
+    fn on_insert(&mut self, id: EntryId, meta: &EntryMeta) {
+        self.inner.on_insert(id, meta);
+    }
+
+    fn on_access(&mut self, id: EntryId, meta: &EntryMeta) {
+        self.inner.on_access(id, meta);
+    }
+
+    fn on_remove(&mut self, id: EntryId) {
+        self.inner.on_remove(id);
+    }
+
+    fn choose_victim(&mut self, incoming_size: u64) -> Option<EntryId> {
+        self.inner.choose_victim(incoming_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_at(t: u64) -> EntryMeta {
+        EntryMeta {
+            size: 1,
+            last_access: t,
+            access_count: 1,
+            inserted_at: t,
+        }
+    }
+
+    #[test]
+    fn rejects_documents_over_threshold() {
+        let p = LruThreshold::new(250); // 25% of capacity
+        assert!(p.admits(250, 1000));
+        assert!(!p.admits(251, 1000));
+        assert!(p.admits(0, 1000));
+    }
+
+    #[test]
+    fn threshold_of_1000_admits_anything_that_fits() {
+        let p = LruThreshold::new(1000);
+        assert!(p.admits(1000, 1000));
+        assert!(!p.admits(1001, 1000));
+    }
+
+    #[test]
+    fn eviction_is_plain_lru() {
+        let mut p = LruThreshold::new(500);
+        p.on_insert(1, &meta_at(0));
+        p.on_insert(2, &meta_at(1));
+        p.on_access(1, &meta_at(2));
+        assert_eq!(p.choose_victim(1), Some(2));
+        p.on_remove(2);
+        assert_eq!(p.choose_victim(1), Some(1));
+    }
+
+    #[test]
+    fn admits_handles_overflow_sizes() {
+        let p = LruThreshold::new(250);
+        assert!(!p.admits(u64::MAX / 2, 1000));
+    }
+}

@@ -1,0 +1,125 @@
+//! Core event vocabulary of the N-Server framework.
+//!
+//! The Reactor demultiplexes *reactive* events (I/O readiness, accepted
+//! connections, timers); the Proactor emulation produces *completion*
+//! events tagged with an Asynchronous Completion Token so the framework can
+//! resume exactly the request that issued the blocking operation.
+
+use std::fmt;
+
+/// Identifier of an accepted connection, unique over the server lifetime.
+pub type ConnId = u64;
+
+/// Event priority for option O8. **Lower value = higher priority**
+/// (level 0 is served first, subject to quotas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The highest priority level.
+    pub const HIGHEST: Priority = Priority(0);
+
+    /// Clamp a raw level into the configured number of levels.
+    pub fn clamped(self, levels: usize) -> Priority {
+        debug_assert!(levels >= 1);
+        Priority(self.0.min((levels - 1) as u8))
+    }
+
+    /// Level index as usize.
+    pub fn level(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::HIGHEST
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Asynchronous Completion Token (the ACT pattern, reference \[11\] of the
+/// paper): pairs a connection with a per-connection sequence number so a
+/// completion can be matched to the request that spawned it — and so
+/// replies can be emitted in request order even when blocking operations
+/// complete out of order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompletionToken {
+    /// The connection the operation belongs to.
+    pub conn: ConnId,
+    /// Request sequence number within the connection.
+    pub seq: u64,
+}
+
+impl fmt::Display for CompletionToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "act(conn={}, seq={})", self.conn, self.seq)
+    }
+}
+
+/// The reactive event kinds the dispatcher produces. These are the events
+/// that flow through the Event Processor queue (and are therefore what the
+/// O8 scheduler reorders and the O9 watermark controller counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A new connection was accepted.
+    Accepted,
+    /// Request bytes arrived on a connection.
+    Readable,
+    /// A blocking operation completed (Proactor path).
+    Completion,
+    /// A timer fired.
+    Timer,
+    /// Framework shutdown.
+    Shutdown,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Accepted => "accepted",
+            EventKind::Readable => "readable",
+            EventKind::Completion => "completion",
+            EventKind::Timer => "timer",
+            EventKind::Shutdown => "shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_value_first() {
+        assert!(Priority(0) < Priority(1));
+        assert_eq!(Priority::default(), Priority::HIGHEST);
+    }
+
+    #[test]
+    fn priority_clamps_to_levels() {
+        assert_eq!(Priority(9).clamped(3), Priority(2));
+        assert_eq!(Priority(1).clamped(3), Priority(1));
+        assert_eq!(Priority(0).clamped(1), Priority(0));
+    }
+
+    #[test]
+    fn token_identity() {
+        let a = CompletionToken { conn: 3, seq: 7 };
+        let b = CompletionToken { conn: 3, seq: 7 };
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "act(conn=3, seq=7)");
+    }
+
+    #[test]
+    fn event_kind_display() {
+        assert_eq!(EventKind::Readable.to_string(), "readable");
+        assert_eq!(EventKind::Shutdown.to_string(), "shutdown");
+    }
+}

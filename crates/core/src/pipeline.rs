@@ -1,0 +1,663 @@
+//! The request-handling pipeline (Fig. 1 and Fig. 2 of the paper) and the
+//! engine that executes it.
+//!
+//! Every network server iterates five steps per request: **Read Request →
+//! Decode Request → Handle Request → Encode Reply → Send Reply**. Read and
+//! Send are "almost the same across different network server applications"
+//! and belong to the framework; Decode/Handle/Encode are the application-
+//! dependent hook methods a programmer supplies:
+//!
+//! * [`Codec`] — the Decode Request and Encode Reply hooks (omitted
+//!   entirely in the O3 = No structural variation, Fig. 2, via
+//!   [`RawCodec`]),
+//! * [`Service`] — the Handle Request hook, returning an [`Action`].
+//!
+//! The [`Engine`] is the generated framework's concurrency heart: it runs
+//! hooks on Event Processor workers, emulates non-blocking operations via
+//! the Proactor helper pool (O4 = Asynchronous) or blocks in place (O4 =
+//! Synchronous), and guarantees replies leave each connection **in request
+//! order** even when blocking operations complete out of order — that is
+//! what the Asynchronous Completion Token sequence numbers are for.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+
+use crate::event::{CompletionToken, ConnId, EventKind, Priority};
+use crate::proactor::HelperPool;
+use crate::profiling::ServerStats;
+use crate::trace::{AccessLogger, DebugTracer};
+
+/// A protocol error raised by a codec; the framework closes the offending
+/// connection and counts the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The Decode Request / Encode Reply hook pair (template option O3).
+pub trait Codec: Send + Sync + 'static {
+    /// Decoded request type.
+    type Request: Send + 'static;
+    /// Response type produced by the service.
+    type Response: Send + 'static;
+
+    /// Try to decode one request from the front of `buf`, consuming its
+    /// bytes. `Ok(None)` means "need more data".
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<Self::Request>, ProtocolError>;
+
+    /// Encode one response onto `out`.
+    fn encode(&self, resp: &Self::Response, out: &mut BytesMut) -> Result<(), ProtocolError>;
+}
+
+/// The Fig. 2 structural variation (O3 = No): no decoding or encoding —
+/// requests are raw byte chunks and responses are raw bytes. Used by
+/// trivial servers (echo, time-of-day) where framing is the application's
+/// business.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    type Request = Vec<u8>;
+    type Response = Vec<u8>;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<Vec<u8>>, ProtocolError> {
+        if buf.is_empty() {
+            Ok(None)
+        } else {
+            let bytes = buf.split().to_vec();
+            Ok(Some(bytes))
+        }
+    }
+
+    fn encode(&self, resp: &Vec<u8>, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(resp);
+        Ok(())
+    }
+}
+
+/// What the Handle Request hook tells the framework to do.
+pub enum Action<R> {
+    /// Encode and send this reply.
+    Reply(R),
+    /// Send this reply, then close the connection.
+    ReplyClose(R),
+    /// The request produced no reply (e.g. a pipelined command folded into
+    /// a later response).
+    NoReply,
+    /// Close the connection without replying.
+    Close,
+    /// A blocking operation (file read, database access…): the framework
+    /// runs the closure off the event loop — on the Proactor helper pool
+    /// under O4 = Asynchronous, or in place under O4 = Synchronous — and
+    /// sends the returned reply when it completes.
+    Defer(Box<dyn FnOnce() -> R + Send + 'static>),
+    /// Like [`Action::Defer`], but the connection closes after the reply.
+    DeferClose(Box<dyn FnOnce() -> R + Send + 'static>),
+}
+
+impl<R> fmt::Debug for Action<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Action::Reply(_) => "Reply",
+            Action::ReplyClose(_) => "ReplyClose",
+            Action::NoReply => "NoReply",
+            Action::Close => "Close",
+            Action::Defer(_) => "Defer",
+            Action::DeferClose(_) => "DeferClose",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Connection context passed to every hook invocation.
+#[derive(Debug, Clone)]
+pub struct ConnCtx {
+    /// Connection id.
+    pub id: ConnId,
+    /// Peer label (IP:port for TCP).
+    pub peer: String,
+    /// Scheduling priority assigned at accept time (option O8).
+    pub priority: Priority,
+}
+
+/// The Handle Request hook (plus the optional connection-open hook for
+/// protocols where the server speaks first, like FTP's `220` greeting).
+pub trait Service<C: Codec>: Send + Sync + 'static {
+    /// Handle one decoded request.
+    fn handle(&self, ctx: &ConnCtx, req: C::Request) -> Action<C::Response>;
+
+    /// Called when a connection is accepted; a returned response is sent
+    /// immediately (server-speaks-first protocols).
+    fn on_open(&self, _ctx: &ConnCtx) -> Option<C::Response> {
+        None
+    }
+
+    /// Called when a connection closes (either side).
+    fn on_close(&self, _ctx: &ConnCtx) {}
+}
+
+/// Per-connection state shared between the dispatcher (which owns the
+/// socket) and the Event Processor workers (which run the hooks).
+pub struct ConnShared {
+    /// Connection id.
+    pub id: ConnId,
+    /// Peer label.
+    pub peer: String,
+    /// Scheduling priority (O8 crosscuts the Communicator Component with
+    /// exactly this field, per Table 2).
+    pub priority: Priority,
+    /// Bytes read from the socket, awaiting decode.
+    pub inbox: Mutex<BytesMut>,
+    /// Encoded bytes awaiting transmission.
+    pub outbox: Mutex<BytesMut>,
+    /// Close once the outbox drains.
+    pub closing: AtomicBool,
+    /// Serializes decoding per connection (two Readable events for the
+    /// same connection must not interleave their decode loops).
+    decode_lock: Mutex<()>,
+    send: Mutex<SendState>,
+}
+
+struct SendState {
+    /// Next sequence number to hand to a new request.
+    next_assign: u64,
+    /// Next sequence number eligible for transmission.
+    next_emit: u64,
+    /// Out-of-order completions: seq → encoded bytes (`None` = no reply).
+    ready: BTreeMap<u64, Option<Vec<u8>>>,
+}
+
+impl ConnShared {
+    /// Fresh connection state.
+    pub fn new(id: ConnId, peer: String, priority: Priority) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            peer,
+            priority,
+            inbox: Mutex::new(BytesMut::new()),
+            outbox: Mutex::new(BytesMut::new()),
+            closing: AtomicBool::new(false),
+            decode_lock: Mutex::new(()),
+            send: Mutex::new(SendState {
+                next_assign: 0,
+                next_emit: 0,
+                ready: BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// Context snapshot for hooks.
+    pub fn ctx(&self) -> ConnCtx {
+        ConnCtx {
+            id: self.id,
+            peer: self.peer.clone(),
+            priority: self.priority,
+        }
+    }
+
+    /// Whether requests were accepted whose replies have not all been
+    /// queued for transmission yet.
+    pub fn responses_pending(&self) -> bool {
+        let s = self.send.lock();
+        s.next_emit < s.next_assign
+    }
+
+    fn assign_seq(&self) -> u64 {
+        let mut s = self.send.lock();
+        let seq = s.next_assign;
+        s.next_assign += 1;
+        seq
+    }
+
+    /// Record the (possibly empty) reply for `seq` and move every
+    /// contiguous ready reply into the outbox — in request order.
+    fn complete(&self, seq: u64, bytes: Option<Vec<u8>>) -> usize {
+        let mut emitted = 0;
+        let mut s = self.send.lock();
+        s.ready.insert(seq, bytes);
+        let mut out = self.outbox.lock();
+        while let Some(entry) = {
+            let key = s.next_emit;
+            s.ready.remove(&key)
+        } {
+            if let Some(b) = entry {
+                out.extend_from_slice(&b);
+                emitted += 1;
+            }
+            s.next_emit += 1;
+        }
+        emitted
+    }
+}
+
+/// The work items flowing through the Event Processor queue.
+pub enum Work<R> {
+    /// Request bytes arrived on a connection: run the decode/handle/encode
+    /// loop.
+    Process(ConnId),
+    /// A blocking operation completed (Proactor path): encode and send.
+    Completion(CompletionToken, R),
+}
+
+/// Shared connection registry: id → state.
+pub type Registry = Arc<RwLock<HashMap<ConnId, Arc<ConnShared>>>>;
+
+/// The framework engine: everything workers need to run the pipeline.
+pub struct Engine<C: Codec, S: Service<C>> {
+    /// The application's codec hooks.
+    pub codec: Arc<C>,
+    /// The application's service hooks.
+    pub service: Arc<S>,
+    /// Connection registry.
+    pub registry: Registry,
+    /// Profiling counters (O11; always maintained, cheaply).
+    pub stats: Arc<ServerStats>,
+    /// Debug tracer (O10).
+    pub tracer: DebugTracer,
+    /// Access logger (O12).
+    pub logger: Option<AccessLogger>,
+    /// Helper pool for blocking operations (present iff O4=Asynchronous).
+    pub helper: Option<Arc<HelperPool>>,
+    /// Completion channel back into the dispatcher (O4=Asynchronous).
+    pub completion_tx: Option<Sender<(CompletionToken, C::Response)>>,
+}
+
+impl<C: Codec, S: Service<C>> Engine<C, S> {
+    /// Look up a live connection.
+    pub fn conn(&self, id: ConnId) -> Option<Arc<ConnShared>> {
+        self.registry.read().get(&id).cloned()
+    }
+
+    /// Execute one work item. Runs on Event Processor workers (O2 = Yes)
+    /// or directly on the dispatcher thread (O2 = No) — the code is
+    /// identical, only the calling thread differs.
+    pub fn handle_work(&self, work: Work<C::Response>) {
+        ServerStats::bump(&self.stats.events_dispatched);
+        match work {
+            Work::Process(id) => self.process_conn(id),
+            Work::Completion(token, resp) => self.handle_completion(token, resp),
+        }
+    }
+
+    fn process_conn(&self, id: ConnId) {
+        let Some(conn) = self.conn(id) else {
+            return; // connection already closed
+        };
+        let _guard = conn.decode_lock.lock();
+        loop {
+            if conn.closing.load(Ordering::Relaxed) {
+                return;
+            }
+            let decoded = {
+                let mut inbox = conn.inbox.lock();
+                self.codec.decode(&mut inbox)
+            };
+            match decoded {
+                Ok(Some(req)) => {
+                    ServerStats::bump(&self.stats.requests_decoded);
+                    let seq = conn.assign_seq();
+                    let ctx = conn.ctx();
+                    self.tracer.record(
+                        EventKind::Readable,
+                        Some(id),
+                        format!("request seq={seq}"),
+                    );
+                    // Isolate application-hook panics: the request is
+                    // failed and the connection closed, but the framework
+                    // (and this connection's reply ordering) survives.
+                    let service = &self.service;
+                    let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || service.handle(&ctx, req),
+                    ));
+                    match action {
+                        Ok(action) => self.apply_action(&conn, seq, action),
+                        Err(_) => {
+                            ServerStats::bump(&self.stats.protocol_errors);
+                            self.tracer.record(
+                                EventKind::Readable,
+                                Some(id),
+                                format!("handler panic on seq={seq}"),
+                            );
+                            conn.complete(seq, None);
+                            conn.closing.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    ServerStats::bump(&self.stats.protocol_errors);
+                    self.tracer
+                        .record(EventKind::Readable, Some(id), format!("decode error: {e}"));
+                    conn.inbox.lock().clear();
+                    conn.closing.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn apply_action(&self, conn: &Arc<ConnShared>, seq: u64, action: Action<C::Response>) {
+        match action {
+            Action::Reply(resp) => self.finish(conn, seq, resp, false),
+            Action::ReplyClose(resp) => self.finish(conn, seq, resp, true),
+            Action::NoReply => {
+                conn.complete(seq, None);
+            }
+            Action::Close => {
+                conn.complete(seq, None);
+                conn.closing.store(true, Ordering::Relaxed);
+            }
+            Action::Defer(job) => self.defer(conn, seq, job, false),
+            Action::DeferClose(job) => self.defer(conn, seq, job, true),
+        }
+    }
+
+    fn defer(
+        &self,
+        conn: &Arc<ConnShared>,
+        seq: u64,
+        job: Box<dyn FnOnce() -> C::Response + Send>,
+        close_after: bool,
+    ) {
+        ServerStats::bump(&self.stats.blocking_ops);
+        let token = CompletionToken { conn: conn.id, seq };
+        match (&self.helper, &self.completion_tx) {
+            (Some(helper), Some(tx)) => {
+                // O4 = Asynchronous: run on the helper pool; the result
+                // re-enters the framework as a completion event.
+                if close_after {
+                    conn.closing.store(true, Ordering::Relaxed);
+                }
+                let tx = tx.clone();
+                self.tracer
+                    .record(EventKind::Completion, Some(conn.id), format!("defer {token}"));
+                helper.submit(move || {
+                    let resp = job();
+                    let _ = tx.send((token, resp));
+                });
+            }
+            _ => {
+                // O4 = Synchronous: block in place on this worker thread.
+                let resp = job();
+                self.finish(conn, seq, resp, close_after);
+            }
+        }
+    }
+
+    fn handle_completion(&self, token: CompletionToken, resp: C::Response) {
+        let Some(conn) = self.conn(token.conn) else {
+            return;
+        };
+        self.tracer.record(
+            EventKind::Completion,
+            Some(token.conn),
+            format!("complete {token}"),
+        );
+        // DeferClose already set `closing`; `finish` must not clear it.
+        let close_after = conn.closing.load(Ordering::Relaxed);
+        self.finish(&conn, token.seq, resp, close_after);
+    }
+
+    fn finish(&self, conn: &Arc<ConnShared>, seq: u64, resp: C::Response, close_after: bool) {
+        let mut out = BytesMut::new();
+        match self.codec.encode(&resp, &mut out) {
+            Ok(()) => {
+                let n = out.len();
+                let emitted = conn.complete(seq, Some(out.to_vec()));
+                ServerStats::add(&self.stats.responses_sent, emitted as u64);
+                if let Some(log) = &self.logger {
+                    log(&format!("{} seq={} bytes={}", conn.peer, seq, n));
+                }
+            }
+            Err(e) => {
+                ServerStats::bump(&self.stats.protocol_errors);
+                self.tracer
+                    .record(EventKind::Readable, Some(conn.id), format!("encode error: {e}"));
+                conn.complete(seq, None);
+                conn.closing.store(true, Ordering::Relaxed);
+            }
+        }
+        if close_after {
+            conn.closing.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemoryLogger;
+    use std::collections::HashMap;
+
+    /// Line-delimited codec for tests: requests and responses are lines.
+    struct LineCodec;
+
+    impl Codec for LineCodec {
+        type Request = String;
+        type Response = String;
+
+        fn decode(&self, buf: &mut BytesMut) -> Result<Option<String>, ProtocolError> {
+            if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let line = buf.split_to(pos + 1);
+                let s = std::str::from_utf8(&line[..pos])
+                    .map_err(|_| ProtocolError("not utf8".into()))?;
+                if s == "BAD" {
+                    return Err(ProtocolError("bad request".into()));
+                }
+                Ok(Some(s.to_string()))
+            } else {
+                Ok(None)
+            }
+        }
+
+        fn encode(&self, resp: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+            out.extend_from_slice(resp.as_bytes());
+            out.extend_from_slice(b"\n");
+            Ok(())
+        }
+    }
+
+    /// Echo service with special commands.
+    struct EchoService;
+
+    impl Service<LineCodec> for EchoService {
+        fn handle(&self, _ctx: &ConnCtx, req: String) -> Action<String> {
+            match req.as_str() {
+                "quit" => Action::ReplyClose("bye".into()),
+                "silent" => Action::NoReply,
+                "drop" => Action::Close,
+                "slow" => Action::Defer(Box::new(|| "slept".to_string())),
+                other => Action::Reply(format!("echo:{other}")),
+            }
+        }
+    }
+
+    fn engine(sync: bool) -> (Engine<LineCodec, EchoService>, MemoryLogger) {
+        let logger = MemoryLogger::new();
+        let (helper, tx) = if sync {
+            (None, None)
+        } else {
+            // For unit tests we run completions through a channel drained
+            // manually below.
+            let (tx, _rx) = crossbeam::channel::unbounded();
+            (Some(Arc::new(HelperPool::new(1))), Some(tx))
+        };
+        (
+            Engine {
+                codec: Arc::new(LineCodec),
+                service: Arc::new(EchoService),
+                registry: Arc::new(RwLock::new(HashMap::new())),
+                stats: ServerStats::new_shared(),
+                tracer: DebugTracer::enabled(64),
+                logger: Some(logger.as_hook()),
+                helper,
+                completion_tx: tx,
+            },
+            logger,
+        )
+    }
+
+    fn register(e: &Engine<LineCodec, EchoService>, id: ConnId) -> Arc<ConnShared> {
+        let conn = ConnShared::new(id, format!("peer-{id}"), Priority(0));
+        e.registry.write().insert(id, Arc::clone(&conn));
+        conn
+    }
+
+    fn feed(conn: &Arc<ConnShared>, bytes: &[u8]) {
+        conn.inbox.lock().extend_from_slice(bytes);
+    }
+
+    fn outbox_string(conn: &Arc<ConnShared>) -> String {
+        String::from_utf8(conn.outbox.lock().to_vec()).unwrap()
+    }
+
+    #[test]
+    fn decode_handle_encode_round_trip() {
+        let (e, logger) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"hello\nworld\n");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "echo:hello\necho:world\n");
+        assert_eq!(e.stats.snapshot().requests_decoded, 2);
+        assert_eq!(e.stats.snapshot().responses_sent, 2);
+        assert_eq!(logger.lines().len(), 2);
+        assert!(!conn.closing.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn partial_request_waits_for_more_bytes() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"hel");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "");
+        feed(&conn, b"lo\n");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "echo:hello\n");
+    }
+
+    #[test]
+    fn reply_close_marks_closing_after_reply() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"quit\n");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "bye\n");
+        assert!(conn.closing.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn close_without_reply() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"drop\nignored\n");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "");
+        assert!(conn.closing.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn no_reply_requests_do_not_block_ordering() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"silent\nhello\n");
+        e.handle_work(Work::Process(1));
+        assert_eq!(outbox_string(&conn), "echo:hello\n");
+    }
+
+    #[test]
+    fn decode_error_closes_and_counts() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"BAD\nnever\n");
+        e.handle_work(Work::Process(1));
+        assert!(conn.closing.load(Ordering::Relaxed));
+        assert_eq!(e.stats.snapshot().protocol_errors, 1);
+        assert_eq!(outbox_string(&conn), "");
+        assert!(conn.inbox.lock().is_empty(), "inbox discarded on error");
+    }
+
+    #[test]
+    fn synchronous_defer_blocks_in_place() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        feed(&conn, b"slow\nafter\n");
+        e.handle_work(Work::Process(1));
+        // Synchronous mode: both replies already emitted, in order.
+        assert_eq!(outbox_string(&conn), "slept\necho:after\n");
+        assert_eq!(e.stats.snapshot().blocking_ops, 1);
+    }
+
+    #[test]
+    fn completions_are_reordered_to_request_order() {
+        let (e, _) = engine(true);
+        let conn = register(&e, 1);
+        // Simulate three async requests completing out of order.
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        let s2 = conn.assign_seq();
+        e.handle_work(Work::Completion(
+            CompletionToken { conn: 1, seq: s2 },
+            "two".into(),
+        ));
+        assert_eq!(outbox_string(&conn), "", "seq 2 held back");
+        assert!(conn.responses_pending());
+        e.handle_work(Work::Completion(
+            CompletionToken { conn: 1, seq: s0 },
+            "zero".into(),
+        ));
+        assert_eq!(outbox_string(&conn), "zero\n");
+        e.handle_work(Work::Completion(
+            CompletionToken { conn: 1, seq: s1 },
+            "one".into(),
+        ));
+        assert_eq!(outbox_string(&conn), "zero\none\ntwo\n");
+        assert!(!conn.responses_pending());
+        assert_eq!(e.stats.snapshot().responses_sent, 3);
+    }
+
+    #[test]
+    fn work_for_unknown_connection_is_ignored() {
+        let (e, _) = engine(true);
+        e.handle_work(Work::Process(99));
+        e.handle_work(Work::Completion(
+            CompletionToken { conn: 99, seq: 0 },
+            "x".into(),
+        ));
+        assert_eq!(e.stats.snapshot().responses_sent, 0);
+    }
+
+    #[test]
+    fn raw_codec_passes_bytes_through() {
+        let c = RawCodec;
+        let mut buf = BytesMut::from(&b"abc"[..]);
+        let req = c.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(req, b"abc");
+        assert!(c.decode(&mut buf).unwrap().is_none());
+        let mut out = BytesMut::new();
+        c.encode(&b"xyz".to_vec(), &mut out).unwrap();
+        assert_eq!(&out[..], b"xyz");
+    }
+
+    #[test]
+    fn conn_shared_ctx_snapshot() {
+        let conn = ConnShared::new(7, "1.2.3.4:5".into(), Priority(2));
+        let ctx = conn.ctx();
+        assert_eq!(ctx.id, 7);
+        assert_eq!(ctx.peer, "1.2.3.4:5");
+        assert_eq!(ctx.priority, Priority(2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Performance profiling counters (template option O11).
+//!
+//! The paper: "Important statistical information of the server application
+//! can be automatically gathered … the number of connections accepted, the
+//! number of bytes read, the number of bytes sent, the file cache hit
+//! rate, etc." All counters are relaxed atomics — they are observability,
+//! not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared server statistics registry.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the lifetime.
+    pub connections_accepted: AtomicU64,
+    /// Connections closed (any reason).
+    pub connections_closed: AtomicU64,
+    /// Connections closed by the O7 idle sweep.
+    pub connections_idle_closed: AtomicU64,
+    /// Raw bytes read from peers.
+    pub bytes_read: AtomicU64,
+    /// Raw bytes written to peers.
+    pub bytes_sent: AtomicU64,
+    /// Requests fully decoded.
+    pub requests_decoded: AtomicU64,
+    /// Responses sent.
+    pub responses_sent: AtomicU64,
+    /// Events dispatched through the Event Processor (or inline).
+    pub events_dispatched: AtomicU64,
+    /// Blocking operations executed via the Proactor helper pool.
+    pub blocking_ops: AtomicU64,
+    /// Accept attempts refused by the overload controller.
+    pub accepts_deferred: AtomicU64,
+    /// Protocol errors that closed a connection.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// New shared registry.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_idle_closed: self.connections_idle_closed.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
+            responses_sent: self.responses_sent.load(Ordering::Relaxed),
+            events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+            blocking_ops: self.blocking_ops.load(Ordering::Relaxed),
+            accepts_deferred: self.accepts_deferred.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience add.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A consistent-enough point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub connections_accepted: u64,
+    pub connections_closed: u64,
+    pub connections_idle_closed: u64,
+    pub bytes_read: u64,
+    pub bytes_sent: u64,
+    pub requests_decoded: u64,
+    pub responses_sent: u64,
+    pub events_dispatched: u64,
+    pub blocking_ops: u64,
+    pub accepts_deferred: u64,
+    pub protocol_errors: u64,
+}
+
+impl StatsSnapshot {
+    /// Currently open connections implied by the counters.
+    pub fn open_connections(&self) -> u64 {
+        self.connections_accepted
+            .saturating_sub(self.connections_closed)
+    }
+
+    /// Render as aligned `name value` lines (the profiling report).
+    pub fn render(&self) -> String {
+        let rows = [
+            ("connections accepted", self.connections_accepted),
+            ("connections closed", self.connections_closed),
+            ("idle connections closed", self.connections_idle_closed),
+            ("bytes read", self.bytes_read),
+            ("bytes sent", self.bytes_sent),
+            ("requests decoded", self.requests_decoded),
+            ("responses sent", self.responses_sent),
+            ("events dispatched", self.events_dispatched),
+            ("blocking operations", self.blocking_ops),
+            ("accepts deferred", self.accepts_deferred),
+            ("protocol errors", self.protocol_errors),
+        ];
+        let mut out = String::new();
+        for (name, v) in rows {
+            out.push_str(&format!("{name:<26} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.connections_accepted);
+        ServerStats::add(&s.bytes_read, 100);
+        let snap = s.snapshot();
+        assert_eq!(snap.connections_accepted, 1);
+        assert_eq!(snap.bytes_read, 100);
+        assert_eq!(snap.open_connections(), 1);
+    }
+
+    #[test]
+    fn open_connections_saturates() {
+        let snap = StatsSnapshot {
+            connections_accepted: 1,
+            connections_closed: 5,
+            ..Default::default()
+        };
+        assert_eq!(snap.open_connections(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let s = ServerStats::new_shared();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    ServerStats::bump(&s.events_dispatched);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().events_dispatched, 40_000);
+    }
+
+    #[test]
+    fn render_includes_every_counter() {
+        let snap = StatsSnapshot::default();
+        let text = snap.render();
+        assert_eq!(text.lines().count(), 11);
+        assert!(text.contains("bytes sent"));
+        assert!(text.contains("accepts deferred"));
+    }
+}

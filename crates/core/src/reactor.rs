@@ -1,0 +1,365 @@
+//! The Reactor: event demultiplexing and dispatching.
+//!
+//! "The Event Dispatcher repeatedly polls for ready events and dispatches
+//! a registered Event Handler to process each one." Here each dispatcher
+//! thread owns a partition of the connections (option O1: one dispatcher,
+//! or several with connections partitioned between them), polls their
+//! non-blocking streams for readiness, performs the framework-owned Read
+//! Request and Send Reply steps, and hands the application-dependent steps
+//! to the Event Processor (O2 = Yes) or runs them in place (O2 = No — the
+//! classic single-threaded Reactor).
+//!
+//! The Acceptor half of the Acceptor-Connector pattern lives here too:
+//! dispatcher 0 owns the listening endpoint, consults the overload
+//! controller (O9) before accepting, assigns the connection its priority
+//! (O8) via the application's priority policy, and distributes accepted
+//! connections across dispatchers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::event::{CompletionToken, ConnId, EventKind, Priority};
+use crate::overload::OverloadController;
+use crate::pipeline::{Codec, ConnShared, Engine, Service, Work};
+use crate::processor::EventProcessor;
+use crate::profiling::ServerStats;
+use crate::timer::IdleTracker;
+use crate::transport::{Listener, ReadOutcome, StreamIo};
+
+/// Where ready events go: the Event Processor pool (O2 = Yes) or inline on
+/// the dispatcher (O2 = No).
+pub enum SubmitMode<R: Send + 'static> {
+    /// Run handlers on the dispatcher thread.
+    Inline,
+    /// Queue work for the Event Processor.
+    Pool(Arc<EventProcessor<Work<R>>>),
+}
+
+impl<R: Send + 'static> Clone for SubmitMode<R> {
+    fn clone(&self) -> Self {
+        match self {
+            SubmitMode::Inline => SubmitMode::Inline,
+            SubmitMode::Pool(p) => SubmitMode::Pool(Arc::clone(p)),
+        }
+    }
+}
+
+/// How a peer label maps to a scheduling priority (option O8). The paper's
+/// Fig. 5 experiment uses the client IP address for exactly this.
+pub type PriorityPolicy = Arc<dyn Fn(&str) -> Priority + Send + Sync>;
+
+/// A newly accepted connection being handed to its owning dispatcher.
+pub struct NewConn<St> {
+    id: ConnId,
+    stream: St,
+    shared: Arc<ConnShared>,
+}
+
+/// One dispatcher thread's configuration and state.
+pub struct Dispatcher<C: Codec, S: Service<C>, L: Listener> {
+    /// Dispatcher index (0 owns the listener).
+    pub index: usize,
+    /// Shared engine.
+    pub engine: Arc<Engine<C, S>>,
+    /// The listening endpoint (dispatcher 0 only).
+    pub listener: Option<L>,
+    /// Incoming connections assigned to this dispatcher.
+    pub inj_rx: Receiver<NewConn<L::Stream>>,
+    /// Handles to every dispatcher's injection queue (used by dispatcher 0).
+    pub inj_txs: Vec<Sender<NewConn<L::Stream>>>,
+    /// Work submission mode.
+    pub submit: SubmitMode<C::Response>,
+    /// Overload controller (consulted by dispatcher 0 before accepting).
+    pub overload: Arc<Mutex<OverloadController>>,
+    /// Completion events from the Proactor helper pool (dispatcher 0 only).
+    pub completion_rx: Option<Receiver<(CompletionToken, C::Response)>>,
+    /// Priority assignment at accept time.
+    pub priority_policy: PriorityPolicy,
+    /// O7 idle limit.
+    pub idle_limit: Option<Duration>,
+    /// Cooperative shutdown flag.
+    pub stop: Arc<AtomicBool>,
+    /// Connection id allocator shared by all dispatchers.
+    pub next_conn_id: Arc<AtomicU64>,
+}
+
+struct ConnLocal<St> {
+    stream: St,
+    shared: Arc<ConnShared>,
+    peer_eof: bool,
+}
+
+impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
+    /// The dispatch loop. Runs until the stop flag is raised, then closes
+    /// every connection it owns.
+    pub fn run(mut self) {
+        let mut conns: HashMap<ConnId, ConnLocal<L::Stream>> = HashMap::new();
+        let mut idle = self.idle_limit.map(IdleTracker::new);
+        let mut last_sweep = Instant::now();
+        let mut read_buf = vec![0u8; 16 * 1024];
+
+        loop {
+            let mut active = false;
+
+            if self.stop.load(Ordering::Relaxed) {
+                for (_, mut c) in conns.drain() {
+                    self.finalize(&mut c);
+                }
+                return;
+            }
+
+            // 1. Adopt connections assigned to this dispatcher.
+            while let Ok(nc) = self.inj_rx.try_recv() {
+                if let Some(ref mut tracker) = idle {
+                    tracker.touch(nc.id, Instant::now());
+                }
+                conns.insert(
+                    nc.id,
+                    ConnLocal {
+                        stream: nc.stream,
+                        shared: nc.shared,
+                        peer_eof: false,
+                    },
+                );
+                active = true;
+            }
+
+            // 2. Accept new connections (dispatcher 0).
+            if self.listener.is_some() {
+                active |= self.accept_pending(&mut conns, &mut idle);
+            }
+
+            // 3. Route Proactor completions (dispatcher 0).
+            if let Some(rx) = &self.completion_rx {
+                while let Ok((token, resp)) = rx.try_recv() {
+                    let prio = self
+                        .engine
+                        .conn(token.conn)
+                        .map(|c| c.priority)
+                        .unwrap_or_default();
+                    self.submit_work(Work::Completion(token, resp), prio);
+                    active = true;
+                }
+            }
+
+            // 4. Per-connection I/O: Send Reply then Read Request.
+            let mut to_remove: Vec<ConnId> = Vec::new();
+            for (&id, c) in conns.iter_mut() {
+                let wrote = Self::flush(&self.engine.stats, c);
+                let read = self.read_into_inbox(c, &mut read_buf);
+                active |= wrote || read;
+                if read {
+                    if let Some(ref mut tracker) = idle {
+                        tracker.touch(id, Instant::now());
+                    }
+                    self.submit_work(Work::Process(id), c.shared.priority);
+                }
+                let closing = c.shared.closing.load(Ordering::Relaxed);
+                let outbox_empty = c.shared.outbox.lock().is_empty();
+                let pending = c.shared.responses_pending();
+                // After peer EOF, a non-empty inbox may still hold a
+                // complete request a worker has not decoded yet, so the
+                // connection is kept until the inbox drains; a peer that
+                // half-closes mid-request therefore lingers until the O7
+                // idle sweep (or shutdown) reaps it — the conservative
+                // choice over dropping a decodable request.
+                if (closing && outbox_empty && !pending)
+                    || (c.peer_eof
+                        && outbox_empty
+                        && !pending
+                        && c.shared.inbox.lock().is_empty())
+                {
+                    to_remove.push(id);
+                }
+            }
+            for id in to_remove {
+                if let Some(mut c) = conns.remove(&id) {
+                    self.finalize(&mut c);
+                    if let Some(ref mut tracker) = idle {
+                        tracker.forget(id);
+                    }
+                    active = true;
+                }
+            }
+
+            // 5. Idle sweep (O7), every 100 ms.
+            if let Some(ref mut tracker) = idle {
+                if last_sweep.elapsed() >= Duration::from_millis(100) {
+                    last_sweep = Instant::now();
+                    for id in tracker.sweep(Instant::now()) {
+                        if let Some(c) = conns.get(&id) {
+                            c.shared.closing.store(true, Ordering::Relaxed);
+                            ServerStats::bump(&self.engine.stats.connections_idle_closed);
+                            self.engine.tracer.record(
+                                EventKind::Timer,
+                                Some(id),
+                                "idle shutdown",
+                            );
+                        }
+                    }
+                }
+            }
+
+            if !active {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    fn accept_pending(
+        &mut self,
+        conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
+        idle: &mut Option<IdleTracker>,
+    ) -> bool {
+        let mut any = false;
+        for _ in 0..64 {
+            let open = self.engine.registry.read().len();
+            if !self.overload.lock().may_accept(open) {
+                ServerStats::bump(&self.engine.stats.accepts_deferred);
+                break;
+            }
+            let listener = self.listener.as_mut().expect("only dispatcher 0 accepts");
+            match listener.try_accept() {
+                Ok(Some(stream)) => {
+                    any = true;
+                    self.register(stream, conns, idle);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.engine.tracer.record(
+                        EventKind::Accepted,
+                        None,
+                        format!("accept error: {e}"),
+                    );
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    fn register(
+        &mut self,
+        stream: L::Stream,
+        conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
+        idle: &mut Option<IdleTracker>,
+    ) {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let peer = stream.peer_label();
+        let priority = (self.priority_policy)(&peer);
+        let shared = ConnShared::new(id, peer, priority);
+        self.engine.registry.write().insert(id, Arc::clone(&shared));
+        ServerStats::bump(&self.engine.stats.connections_accepted);
+        self.engine
+            .tracer
+            .record(EventKind::Accepted, Some(id), shared.peer.clone());
+
+        // Server-speaks-first greeting (e.g. FTP 220).
+        if let Some(greeting) = self.engine.service.on_open(&shared.ctx()) {
+            let mut out = bytes::BytesMut::new();
+            if self.engine.codec.encode(&greeting, &mut out).is_ok() {
+                shared.outbox.lock().extend_from_slice(&out);
+            }
+        }
+
+        let target = (id as usize) % self.inj_txs.len();
+        if target == self.index {
+            if let Some(ref mut tracker) = idle {
+                tracker.touch(id, Instant::now());
+            }
+            conns.insert(
+                id,
+                ConnLocal {
+                    stream,
+                    shared,
+                    peer_eof: false,
+                },
+            );
+        } else {
+            let _ = self.inj_txs[target].send(NewConn { id, stream, shared });
+        }
+    }
+
+    fn submit_work(&self, work: Work<C::Response>, prio: Priority) {
+        match &self.submit {
+            SubmitMode::Inline => self.engine.handle_work(work),
+            SubmitMode::Pool(p) => p.submit(work, prio),
+        }
+    }
+
+    /// Send Reply: move outbox bytes to the wire. Returns true if any
+    /// bytes were written.
+    fn flush(stats: &ServerStats, c: &mut ConnLocal<L::Stream>) -> bool {
+        let mut out = c.shared.outbox.lock();
+        if out.is_empty() {
+            return false;
+        }
+        let mut wrote_any = false;
+        loop {
+            if out.is_empty() {
+                break;
+            }
+            match c.stream.try_write(&out) {
+                Ok(0) => break,
+                Ok(n) => {
+                    let _ = out.split_to(n);
+                    ServerStats::add(&stats.bytes_sent, n as u64);
+                    wrote_any = true;
+                }
+                Err(_) => {
+                    c.shared.closing.store(true, Ordering::Relaxed);
+                    out.clear();
+                    break;
+                }
+            }
+        }
+        wrote_any
+    }
+
+    /// Read Request: pull available bytes into the inbox. Returns true if
+    /// any bytes arrived.
+    fn read_into_inbox(&self, c: &mut ConnLocal<L::Stream>, buf: &mut [u8]) -> bool {
+        if c.peer_eof || c.shared.closing.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut got = false;
+        // Cap per-iteration intake so one chatty peer cannot monopolise the
+        // dispatcher.
+        for _ in 0..8 {
+            match c.stream.try_read(buf) {
+                Ok(ReadOutcome::Data(n)) => {
+                    c.shared.inbox.lock().extend_from_slice(&buf[..n]);
+                    ServerStats::add(&self.engine.stats.bytes_read, n as u64);
+                    got = true;
+                }
+                Ok(ReadOutcome::WouldBlock) => break,
+                Ok(ReadOutcome::Closed) => {
+                    c.peer_eof = true;
+                    break;
+                }
+                Err(_) => {
+                    c.peer_eof = true;
+                    c.shared.closing.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        got
+    }
+
+    fn finalize(&self, c: &mut ConnLocal<L::Stream>) {
+        c.stream.shutdown();
+        let id = c.shared.id;
+        self.engine.registry.write().remove(&id);
+        ServerStats::bump(&self.engine.stats.connections_closed);
+        self.engine.service.on_close(&c.shared.ctx());
+        self.engine
+            .tracer
+            .record(EventKind::Shutdown, Some(id), "connection closed");
+    }
+}

@@ -1,0 +1,249 @@
+//! Event scheduling with priority quotas (template option O8).
+//!
+//! From the paper: "events of higher priority are processed first.
+//! However, each priority level is given a quota. When the quota is
+//! exhausted, events of lower priority are processed, so that starvation
+//! is avoided."
+//!
+//! The discipline is round-based weighted priority: within a round, level
+//! 0 is served until its quota is spent (or it empties), then level 1, and
+//! so on; when every backlogged level has exhausted its quota the round
+//! resets. Under saturation, level *i* therefore receives service in
+//! proportion to `quota[i]` — which is exactly the knob Fig. 5 of the
+//! paper turns (the "x/y priority level setting" for homepages vs the
+//! corporate portal).
+
+use std::collections::VecDeque;
+
+use crate::event::Priority;
+use crate::queue::EventQueue;
+
+/// The quota bookkeeping, separated from item storage so the simulated
+/// COPS-HTTP server can reuse the identical scheduling arithmetic.
+#[derive(Debug, Clone)]
+pub struct QuotaSchedule {
+    quotas: Vec<u32>,
+    remaining: Vec<u32>,
+}
+
+impl QuotaSchedule {
+    /// Create a schedule from per-level quotas (index 0 = highest
+    /// priority). Panics on an empty or zero-containing quota list — the
+    /// option validator rejects those before the framework is built.
+    pub fn new(quotas: Vec<u32>) -> Self {
+        assert!(!quotas.is_empty(), "at least one priority level");
+        assert!(quotas.iter().all(|&q| q > 0), "quotas must be nonzero");
+        let remaining = quotas.clone();
+        Self { quotas, remaining }
+    }
+
+    /// Number of priority levels.
+    pub fn levels(&self) -> usize {
+        self.quotas.len()
+    }
+
+    /// Configured quota of a level.
+    pub fn quota(&self, level: usize) -> u32 {
+        self.quotas[level]
+    }
+
+    /// Pick the level to serve next, given which levels are backlogged.
+    /// Consumes one unit of the chosen level's quota. Returns `None` when
+    /// no level is backlogged.
+    pub fn pick(&mut self, backlogged: impl Fn(usize) -> bool) -> Option<usize> {
+        // First pass: highest-priority backlogged level with quota left.
+        for level in 0..self.levels() {
+            if backlogged(level) && self.remaining[level] > 0 {
+                self.remaining[level] -= 1;
+                return Some(level);
+            }
+        }
+        // All backlogged levels exhausted their quotas: start a new round.
+        let any = (0..self.levels()).any(&backlogged);
+        if !any {
+            return None;
+        }
+        self.remaining.clone_from(&self.quotas);
+        for level in 0..self.levels() {
+            if backlogged(level) {
+                self.remaining[level] -= 1;
+                return Some(level);
+            }
+        }
+        unreachable!("a backlogged level must exist");
+    }
+}
+
+/// A priority event queue with quota-based anti-starvation — the structure
+/// that replaces the Event Processor's FIFO when O8 is enabled.
+pub struct PriorityQuotaQueue<T> {
+    levels: Vec<VecDeque<T>>,
+    schedule: QuotaSchedule,
+    len: usize,
+}
+
+impl<T> PriorityQuotaQueue<T> {
+    /// Create a queue with the given per-level quotas.
+    pub fn new(quotas: Vec<u32>) -> Self {
+        let schedule = QuotaSchedule::new(quotas);
+        let levels = (0..schedule.levels()).map(|_| VecDeque::new()).collect();
+        Self {
+            levels,
+            schedule,
+            len: 0,
+        }
+    }
+
+    /// Queued items at one priority level.
+    pub fn level_len(&self, level: usize) -> usize {
+        self.levels[level].len()
+    }
+}
+
+impl<T: Send> EventQueue<T> for PriorityQuotaQueue<T> {
+    fn push(&mut self, item: T, prio: Priority) {
+        let level = prio.clamped(self.levels.len()).level();
+        self.levels[level].push_back(item);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let levels = &self.levels;
+        let level = self.schedule.pick(|l| !levels[l].is_empty())?;
+        let item = self.levels[level].pop_front();
+        debug_assert!(item.is_some());
+        self.len -= 1;
+        item
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_tags(q: &mut PriorityQuotaQueue<&'static str>, n: usize) -> Vec<&'static str> {
+        (0..n).filter_map(|_| q.pop()).collect()
+    }
+
+    #[test]
+    fn higher_priority_served_first_within_quota() {
+        let mut q = PriorityQuotaQueue::new(vec![2, 1]);
+        q.push("h1", Priority(0));
+        q.push("h2", Priority(0));
+        q.push("l1", Priority(1));
+        q.push("h3", Priority(0));
+        // Round: 2 high, then quota forces 1 low, then new round serves h3.
+        assert_eq!(drain_tags(&mut q, 4), vec!["h1", "h2", "l1", "h3"]);
+    }
+
+    #[test]
+    fn empty_high_level_does_not_block_low() {
+        let mut q = PriorityQuotaQueue::new(vec![4, 1]);
+        q.push("l1", Priority(1));
+        q.push("l2", Priority(1));
+        assert_eq!(drain_tags(&mut q, 2), vec!["l1", "l2"]);
+    }
+
+    #[test]
+    fn no_starvation_under_saturation() {
+        // Keep level 0 saturated; level 1 must still be served ~1/(8+1).
+        let mut q = PriorityQuotaQueue::new(vec![8, 1]);
+        for i in 0..1000 {
+            q.push(("hi", i), Priority(0));
+            if i % 4 == 0 {
+                q.push(("lo", i), Priority(1));
+            }
+        }
+        let mut hi = 0;
+        let mut lo = 0;
+        for _ in 0..900 {
+            match q.pop() {
+                Some(("hi", _)) => hi += 1,
+                Some(("lo", _)) => lo += 1,
+                _ => break,
+            }
+        }
+        assert!(lo >= 90, "low level starved: {lo}");
+        assert!(hi >= 700, "high level under-served: {hi}");
+    }
+
+    #[test]
+    fn service_ratio_tracks_quotas_under_saturation() {
+        // This is the Fig. 5 property: with both classes backlogged, the
+        // throughput ratio approximates the quota ratio.
+        for (qa, qb) in [(1u32, 1u32), (1, 2), (1, 5), (1, 10)] {
+            let mut q = PriorityQuotaQueue::new(vec![qb, qa]); // portal=level0
+            for i in 0..2000 {
+                q.push((0u8, i), Priority(0));
+                q.push((1u8, i), Priority(1));
+            }
+            let mut counts = [0u32; 2];
+            for _ in 0..1100 {
+                if let Some((class, _)) = q.pop() {
+                    counts[class as usize] += 1;
+                }
+            }
+            let ratio = counts[0] as f64 / counts[1] as f64;
+            let expect = qb as f64 / qa as f64;
+            assert!(
+                (ratio - expect).abs() / expect < 0.05,
+                "quota {qb}/{qa}: ratio {ratio} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_level() {
+        let mut q = PriorityQuotaQueue::new(vec![10]);
+        for i in 0..20 {
+            q.push(i, Priority(0));
+        }
+        let got: Vec<i32> = (0..20).filter_map(|_| q.pop()).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_range_priority_clamps_to_lowest_level() {
+        let mut q = PriorityQuotaQueue::new(vec![1, 1]);
+        q.push("x", Priority(200));
+        assert_eq!(q.level_len(1), 1);
+        assert_eq!(q.pop(), Some("x"));
+    }
+
+    #[test]
+    fn len_is_total_across_levels() {
+        let mut q = PriorityQuotaQueue::new(vec![1, 1, 1]);
+        q.push(1, Priority(0));
+        q.push(2, Priority(1));
+        q.push(3, Priority(2));
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_quota_panics() {
+        QuotaSchedule::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn schedule_pick_none_when_idle() {
+        let mut s = QuotaSchedule::new(vec![2, 2]);
+        assert_eq!(s.pick(|_| false), None);
+    }
+
+    #[test]
+    fn schedule_round_reset() {
+        let mut s = QuotaSchedule::new(vec![1]);
+        assert_eq!(s.pick(|_| true), Some(0));
+        // Quota exhausted; new round begins automatically.
+        assert_eq!(s.pick(|_| true), Some(0));
+        assert_eq!(s.levels(), 1);
+        assert_eq!(s.quota(0), 1);
+    }
+}

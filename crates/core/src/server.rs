@@ -1,0 +1,266 @@
+//! Server assembly: the runtime instantiation of the N-Server pattern
+//! template.
+//!
+//! [`ServerBuilder`] plays the role the CO₂P₃S code generator plays in the
+//! paper's generative path: given a validated [`ServerOptions`] value and
+//! the application's hook objects (codec + service), it assembles exactly
+//! the framework the options describe — FIFO or priority-quota event
+//! queue, inline or pooled event handling, synchronous or Proactor-style
+//! completions, overload gating, idle sweeps, tracing, profiling and
+//! logging. (`nserver-codegen` emits this same assembly as standalone
+//! source text.)
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::event::Priority;
+use crate::options::{
+    CompletionMode, EventScheduling, Mode, OptionsError, OverloadControl, ServerOptions,
+};
+use crate::overload::OverloadController;
+use crate::pipeline::{Codec, Engine, Registry, Service, Work};
+use crate::processor::EventProcessor;
+use crate::profiling::{ServerStats, StatsSnapshot};
+use crate::queue::{BlockingQueue, FifoQueue};
+use crate::reactor::{Dispatcher, PriorityPolicy, SubmitMode};
+use crate::scheduler::PriorityQuotaQueue;
+use crate::trace::{AccessLogger, DebugTracer};
+use crate::transport::Listener;
+
+/// Builder for a configured N-Server instance.
+pub struct ServerBuilder<C: Codec, S: Service<C>> {
+    options: ServerOptions,
+    codec: Arc<C>,
+    service: Arc<S>,
+    priority_policy: PriorityPolicy,
+    logger: Option<AccessLogger>,
+    helper_threads: usize,
+}
+
+impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
+    /// Validate the options and begin assembly.
+    pub fn new(options: ServerOptions, codec: C, service: S) -> Result<Self, OptionsError> {
+        options.validate()?;
+        Ok(Self {
+            options,
+            codec: Arc::new(codec),
+            service: Arc::new(service),
+            priority_policy: Arc::new(|_| Priority::HIGHEST),
+            logger: None,
+            helper_threads: 4,
+        })
+    }
+
+    /// Set the accept-time priority policy (O8): map a peer label to a
+    /// priority level. The Fig. 5 experiment keys this on client IP.
+    pub fn priority_policy(
+        mut self,
+        policy: impl Fn(&str) -> Priority + Send + Sync + 'static,
+    ) -> Self {
+        self.priority_policy = Arc::new(policy);
+        self
+    }
+
+    /// Set the access-log sink (effective only with O12 = Yes).
+    pub fn logger(mut self, logger: AccessLogger) -> Self {
+        self.logger = Some(logger);
+        self
+    }
+
+    /// Size of the Proactor helper pool (O4 = Asynchronous only).
+    pub fn helper_threads(mut self, n: usize) -> Self {
+        self.helper_threads = n.max(1);
+        self
+    }
+
+    /// Start serving on the given listener. Returns a handle owning the
+    /// framework threads.
+    pub fn serve<L: Listener>(self, listener: L) -> ServerHandle<C, S> {
+        let opts = &self.options;
+        let local_label = listener.local_label();
+
+        // --- Crosscut: O10 (tracer), O11/O12 (stats, logger). ---
+        let tracer = match opts.mode {
+            Mode::Debug => DebugTracer::enabled(64 * 1024),
+            Mode::Production => DebugTracer::disabled(),
+        };
+        let stats = ServerStats::new_shared();
+        let logger = if opts.logging { self.logger.clone() } else { None };
+
+        // --- Crosscut: O4 (Proactor helpers + completion channel). ---
+        let (helper, completion_tx, completion_rx) = match opts.completion_mode {
+            CompletionMode::Asynchronous => {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                (
+                    Some(Arc::new(crate::proactor::HelperPool::new(
+                        self.helper_threads,
+                    ))),
+                    Some(tx),
+                    Some(rx),
+                )
+            }
+            CompletionMode::Synchronous => (None, None, None),
+        };
+
+        let registry: Registry = Arc::new(parking_lot::RwLock::new(Default::default()));
+        let engine = Arc::new(Engine {
+            codec: Arc::clone(&self.codec),
+            service: Arc::clone(&self.service),
+            registry: Arc::clone(&registry),
+            stats: Arc::clone(&stats),
+            tracer: tracer.clone(),
+            logger,
+            helper,
+            completion_tx,
+        });
+
+        // --- Crosscut: O8 (queue discipline) and O2 (Event Processor). ---
+        let processor = if opts.separate_handler_pool {
+            let queue: Arc<BlockingQueue<Work<C::Response>>> = match &opts.event_scheduling {
+                EventScheduling::No => BlockingQueue::new(Box::new(FifoQueue::new())),
+                EventScheduling::Yes { quotas } => {
+                    BlockingQueue::new(Box::new(PriorityQuotaQueue::new(quotas.clone())))
+                }
+            };
+            let handler = {
+                let engine = Arc::clone(&engine);
+                Arc::new(move |w: Work<C::Response>| engine.handle_work(w))
+            };
+            Some(EventProcessor::start(
+                opts.thread_allocation,
+                queue,
+                handler,
+            ))
+        } else {
+            None
+        };
+
+        // --- Crosscut: O9 (overload controller). ---
+        let overload = match opts.overload_control {
+            OverloadControl::No => OverloadController::disabled(),
+            OverloadControl::MaxConnections { limit } => {
+                OverloadController::with_max_connections(limit)
+            }
+            OverloadControl::Watermark { high, low } => {
+                let probe = processor
+                    .as_ref()
+                    .expect("validated: watermark requires O2=Yes")
+                    .queue()
+                    .len_gauge();
+                OverloadController::with_watermark(probe, high, low)
+            }
+        };
+        let overload = Arc::new(Mutex::new(overload));
+
+        // --- O1: dispatcher threads. ---
+        let n_dispatchers = opts.dispatcher_threads.count();
+        let stop = Arc::new(AtomicBool::new(false));
+        let next_conn_id = Arc::new(AtomicU64::new(1));
+        let mut inj_channels = Vec::with_capacity(n_dispatchers);
+        for _ in 0..n_dispatchers {
+            inj_channels.push(crossbeam::channel::unbounded());
+        }
+        let inj_txs: Vec<_> = inj_channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let submit = match &processor {
+            Some(p) => SubmitMode::Pool(Arc::clone(p)),
+            None => SubmitMode::Inline,
+        };
+
+        let idle_limit = opts.idle_shutdown_ms.map(Duration::from_millis);
+
+        let mut dispatchers = Vec::with_capacity(n_dispatchers);
+        let mut listener_slot = Some(listener);
+        for (index, (_, rx)) in inj_channels.into_iter().enumerate() {
+            let d = Dispatcher::<C, S, L> {
+                index,
+                engine: Arc::clone(&engine),
+                listener: if index == 0 { listener_slot.take() } else { None },
+                inj_rx: rx,
+                inj_txs: inj_txs.clone(),
+                submit: submit.clone(),
+                overload: Arc::clone(&overload),
+                completion_rx: if index == 0 { completion_rx.clone() } else { None },
+                priority_policy: Arc::clone(&self.priority_policy),
+                idle_limit,
+                stop: Arc::clone(&stop),
+                next_conn_id: Arc::clone(&next_conn_id),
+            };
+            dispatchers.push(
+                std::thread::Builder::new()
+                    .name(format!("nserver-dispatcher-{index}"))
+                    .spawn(move || d.run())
+                    .expect("spawn dispatcher"),
+            );
+        }
+
+        ServerHandle {
+            engine,
+            processor,
+            stop,
+            dispatchers,
+            local_label,
+            options: self.options,
+        }
+    }
+}
+
+/// A running server: owns the dispatcher threads, the Event Processor and
+/// the Proactor helpers.
+pub struct ServerHandle<C: Codec, S: Service<C>> {
+    engine: Arc<Engine<C, S>>,
+    processor: Option<Arc<EventProcessor<Work<C::Response>>>>,
+    stop: Arc<AtomicBool>,
+    dispatchers: Vec<JoinHandle<()>>,
+    local_label: String,
+    options: ServerOptions,
+}
+
+impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
+    /// Profiling snapshot (O11 counters are always maintained).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.engine.stats.snapshot()
+    }
+
+    /// The debug tracer (records only in O10 = Debug mode).
+    pub fn tracer(&self) -> &DebugTracer {
+        &self.engine.tracer
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> usize {
+        self.engine.registry.read().len()
+    }
+
+    /// The address the server is listening on (e.g. `127.0.0.1:PORT`).
+    pub fn local_label(&self) -> &str {
+        &self.local_label
+    }
+
+    /// The options the server was generated from.
+    pub fn options(&self) -> &ServerOptions {
+        &self.options
+    }
+
+    /// Live Event Processor workers (0 when O2 = No).
+    pub fn live_workers(&self) -> usize {
+        self.processor.as_ref().map_or(0, |p| p.live_workers())
+    }
+
+    /// Stop accepting, close every connection, drain the event queue, and
+    /// join all framework threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
+        if let Some(p) = self.processor.take() {
+            p.shutdown();
+        }
+        // Helper pool (if any) joins when the engine drops.
+    }
+}

@@ -1,0 +1,225 @@
+//! A hashed timer wheel driving time-based framework behaviour — most
+//! importantly the termination of long-idle connections (option O7):
+//! "Long-idle connections may consume unnecessary resources and degrade
+//! the performance of network server applications."
+//!
+//! The wheel is deliberately framework-internal: timers are polled from
+//! the dispatcher loop (single consumer), so no locking is needed.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A scheduled timer returning a user key `K` when it fires.
+#[derive(Debug)]
+struct TimerEntry<K> {
+    deadline: Instant,
+    key: K,
+}
+
+/// Hashed timer wheel with fixed-width slots.
+#[derive(Debug)]
+pub struct TimerWheel<K> {
+    slots: Vec<VecDeque<TimerEntry<K>>>,
+    slot_width: Duration,
+    /// Start of the slot `cursor` currently points at.
+    slot_start: Instant,
+    cursor: usize,
+    len: usize,
+}
+
+impl<K> TimerWheel<K> {
+    /// Create a wheel of `slots` buckets, each `slot_width` wide. The wheel
+    /// spans `slots × slot_width`; longer timeouts are parked in the slot
+    /// they hash to and re-checked on expiry (standard hashed-wheel
+    /// behaviour).
+    pub fn new(slots: usize, slot_width: Duration, now: Instant) -> Self {
+        assert!(slots >= 2, "wheel needs at least two slots");
+        assert!(slot_width > Duration::ZERO);
+        Self {
+            slots: (0..slots).map(|_| VecDeque::new()).collect(),
+            slot_width,
+            slot_start: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Scheduled timer count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `key` to fire `after` the given `now`.
+    pub fn schedule(&mut self, now: Instant, after: Duration, key: K) {
+        let deadline = now + after;
+        let ticks = (after.as_nanos() / self.slot_width.as_nanos().max(1)) as usize;
+        let slot = (self.cursor + ticks.min(self.slots.len() * 8)) % self.slots.len();
+        self.slots[slot].push_back(TimerEntry { deadline, key });
+        self.len += 1;
+    }
+
+    /// Advance the wheel to `now`, collecting every fired key.
+    pub fn poll(&mut self, now: Instant) -> Vec<K> {
+        let mut fired = Vec::new();
+        // Advance slot by slot until the wheel catches up with `now`.
+        loop {
+            self.collect_expired(now, &mut fired);
+            let slot_end = self.slot_start + self.slot_width;
+            if slot_end <= now {
+                self.slot_start = slot_end;
+                self.cursor = (self.cursor + 1) % self.slots.len();
+            } else {
+                break;
+            }
+        }
+        fired
+    }
+
+    fn collect_expired(&mut self, now: Instant, fired: &mut Vec<K>) {
+        let slot = &mut self.slots[self.cursor];
+        let mut remaining = VecDeque::new();
+        while let Some(e) = slot.pop_front() {
+            if e.deadline <= now {
+                fired.push(e.key);
+                self.len -= 1;
+            } else {
+                remaining.push_back(e);
+            }
+        }
+        *slot = remaining;
+    }
+}
+
+/// Per-connection idle tracking for O7: records last activity and reports
+/// which connections exceeded the idle limit on each sweep.
+#[derive(Debug)]
+pub struct IdleTracker {
+    limit: Duration,
+    last_activity: std::collections::HashMap<u64, Instant>,
+}
+
+impl IdleTracker {
+    /// Track idleness against the given limit.
+    pub fn new(limit: Duration) -> Self {
+        Self {
+            limit,
+            last_activity: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Record activity (connect, read or write) on a connection.
+    pub fn touch(&mut self, conn: u64, now: Instant) {
+        self.last_activity.insert(conn, now);
+    }
+
+    /// Stop tracking a closed connection.
+    pub fn forget(&mut self, conn: u64) {
+        self.last_activity.remove(&conn);
+    }
+
+    /// Connections idle longer than the limit as of `now`. The returned
+    /// connections are forgotten (the caller closes them).
+    pub fn sweep(&mut self, now: Instant) -> Vec<u64> {
+        let limit = self.limit;
+        let expired: Vec<u64> = self
+            .last_activity
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) > limit)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in &expired {
+            self.last_activity.remove(c);
+        }
+        expired
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.last_activity.len()
+    }
+
+    /// True when no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_activity.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_fires_after_deadline() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(8, Duration::from_millis(10), t0);
+        w.schedule(t0, Duration::from_millis(25), "a");
+        assert!(w.poll(t0 + Duration::from_millis(10)).is_empty());
+        assert!(w.poll(t0 + Duration::from_millis(24)).is_empty());
+        assert_eq!(w.poll(t0 + Duration::from_millis(30)), vec!["a"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn multiple_timers_fire_once_each() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(4, Duration::from_millis(5), t0);
+        for i in 0..10u32 {
+            w.schedule(t0, Duration::from_millis(i as u64 * 3), i);
+        }
+        assert_eq!(w.len(), 10);
+        let mut all = Vec::new();
+        for step in 1..=10 {
+            all.extend(w.poll(t0 + Duration::from_millis(step * 4)));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(w.poll(t0 + Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn long_timeouts_survive_wheel_wraparound() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(4, Duration::from_millis(1), t0);
+        // 20 ms timeout on a 4 ms wheel: wraps five times.
+        w.schedule(t0, Duration::from_millis(20), "late");
+        assert!(w.poll(t0 + Duration::from_millis(10)).is_empty());
+        assert_eq!(w.poll(t0 + Duration::from_millis(21)), vec!["late"]);
+    }
+
+    #[test]
+    fn zero_delay_fires_immediately() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(4, Duration::from_millis(10), t0);
+        w.schedule(t0, Duration::ZERO, 1);
+        assert_eq!(w.poll(t0), vec![1]);
+    }
+
+    #[test]
+    fn idle_tracker_sweeps_only_expired() {
+        let t0 = Instant::now();
+        let mut it = IdleTracker::new(Duration::from_millis(100));
+        it.touch(1, t0);
+        it.touch(2, t0 + Duration::from_millis(80));
+        let expired = it.sweep(t0 + Duration::from_millis(150));
+        assert_eq!(expired, vec![1]);
+        assert_eq!(it.len(), 1);
+        // Touching resets idleness.
+        it.touch(2, t0 + Duration::from_millis(160));
+        assert!(it.sweep(t0 + Duration::from_millis(200)).is_empty());
+        assert!(!it.is_empty());
+    }
+
+    #[test]
+    fn idle_tracker_forget() {
+        let t0 = Instant::now();
+        let mut it = IdleTracker::new(Duration::from_millis(10));
+        it.touch(1, t0);
+        it.forget(1);
+        assert!(it.sweep(t0 + Duration::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Debug tracing (option O10) and access logging (option O12).
+//!
+//! In debug mode "all internal events that are triggered in the server are
+//! written into a file. The user can trace this file to get a snapshot of
+//! what happened during the time an error condition occurred." We keep the
+//! trace in a bounded ring buffer and let the application dump it on
+//! demand — same diagnostic value, no unbounded disk growth.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::event::{ConnId, EventKind};
+
+/// One traced internal event.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Microseconds since the tracer was created.
+    pub at_us: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Connection involved, if any.
+    pub conn: Option<ConnId>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Bounded in-memory event trace (debug mode, O10).
+#[derive(Clone)]
+pub struct DebugTracer {
+    inner: Arc<Mutex<TraceInner>>,
+    epoch: Instant,
+    enabled: bool,
+}
+
+struct TraceInner {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl DebugTracer {
+    /// An enabled tracer holding the most recent `capacity` records.
+    pub fn enabled(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(TraceInner {
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+            epoch: Instant::now(),
+            enabled: true,
+        }
+    }
+
+    /// A disabled tracer: every call is a cheap no-op (production mode).
+    pub fn disabled() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(TraceInner {
+                ring: VecDeque::new(),
+                capacity: 1,
+                dropped: 0,
+            })),
+            epoch: Instant::now(),
+            enabled: false,
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an internal event.
+    pub fn record(&self, kind: EventKind, conn: Option<ConnId>, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let rec = TraceRecord {
+            at_us: self.epoch.elapsed().as_micros() as u64,
+            kind,
+            conn,
+            detail: detail.into(),
+        };
+        let mut inner = self.inner.lock();
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(rec);
+    }
+
+    /// Copy out the retained records, oldest first.
+    pub fn dump(&self) -> Vec<TraceRecord> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Records evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Render the trace as text lines (what debug mode writes to its file).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in self.dump() {
+            let conn = r
+                .conn
+                .map(|c| format!(" conn={c}"))
+                .unwrap_or_default();
+            out.push_str(&format!("[{:>10}µs] {}{} {}\n", r.at_us, r.kind, conn, r.detail));
+        }
+        out
+    }
+}
+
+/// Access-log hook (option O12): the generated framework calls this once
+/// per completed request with a preformatted line; applications supply the
+/// sink (file, stdout, collector…).
+pub type AccessLogger = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// An in-memory access logger, handy for tests and examples.
+#[derive(Clone, Default)]
+pub struct MemoryLogger {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemoryLogger {
+    /// New empty logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The logging hook to hand to the framework.
+    pub fn as_hook(&self) -> AccessLogger {
+        let lines = Arc::clone(&self.lines);
+        Arc::new(move |line: &str| lines.lock().push(line.to_string()))
+    }
+
+    /// Copy of all logged lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = DebugTracer::disabled();
+        t.record(EventKind::Readable, Some(1), "x");
+        assert!(t.dump().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_keeps_records_in_order() {
+        let t = DebugTracer::enabled(10);
+        t.record(EventKind::Accepted, Some(1), "new conn");
+        t.record(EventKind::Readable, Some(1), "64 bytes");
+        let recs = t.dump();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, EventKind::Accepted);
+        assert_eq!(recs[1].kind, EventKind::Readable);
+        assert!(recs[0].at_us <= recs[1].at_us);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let t = DebugTracer::enabled(3);
+        for i in 0..5 {
+            t.record(EventKind::Timer, None, format!("t{i}"));
+        }
+        let recs = t.dump();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].detail, "t2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let t = DebugTracer::enabled(4);
+        t.record(EventKind::Shutdown, Some(9), "bye");
+        let text = t.render();
+        assert!(text.contains("shutdown"));
+        assert!(text.contains("conn=9"));
+        assert!(text.contains("bye"));
+    }
+
+    #[test]
+    fn memory_logger_captures_lines() {
+        let log = MemoryLogger::new();
+        let hook = log.as_hook();
+        hook("GET /index.html 200");
+        hook("GET /missing 404");
+        assert_eq!(log.lines().len(), 2);
+        assert!(log.lines()[1].contains("404"));
+    }
+}

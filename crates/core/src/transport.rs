@@ -1,0 +1,414 @@
+//! Transport abstraction: non-blocking listeners and streams.
+//!
+//! The paper's framework relies on Java NIO for non-blocking socket I/O.
+//! The Rust analogue here is `std::net` sockets switched to non-blocking
+//! mode; the Reactor polls them for readiness. The same traits have an
+//! in-memory implementation ([`mem`]) used by tests and benchmarks, so the
+//! entire framework can be exercised deterministically without touching
+//! the network stack.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Result of a non-blocking read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` bytes were read into the buffer.
+    Data(usize),
+    /// No data available right now.
+    WouldBlock,
+    /// The peer closed its end.
+    Closed,
+}
+
+/// A non-blocking byte stream.
+pub trait StreamIo: Send + 'static {
+    /// Attempt to read into `buf` without blocking.
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome>;
+    /// Attempt to write from `data` without blocking; returns bytes
+    /// written (0 means "would block").
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize>;
+    /// Human-readable peer identity (IP:port for TCP).
+    fn peer_label(&self) -> String;
+    /// Close the stream (idempotent).
+    fn shutdown(&mut self);
+}
+
+/// A non-blocking connection acceptor.
+pub trait Listener: Send + 'static {
+    /// The stream type produced.
+    type Stream: StreamIo;
+    /// Accept one pending connection if available.
+    fn try_accept(&mut self) -> io::Result<Option<Self::Stream>>;
+    /// Human-readable local address.
+    fn local_label(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// TCP implementation
+// ---------------------------------------------------------------------------
+
+/// Non-blocking TCP listener.
+pub struct TcpListenerNb {
+    inner: TcpListener,
+    label: String,
+}
+
+impl TcpListenerNb {
+    /// Bind and switch to non-blocking mode. Binding port 0 picks a free
+    /// port; see [`TcpListenerNb::local_label`] for the result.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let inner = TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        let label = inner
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        Ok(Self { inner, label })
+    }
+}
+
+impl Listener for TcpListenerNb {
+    type Stream = TcpStreamNb;
+
+    fn try_accept(&mut self) -> io::Result<Option<TcpStreamNb>> {
+        match self.inner.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Some(TcpStreamNb {
+                    inner: stream,
+                    peer: peer.to_string(),
+                    open: true,
+                }))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Non-blocking TCP stream.
+pub struct TcpStreamNb {
+    inner: TcpStream,
+    peer: String,
+    open: bool,
+}
+
+impl TcpStreamNb {
+    /// Client-side connect (used by the Connector half of the
+    /// Acceptor-Connector pattern and by tests).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let inner = TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        let _ = inner.set_nodelay(true);
+        let peer = inner
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        Ok(Self {
+            inner,
+            peer,
+            open: true,
+        })
+    }
+}
+
+impl StreamIo for TcpStreamNb {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+        if !self.open {
+            return Ok(ReadOutcome::Closed);
+        }
+        match self.inner.read(buf) {
+            Ok(0) => Ok(ReadOutcome::Closed),
+            Ok(n) => Ok(ReadOutcome::Data(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(ReadOutcome::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(ReadOutcome::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(ReadOutcome::Closed),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if !self.open {
+            // Surfacing an error (rather than 0 = "would block") lets the
+            // dispatcher reap a connection whose peer vanished while
+            // response bytes were still queued.
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "closed"));
+        }
+        match self.inner.write(data) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {
+                self.open = false;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn shutdown(&mut self) {
+        if self.open {
+            let _ = self.inner.shutdown(std::net::Shutdown::Both);
+            self.open = false;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation
+// ---------------------------------------------------------------------------
+
+/// In-memory loopback transport for deterministic tests.
+pub mod mem {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct Pipe {
+        buf: VecDeque<u8>,
+        closed: bool,
+    }
+
+    /// One end of an in-memory full-duplex connection.
+    pub struct MemStream {
+        read: Arc<Mutex<Pipe>>,
+        write: Arc<Mutex<Pipe>>,
+        label: String,
+    }
+
+    /// Create a connected pair: `(a, b)` where bytes written to `a` are
+    /// read from `b` and vice versa.
+    pub fn pair(label_a: &str, label_b: &str) -> (MemStream, MemStream) {
+        let ab = Arc::new(Mutex::new(Pipe::default()));
+        let ba = Arc::new(Mutex::new(Pipe::default()));
+        (
+            MemStream {
+                read: Arc::clone(&ba),
+                write: Arc::clone(&ab),
+                label: label_a.to_string(),
+            },
+            MemStream {
+                read: ab,
+                write: ba,
+                label: label_b.to_string(),
+            },
+        )
+    }
+
+    impl StreamIo for MemStream {
+        fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+            let mut pipe = self.read.lock();
+            if pipe.buf.is_empty() {
+                return if pipe.closed {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Ok(ReadOutcome::WouldBlock)
+                };
+            }
+            let mut n = 0;
+            while n < buf.len() {
+                match pipe.buf.pop_front() {
+                    Some(b) => {
+                        buf[n] = b;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            Ok(ReadOutcome::Data(n))
+        }
+
+        fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+            let mut pipe = self.write.lock();
+            if pipe.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "peer closed",
+                ));
+            }
+            pipe.buf.extend(data.iter().copied());
+            Ok(data.len())
+        }
+
+        fn peer_label(&self) -> String {
+            self.label.clone()
+        }
+
+        fn shutdown(&mut self) {
+            self.read.lock().closed = true;
+            self.write.lock().closed = true;
+        }
+    }
+
+    /// An in-memory listener fed by a [`MemConnector`].
+    pub struct MemListener {
+        incoming: Arc<Mutex<VecDeque<MemStream>>>,
+        label: String,
+    }
+
+    /// The client-side handle that creates connections to a
+    /// [`MemListener`].
+    #[derive(Clone)]
+    pub struct MemConnector {
+        incoming: Arc<Mutex<VecDeque<MemStream>>>,
+        counter: Arc<Mutex<u64>>,
+    }
+
+    /// Create a listener and its connector.
+    pub fn listener(label: &str) -> (MemListener, MemConnector) {
+        let incoming = Arc::new(Mutex::new(VecDeque::new()));
+        (
+            MemListener {
+                incoming: Arc::clone(&incoming),
+                label: label.to_string(),
+            },
+            MemConnector {
+                incoming,
+                counter: Arc::new(Mutex::new(0)),
+            },
+        )
+    }
+
+    impl MemConnector {
+        /// Establish a connection; returns the client-side stream.
+        pub fn connect(&self) -> MemStream {
+            let mut counter = self.counter.lock();
+            *counter += 1;
+            let id = *counter;
+            let (client, server) =
+                pair(&format!("client-{id}"), &format!("peer-{id}"));
+            self.incoming.lock().push_back(server);
+            client
+        }
+    }
+
+    impl Listener for MemListener {
+        type Stream = MemStream;
+
+        fn try_accept(&mut self) -> io::Result<Option<MemStream>> {
+            Ok(self.incoming.lock().pop_front())
+        }
+
+        fn local_label(&self) -> String {
+            self.label.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pair_round_trips() {
+        let (mut a, mut b) = mem::pair("a", "b");
+        assert_eq!(a.try_write(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 16];
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::Data(5));
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::WouldBlock);
+        // Reverse direction.
+        b.try_write(b"yo").unwrap();
+        assert_eq!(a.try_read(&mut buf).unwrap(), ReadOutcome::Data(2));
+    }
+
+    #[test]
+    fn mem_close_is_observed_after_drain() {
+        let (mut a, mut b) = mem::pair("a", "b");
+        a.try_write(b"x").unwrap();
+        a.shutdown();
+        let mut buf = [0u8; 4];
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::Data(1));
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::Closed);
+        // Writing to a closed pipe reports an error so the reactor can
+        // reap the connection.
+        assert!(b.try_write(b"y").is_err());
+    }
+
+    #[test]
+    fn mem_listener_delivers_connections_fifo() {
+        let (mut l, c) = mem::listener("srv");
+        assert!(l.try_accept().unwrap().is_none());
+        let _c1 = c.connect();
+        let _c2 = c.connect();
+        let s1 = l.try_accept().unwrap().unwrap();
+        let s2 = l.try_accept().unwrap().unwrap();
+        assert_eq!(s1.peer_label(), "peer-1");
+        assert_eq!(s2.peer_label(), "peer-2");
+        assert_eq!(l.local_label(), "srv");
+    }
+
+    #[test]
+    fn mem_connected_pair_talks_through_listener() {
+        let (mut l, c) = mem::listener("srv");
+        let mut client = c.connect();
+        let mut server = l.try_accept().unwrap().unwrap();
+        client.try_write(b"ping").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(server.try_read(&mut buf).unwrap(), ReadOutcome::Data(4));
+        server.try_write(b"pong").unwrap();
+        assert_eq!(client.try_read(&mut buf).unwrap(), ReadOutcome::Data(4));
+        assert_eq!(&buf[..4], b"pong");
+    }
+
+    #[test]
+    fn tcp_listener_binds_and_accepts_nonblocking() {
+        let mut l = TcpListenerNb::bind("127.0.0.1:0").unwrap();
+        assert!(l.try_accept().unwrap().is_none(), "no pending connection");
+        let addr = l.local_label();
+        let mut client = TcpStreamNb::connect(&addr).unwrap();
+        // Accept may need a beat for the kernel to hand over the socket.
+        let mut server = None;
+        for _ in 0..100 {
+            if let Some(s) = l.try_accept().unwrap() {
+                server = Some(s);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut server = server.expect("accepted");
+        assert_eq!(client.try_write(b"abc").unwrap(), 3);
+        let mut buf = [0u8; 8];
+        let mut got = 0;
+        for _ in 0..100 {
+            match server.try_read(&mut buf[got..]).unwrap() {
+                ReadOutcome::Data(n) => {
+                    got += n;
+                    if got >= 3 {
+                        break;
+                    }
+                }
+                ReadOutcome::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1))
+                }
+                ReadOutcome::Closed => panic!("unexpected close"),
+            }
+        }
+        assert_eq!(&buf[..3], b"abc");
+        client.shutdown();
+        // Eventually observe the close.
+        let mut closed = false;
+        for _ in 0..100 {
+            match server.try_read(&mut buf).unwrap() {
+                ReadOutcome::Closed => {
+                    closed = true;
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(closed);
+    }
+}

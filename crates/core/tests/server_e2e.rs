@@ -1,0 +1,440 @@
+//! End-to-end tests of the assembled framework: a real server instance
+//! (dispatcher threads + event processor + proactor helpers) exercised
+//! over the in-memory transport and over real loopback TCP, across the
+//! template-option combinations that change the framework's structure.
+
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use nserver_core::options::{
+    CompletionMode, DispatcherThreads, EventScheduling, Mode, OverloadControl, ServerOptions,
+    ThreadAllocation,
+};
+use nserver_core::pipeline::{Action, Codec, ConnCtx, ProtocolError, Service};
+use nserver_core::server::ServerBuilder;
+use nserver_core::transport::mem;
+use nserver_core::transport::{ReadOutcome, StreamIo, TcpListenerNb, TcpStreamNb};
+use nserver_core::Priority;
+
+/// Newline-delimited text codec.
+struct LineCodec;
+
+impl Codec for LineCodec {
+    type Request = String;
+    type Response = String;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<String>, ProtocolError> {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let line = buf.split_to(i + 1);
+                let s = std::str::from_utf8(&line[..i])
+                    .map_err(|_| ProtocolError("not utf8".into()))?
+                    .to_string();
+                if s == "POISON" {
+                    return Err(ProtocolError("poison".into()));
+                }
+                Ok(Some(s))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn encode(&self, r: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(r.as_bytes());
+        out.extend_from_slice(b"\n");
+        Ok(())
+    }
+}
+
+/// Echo service with a greeting and blocking-work command.
+struct EchoService;
+
+impl Service<LineCodec> for EchoService {
+    fn handle(&self, ctx: &ConnCtx, req: String) -> Action<String> {
+        match req.as_str() {
+            "quit" => Action::ReplyClose("bye".into()),
+            "prio" => Action::Reply(format!("{}", ctx.priority)),
+            "work" => Action::Defer(Box::new(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                "worked".to_string()
+            })),
+            other => Action::Reply(format!("echo:{other}")),
+        }
+    }
+
+    fn on_open(&self, _ctx: &ConnCtx) -> Option<String> {
+        Some("hello".to_string())
+    }
+}
+
+/// Drive a MemStream client: send `input`, read until `expected_lines`
+/// complete lines arrive or the deadline passes.
+fn talk(stream: &mut mem::MemStream, input: &[u8], expected_lines: usize) -> Vec<String> {
+    stream.try_write(input).unwrap();
+    read_lines(stream, expected_lines)
+}
+
+fn read_lines(stream: &mut mem::MemStream, expected_lines: usize) -> Vec<String> {
+    let mut acc = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.try_read(&mut buf).unwrap() {
+            ReadOutcome::Data(n) => acc.extend_from_slice(&buf[..n]),
+            ReadOutcome::WouldBlock => std::thread::sleep(Duration::from_micros(200)),
+            ReadOutcome::Closed => break,
+        }
+        if acc.iter().filter(|&&b| b == b'\n').count() >= expected_lines {
+            break;
+        }
+    }
+    String::from_utf8(acc)
+        .unwrap()
+        .lines()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn base_options() -> ServerOptions {
+    ServerOptions {
+        mode: Mode::Debug,
+        profiling: true,
+        ..ServerOptions::default()
+    }
+}
+
+#[test]
+fn mem_transport_greeting_echo_and_quit() {
+    let (listener, connector) = mem::listener("test");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+
+    let mut c = connector.connect();
+    let lines = talk(&mut c, b"one\ntwo\nquit\n", 4);
+    assert_eq!(lines, vec!["hello", "echo:one", "echo:two", "bye"]);
+
+    // Server closes after "quit".
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut closed = false;
+    let mut buf = [0u8; 64];
+    while Instant::now() < deadline {
+        if matches!(c.try_read(&mut buf).unwrap(), ReadOutcome::Closed) {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(closed, "server did not close after quit");
+
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.requests_decoded, 3);
+    assert!(stats.bytes_read >= 13);
+    assert!(!server.tracer().dump().is_empty(), "debug mode traces events");
+    server.shutdown();
+}
+
+#[test]
+fn inline_reactor_mode_works_without_pool() {
+    // O2 = No: the classic Reactor, handlers on the dispatcher thread.
+    let opts = ServerOptions {
+        separate_handler_pool: false,
+        thread_allocation: ThreadAllocation::Static { threads: 1 },
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("inline");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    assert_eq!(server.live_workers(), 0, "no event-processor workers");
+    let mut c = connector.connect();
+    let lines = talk(&mut c, b"x\n", 2);
+    assert_eq!(lines, vec!["hello", "echo:x"]);
+    server.shutdown();
+}
+
+#[test]
+fn async_completion_mode_defers_to_helper_pool() {
+    let opts = ServerOptions {
+        completion_mode: CompletionMode::Asynchronous,
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("async");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    // Interleave blocking and fast requests; replies must stay in order.
+    let lines = talk(&mut c, b"work\nfast\nwork\n", 4);
+    assert_eq!(lines, vec!["hello", "worked", "echo:fast", "worked"]);
+    assert_eq!(server.stats().blocking_ops, 2);
+    server.shutdown();
+}
+
+#[test]
+fn two_dispatchers_partition_connections() {
+    let opts = ServerOptions {
+        dispatcher_threads: DispatcherThreads::Multi(2),
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("multi");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut clients: Vec<_> = (0..6).map(|_| connector.connect()).collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let lines = talk(c, format!("m{i}\n").as_bytes(), 2);
+        assert_eq!(lines, vec!["hello".to_string(), format!("echo:m{i}")]);
+    }
+    assert_eq!(server.stats().connections_accepted, 6);
+    server.shutdown();
+}
+
+#[test]
+fn priority_policy_assigns_levels() {
+    let opts = ServerOptions {
+        event_scheduling: EventScheduling::Yes { quotas: vec![8, 1] },
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("prio");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        // Odd-numbered peers are low priority.
+        .priority_policy(|peer| {
+            if peer.ends_with('1') || peer.ends_with('3') {
+                Priority(1)
+            } else {
+                Priority(0)
+            }
+        })
+        .serve(listener);
+    let mut c1 = connector.connect(); // peer-1 -> low
+    let mut c2 = connector.connect(); // peer-2 -> high
+    assert_eq!(talk(&mut c1, b"prio\n", 2), vec!["hello", "P1"]);
+    assert_eq!(talk(&mut c2, b"prio\n", 2), vec!["hello", "P0"]);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_error_closes_connection_and_counts() {
+    let (listener, connector) = mem::listener("err");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    c.try_write(b"POISON\n").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut buf = [0u8; 64];
+    let mut closed = false;
+    while Instant::now() < deadline {
+        if matches!(c.try_read(&mut buf).unwrap(), ReadOutcome::Closed) {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(closed);
+    assert_eq!(server.stats().protocol_errors, 1);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_shut_down() {
+    let opts = ServerOptions {
+        idle_shutdown_ms: Some(150),
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("idle");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    assert_eq!(read_lines(&mut c, 1), vec!["hello"]);
+    // Stay silent; the idle sweep must close us.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut buf = [0u8; 16];
+    let mut closed = false;
+    while Instant::now() < deadline {
+        if matches!(c.try_read(&mut buf).unwrap(), ReadOutcome::Closed) {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(closed, "idle connection was not shut down");
+    assert_eq!(server.stats().connections_idle_closed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn max_connection_limit_defers_accepts() {
+    let opts = ServerOptions {
+        overload_control: OverloadControl::MaxConnections { limit: 2 },
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("cap");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut a = connector.connect();
+    let mut b = connector.connect();
+    assert_eq!(read_lines(&mut a, 1), vec!["hello"]);
+    assert_eq!(read_lines(&mut b, 1), vec!["hello"]);
+    // Third connection stays unaccepted while the first two are open.
+    let mut c3 = connector.connect();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(read_lines(&mut c3, 1), Vec::<String>::new());
+    assert!(server.stats().accepts_deferred > 0);
+    assert_eq!(server.stats().connections_accepted, 2);
+    // Closing one admits the waiter.
+    let _ = talk(&mut a, b"quit\n", 1);
+    assert_eq!(read_lines(&mut c3, 1), vec!["hello"]);
+    server.shutdown();
+}
+
+#[test]
+fn dynamic_thread_allocation_serves_load() {
+    let opts = ServerOptions {
+        thread_allocation: ThreadAllocation::Dynamic {
+            min: 1,
+            max: 4,
+            idle_keepalive_ms: 50,
+        },
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("dyn");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut clients: Vec<_> = (0..8).map(|_| connector.connect()).collect();
+    for c in clients.iter_mut() {
+        c.try_write(b"work\n").unwrap();
+    }
+    for c in clients.iter_mut() {
+        let lines = read_lines(c, 2);
+        assert_eq!(lines, vec!["hello", "worked"]);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_loopback_end_to_end() {
+    let listener = TcpListenerNb::bind("127.0.0.1:0").unwrap();
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let addr = server.local_label().to_string();
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = TcpStreamNb::connect(&addr).unwrap();
+            c.try_write(format!("t{t}\nquit\n").as_bytes()).unwrap();
+            let mut acc = Vec::new();
+            let mut buf = [0u8; 1024];
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < deadline {
+                match c.try_read(&mut buf).unwrap() {
+                    ReadOutcome::Data(n) => acc.extend_from_slice(&buf[..n]),
+                    ReadOutcome::WouldBlock => {
+                        std::thread::sleep(Duration::from_micros(500))
+                    }
+                    ReadOutcome::Closed => break,
+                }
+            }
+            String::from_utf8(acc).unwrap()
+        }));
+    }
+    for (t, h) in handles.into_iter().enumerate() {
+        let text = h.join().unwrap();
+        assert_eq!(text, format!("hello\necho:t{t}\nbye\n"));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 4);
+    assert_eq!(stats.requests_decoded, 8);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_closes_open_connections() {
+    let (listener, connector) = mem::listener("down");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    assert_eq!(read_lines(&mut c, 1), vec!["hello"]);
+    server.shutdown();
+    let mut buf = [0u8; 16];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut closed = false;
+    while Instant::now() < deadline {
+        if matches!(c.try_read(&mut buf).unwrap(), ReadOutcome::Closed) {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(closed);
+}
+
+#[test]
+fn logging_option_emits_access_lines() {
+    use nserver_core::trace::MemoryLogger;
+    let opts = ServerOptions {
+        logging: true,
+        ..base_options()
+    };
+    let log = MemoryLogger::new();
+    let (listener, connector) = mem::listener("log");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .logger(log.as_hook())
+        .serve(listener);
+    let mut c = connector.connect();
+    let _ = talk(&mut c, b"a\nb\n", 3);
+    // Greeting doesn't log; two request replies do.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline && log.lines().len() < 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(log.lines().len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn heavy_pipelined_load_is_lossless() {
+    let opts = ServerOptions {
+        completion_mode: CompletionMode::Asynchronous,
+        thread_allocation: ThreadAllocation::Static { threads: 4 },
+        ..base_options()
+    };
+    let (listener, connector) = mem::listener("load");
+    let server = ServerBuilder::new(opts, LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    let mut input = String::new();
+    for i in 0..200 {
+        if i % 10 == 0 {
+            input.push_str("work\n");
+        } else {
+            input.push_str(&format!("r{i}\n"));
+        }
+    }
+    let lines = talk(&mut c, input.as_bytes(), 201);
+    assert_eq!(lines.len(), 201);
+    assert_eq!(lines[0], "hello");
+    // Replies are in request order despite async completions.
+    let mut expect = Vec::new();
+    for i in 0..200 {
+        if i % 10 == 0 {
+            expect.push("worked".to_string());
+        } else {
+            expect.push(format!("echo:r{i}"));
+        }
+    }
+    assert_eq!(&lines[1..], &expect[..]);
+    server.shutdown();
+}

@@ -1,0 +1,110 @@
+//! The Decode Request / Encode Reply hooks for COPS-FTP: CRLF-delimited
+//! command lines in, preformatted reply text out.
+
+use bytes::BytesMut;
+use nserver_core::pipeline::{Codec, ProtocolError};
+
+use crate::commands::Command;
+
+/// Control-connection codec. Requests are parsed [`Command`]s (or the
+/// parse error to report); responses are fully formatted reply strings
+/// (possibly multiple `NNN text\r\n` lines, e.g. `150` + `226`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FtpCodec;
+
+/// What decoding one line produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtpRequest {
+    /// A well-formed command.
+    Command(Command),
+    /// A malformed line; the service answers 500 with this detail rather
+    /// than dropping the connection (FTP is chatty about errors).
+    Malformed(String),
+}
+
+/// Hard cap on one command line.
+const MAX_LINE: usize = 4096;
+
+impl Codec for FtpCodec {
+    type Request = FtpRequest;
+    type Response = String;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<FtpRequest>, ProtocolError> {
+        let pos = match buf.iter().position(|&b| b == b'\n') {
+            Some(p) => p,
+            None => {
+                if buf.len() > MAX_LINE {
+                    return Err(ProtocolError("command line too long".into()));
+                }
+                return Ok(None);
+            }
+        };
+        let line = buf.split_to(pos + 1);
+        let text = String::from_utf8_lossy(&line[..pos]);
+        match Command::parse(&text) {
+            Ok(cmd) => Ok(Some(FtpRequest::Command(cmd))),
+            Err(why) => Ok(Some(FtpRequest::Malformed(why))),
+        }
+    }
+
+    fn encode(&self, resp: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(resp.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_one_command_per_line() {
+        let c = FtpCodec;
+        let mut buf = BytesMut::from(&b"USER a\r\nPASS b\r\n"[..]);
+        assert_eq!(
+            c.decode(&mut buf).unwrap(),
+            Some(FtpRequest::Command(Command::User("a".into())))
+        );
+        assert_eq!(
+            c.decode(&mut buf).unwrap(),
+            Some(FtpRequest::Command(Command::Pass("b".into())))
+        );
+        assert_eq!(c.decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_become_requests_not_errors() {
+        let c = FtpCodec;
+        let mut buf = BytesMut::from(&b"RETR\r\n"[..]);
+        match c.decode(&mut buf).unwrap().unwrap() {
+            FtpRequest::Malformed(why) => assert!(why.contains("RETR")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_lf_is_accepted() {
+        let c = FtpCodec;
+        let mut buf = BytesMut::from(&b"QUIT\n"[..]);
+        assert_eq!(
+            c.decode(&mut buf).unwrap(),
+            Some(FtpRequest::Command(Command::Quit))
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_protocol_error() {
+        let c = FtpCodec;
+        let mut buf = BytesMut::from(vec![b'a'; MAX_LINE + 1].as_slice());
+        assert!(c.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn encode_passes_reply_text_through() {
+        let c = FtpCodec;
+        let mut out = BytesMut::new();
+        c.encode(&"150 ok\r\n226 done\r\n".to_string(), &mut out)
+            .unwrap();
+        assert_eq!(&out[..], b"150 ok\r\n226 done\r\n");
+    }
+}

@@ -1,0 +1,145 @@
+//! FTP command parsing (RFC 959 subset used by COPS-FTP).
+
+/// A parsed control-connection command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `USER <name>`
+    User(String),
+    /// `PASS <password>`
+    Pass(String),
+    /// QUIT
+    Quit,
+    /// SYST
+    Syst,
+    /// NOOP
+    Noop,
+    /// PWD
+    Pwd,
+    /// `CWD <dir>`
+    Cwd(String),
+    /// `TYPE <A|I>`
+    Type(char),
+    /// PASV
+    Pasv,
+    /// `LIST [path]`
+    List(Option<String>),
+    /// `RETR <file>`
+    Retr(String),
+    /// `STOR <file>`
+    Stor(String),
+    /// `MKD <dir>`
+    Mkd(String),
+    /// `DELE <file>`
+    Dele(String),
+    /// `SIZE <file>`
+    Size(String),
+    /// A syntactically valid verb this server does not implement.
+    Unknown(String),
+}
+
+impl Command {
+    /// Parse one command line (without its CRLF).
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Err("empty command".into());
+        }
+        let (verb, arg) = match line.split_once(' ') {
+            Some((v, a)) => (v, Some(a.trim().to_string())),
+            None => (line, None),
+        };
+        let verb_upper = verb.to_ascii_uppercase();
+        let need = |arg: Option<String>| -> Result<String, String> {
+            arg.filter(|a| !a.is_empty())
+                .ok_or_else(|| format!("{verb_upper} requires an argument"))
+        };
+        Ok(match verb_upper.as_str() {
+            "USER" => Command::User(need(arg)?),
+            "PASS" => Command::Pass(arg.unwrap_or_default()),
+            "QUIT" => Command::Quit,
+            "SYST" => Command::Syst,
+            "NOOP" => Command::Noop,
+            "PWD" | "XPWD" => Command::Pwd,
+            "CWD" => Command::Cwd(need(arg)?),
+            "TYPE" => {
+                let a = need(arg)?;
+                let c = a.chars().next().unwrap().to_ascii_uppercase();
+                if c == 'A' || c == 'I' {
+                    Command::Type(c)
+                } else {
+                    return Err(format!("unsupported TYPE {a}"));
+                }
+            }
+            "PASV" => Command::Pasv,
+            "LIST" | "NLST" => Command::List(arg.filter(|a| !a.is_empty())),
+            "RETR" => Command::Retr(need(arg)?),
+            "STOR" => Command::Stor(need(arg)?),
+            "MKD" | "XMKD" => Command::Mkd(need(arg)?),
+            "DELE" => Command::Dele(need(arg)?),
+            "SIZE" => Command::Size(need(arg)?),
+            _ => Command::Unknown(verb_upper),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_common_commands() {
+        assert_eq!(Command::parse("USER alice").unwrap(), Command::User("alice".into()));
+        assert_eq!(Command::parse("PASS s3cret").unwrap(), Command::Pass("s3cret".into()));
+        assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("PWD").unwrap(), Command::Pwd);
+        assert_eq!(Command::parse("CWD /pub").unwrap(), Command::Cwd("/pub".into()));
+        assert_eq!(Command::parse("PASV").unwrap(), Command::Pasv);
+        assert_eq!(Command::parse("LIST").unwrap(), Command::List(None));
+        assert_eq!(
+            Command::parse("LIST /pub").unwrap(),
+            Command::List(Some("/pub".into()))
+        );
+        assert_eq!(Command::parse("RETR f.txt").unwrap(), Command::Retr("f.txt".into()));
+        assert_eq!(Command::parse("STOR up.bin").unwrap(), Command::Stor("up.bin".into()));
+        assert_eq!(Command::parse("SIZE f").unwrap(), Command::Size("f".into()));
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive() {
+        assert_eq!(Command::parse("user bob").unwrap(), Command::User("bob".into()));
+        assert_eq!(Command::parse("pasv").unwrap(), Command::Pasv);
+    }
+
+    #[test]
+    fn type_only_a_or_i() {
+        assert_eq!(Command::parse("TYPE I").unwrap(), Command::Type('I'));
+        assert_eq!(Command::parse("TYPE a").unwrap(), Command::Type('A'));
+        assert!(Command::parse("TYPE E").is_err());
+    }
+
+    #[test]
+    fn missing_arguments_are_errors() {
+        assert!(Command::parse("USER").is_err());
+        assert!(Command::parse("RETR").is_err());
+        assert!(Command::parse("CWD ").is_err());
+        assert!(Command::parse("").is_err());
+    }
+
+    #[test]
+    fn pass_allows_empty_password() {
+        assert_eq!(Command::parse("PASS").unwrap(), Command::Pass(String::new()));
+    }
+
+    #[test]
+    fn unknown_verbs_are_preserved() {
+        assert_eq!(
+            Command::parse("FEAT").unwrap(),
+            Command::Unknown("FEAT".into())
+        );
+    }
+
+    #[test]
+    fn trailing_crlf_is_stripped() {
+        assert_eq!(Command::parse("QUIT\r\n").unwrap(), Command::Quit);
+    }
+}

@@ -1,0 +1,7 @@
+//! The "reused existing library" half of COPS-FTP (the analogue of the
+//! 8,141 NCSS the paper reused from Apache FTPServer): protocol-agnostic
+//! building blocks with no knowledge of the event-driven architecture.
+
+pub mod replies;
+pub mod users;
+pub mod vfs;

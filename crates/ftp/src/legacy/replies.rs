@@ -1,0 +1,132 @@
+//! FTP reply codes and formatting (RFC 959 subset).
+
+/// Format a single-line reply: `NNN text\r\n`.
+pub fn line(code: u16, text: &str) -> String {
+    format!("{code} {text}\r\n")
+}
+
+/// 220 service ready.
+pub fn service_ready(server_name: &str) -> String {
+    line(220, &format!("{server_name} ready"))
+}
+
+/// 221 goodbye.
+pub fn goodbye() -> String {
+    line(221, "Goodbye")
+}
+
+/// 230 user logged in.
+pub fn logged_in(user: &str) -> String {
+    line(230, &format!("User {user} logged in"))
+}
+
+/// 331 need password.
+pub fn need_password(user: &str) -> String {
+    line(331, &format!("Password required for {user}"))
+}
+
+/// 530 not logged in / login failed.
+pub fn not_logged_in(why: &str) -> String {
+    line(530, why)
+}
+
+/// 215 system type.
+pub fn system_type() -> String {
+    line(215, "UNIX Type: L8")
+}
+
+/// 257 current directory.
+pub fn cwd_is(path: &str) -> String {
+    line(257, &format!("\"{path}\" is the current directory"))
+}
+
+/// 250 action completed.
+pub fn ok_action(what: &str) -> String {
+    line(250, what)
+}
+
+/// 200 command okay.
+pub fn ok_command(what: &str) -> String {
+    line(200, what)
+}
+
+/// 227 entering passive mode for `addr:port`.
+pub fn passive_mode(ip: [u8; 4], port: u16) -> String {
+    line(
+        227,
+        &format!(
+            "Entering Passive Mode ({},{},{},{},{},{})",
+            ip[0],
+            ip[1],
+            ip[2],
+            ip[3],
+            port >> 8,
+            port & 0xff
+        ),
+    )
+}
+
+/// 150 opening data connection.
+pub fn opening_data(what: &str) -> String {
+    line(150, &format!("Opening data connection for {what}"))
+}
+
+/// 226 transfer complete.
+pub fn transfer_complete() -> String {
+    line(226, "Transfer complete")
+}
+
+/// 425 can't open data connection.
+pub fn data_failed() -> String {
+    line(425, "Can't open data connection")
+}
+
+/// 550 file unavailable.
+pub fn file_unavailable(path: &str) -> String {
+    line(550, &format!("{path}: No such file or directory"))
+}
+
+/// 500 syntax error.
+pub fn syntax_error(cmd: &str) -> String {
+    line(500, &format!("Syntax error: {cmd}"))
+}
+
+/// 502 not implemented.
+pub fn not_implemented(cmd: &str) -> String {
+    line(502, &format!("{cmd} not implemented"))
+}
+
+/// 503 bad sequence.
+pub fn bad_sequence(why: &str) -> String {
+    line(503, why)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_crlf_terminated_with_code() {
+        let l = line(220, "hi");
+        assert_eq!(l, "220 hi\r\n");
+        assert!(service_ready("srv").starts_with("220 "));
+        assert!(goodbye().starts_with("221 "));
+    }
+
+    #[test]
+    fn passive_mode_encodes_port() {
+        let l = passive_mode([127, 0, 0, 1], 0x1234);
+        assert!(l.contains("(127,0,0,1,18,52)"), "{l}");
+    }
+
+    #[test]
+    fn reply_codes_match_rfc959() {
+        assert!(need_password("u").starts_with("331 "));
+        assert!(logged_in("u").starts_with("230 "));
+        assert!(not_logged_in("x").starts_with("530 "));
+        assert!(opening_data("f").starts_with("150 "));
+        assert!(transfer_complete().starts_with("226 "));
+        assert!(file_unavailable("/x").starts_with("550 "));
+        assert!(data_failed().starts_with("425 "));
+    }
+}

@@ -1,0 +1,84 @@
+//! User registry — part of the reusable library layer (Apache FTPServer's
+//! user management, minus the LDAP/GUI trimmings the paper's Table 3
+//! removed).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// Account database with optional anonymous access.
+#[derive(Default)]
+pub struct UserRegistry {
+    accounts: RwLock<HashMap<String, String>>,
+    allow_anonymous: bool,
+}
+
+impl UserRegistry {
+    /// Empty registry; anonymous access disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable the `anonymous` account (any password accepted).
+    pub fn with_anonymous(mut self) -> Self {
+        self.allow_anonymous = true;
+        self
+    }
+
+    /// Add (or replace) an account.
+    pub fn add_user(&self, name: impl Into<String>, password: impl Into<String>) {
+        self.accounts.write().insert(name.into(), password.into());
+    }
+
+    /// Whether a user name is known (anonymous counts when enabled).
+    pub fn knows(&self, name: &str) -> bool {
+        (self.allow_anonymous && name.eq_ignore_ascii_case("anonymous"))
+            || self.accounts.read().contains_key(name)
+    }
+
+    /// Check credentials.
+    pub fn authenticate(&self, name: &str, password: &str) -> bool {
+        if self.allow_anonymous && name.eq_ignore_ascii_case("anonymous") {
+            return true;
+        }
+        self.accounts
+            .read()
+            .get(name)
+            .is_some_and(|p| p == password)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn password_checked() {
+        let reg = UserRegistry::new();
+        reg.add_user("alice", "secret");
+        assert!(reg.knows("alice"));
+        assert!(reg.authenticate("alice", "secret"));
+        assert!(!reg.authenticate("alice", "wrong"));
+        assert!(!reg.authenticate("bob", "secret"));
+        assert!(!reg.knows("bob"));
+    }
+
+    #[test]
+    fn anonymous_when_enabled() {
+        let reg = UserRegistry::new().with_anonymous();
+        assert!(reg.knows("anonymous"));
+        assert!(reg.knows("ANONYMOUS"));
+        assert!(reg.authenticate("anonymous", "anything"));
+        let strict = UserRegistry::new();
+        assert!(!strict.authenticate("anonymous", "x"));
+    }
+
+    #[test]
+    fn replacing_account_updates_password() {
+        let reg = UserRegistry::new();
+        reg.add_user("u", "one");
+        reg.add_user("u", "two");
+        assert!(!reg.authenticate("u", "one"));
+        assert!(reg.authenticate("u", "two"));
+    }
+}

@@ -1,0 +1,252 @@
+//! An in-memory virtual filesystem — part of the reusable library layer
+//! (the equivalent of Apache FTPServer's file-system abstraction).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A node in the virtual tree.
+#[derive(Debug, Clone)]
+enum Node {
+    File(Arc<Vec<u8>>),
+    Dir,
+}
+
+/// Thread-safe virtual filesystem with absolute `/`-separated paths.
+#[derive(Default)]
+pub struct Vfs {
+    nodes: RwLock<BTreeMap<String, Node>>,
+}
+
+/// Normalise an absolute path: collapse `//`, resolve `.` and `..`,
+/// reject escapes above root.
+pub fn normalize(base: &str, path: &str) -> Option<String> {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else if base.ends_with('/') {
+        format!("{base}{path}")
+    } else {
+        format!("{base}/{path}")
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in joined.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop()?;
+            }
+            s => parts.push(s),
+        }
+    }
+    Some(format!("/{}", parts.join("/")))
+}
+
+impl Vfs {
+    /// Empty filesystem containing only `/`.
+    pub fn new() -> Self {
+        let vfs = Self::default();
+        vfs.nodes.write().insert("/".into(), Node::Dir);
+        vfs
+    }
+
+    /// Create a directory (parents must exist).
+    pub fn mkdir(&self, path: &str) -> bool {
+        let path = match normalize("/", path) {
+            Some(p) => p,
+            None => return false,
+        };
+        let mut nodes = self.nodes.write();
+        if nodes.contains_key(&path) {
+            return false;
+        }
+        if !Self::parent_is_dir(&nodes, &path) {
+            return false;
+        }
+        nodes.insert(path, Node::Dir);
+        true
+    }
+
+    /// Write a file (parent directory must exist; overwrites).
+    pub fn write(&self, path: &str, data: Vec<u8>) -> bool {
+        let path = match normalize("/", path) {
+            Some(p) => p,
+            None => return false,
+        };
+        let mut nodes = self.nodes.write();
+        if matches!(nodes.get(&path), Some(Node::Dir)) {
+            return false;
+        }
+        if !Self::parent_is_dir(&nodes, &path) {
+            return false;
+        }
+        nodes.insert(path, Node::File(Arc::new(data)));
+        true
+    }
+
+    /// Read a file.
+    pub fn read(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        let path = normalize("/", path)?;
+        match self.nodes.read().get(&path) {
+            Some(Node::File(data)) => Some(Arc::clone(data)),
+            _ => None,
+        }
+    }
+
+    /// Delete a file (not directories).
+    pub fn delete(&self, path: &str) -> bool {
+        let path = match normalize("/", path) {
+            Some(p) => p,
+            None => return false,
+        };
+        let mut nodes = self.nodes.write();
+        match nodes.get(&path) {
+            Some(Node::File(_)) => {
+                nodes.remove(&path);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the path names a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        match normalize("/", path) {
+            Some(p) => matches!(self.nodes.read().get(&p), Some(Node::Dir)),
+            None => false,
+        }
+    }
+
+    /// List the immediate children of a directory, as `name` (files) and
+    /// `name/` (directories), sorted.
+    pub fn list(&self, path: &str) -> Option<Vec<String>> {
+        let path = normalize("/", path)?;
+        let nodes = self.nodes.read();
+        if !matches!(nodes.get(&path), Some(Node::Dir)) {
+            return None;
+        }
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let mut out = Vec::new();
+        for (p, node) in nodes.range(prefix.clone()..) {
+            if !p.starts_with(&prefix) {
+                break;
+            }
+            let rest = &p[prefix.len()..];
+            if rest.is_empty() || rest.contains('/') {
+                continue;
+            }
+            match node {
+                Node::Dir => out.push(format!("{rest}/")),
+                Node::File(_) => out.push(rest.to_string()),
+            }
+        }
+        Some(out)
+    }
+
+    /// File size, if the path names a file.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        self.read(path).map(|d| d.len() as u64)
+    }
+
+    fn parent_is_dir(nodes: &BTreeMap<String, Node>, path: &str) -> bool {
+        let parent = match path.rfind('/') {
+            Some(0) => "/",
+            Some(i) => &path[..i],
+            None => return false,
+        };
+        matches!(nodes.get(parent), Some(Node::Dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(normalize("/", "a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a", "b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/b", "../c").unwrap(), "/a/c");
+        assert_eq!(normalize("/", "/x//y/./z").unwrap(), "/x/y/z");
+        assert_eq!(normalize("/a", "..").unwrap(), "/");
+        assert!(normalize("/", "../..").is_none());
+    }
+
+    #[test]
+    fn mkdir_write_read_round_trip() {
+        let vfs = Vfs::new();
+        assert!(vfs.mkdir("/pub"));
+        assert!(vfs.write("/pub/readme.txt", b"hello".to_vec()));
+        assert_eq!(&**vfs.read("/pub/readme.txt").unwrap(), b"hello");
+        assert_eq!(vfs.size("/pub/readme.txt"), Some(5));
+    }
+
+    #[test]
+    fn mkdir_requires_parent_and_uniqueness() {
+        let vfs = Vfs::new();
+        assert!(!vfs.mkdir("/a/b"), "parent missing");
+        assert!(vfs.mkdir("/a"));
+        assert!(vfs.mkdir("/a/b"));
+        assert!(!vfs.mkdir("/a"), "already exists");
+    }
+
+    #[test]
+    fn write_refuses_dir_path_and_missing_parent() {
+        let vfs = Vfs::new();
+        vfs.mkdir("/d");
+        assert!(!vfs.write("/d", b"x".to_vec()), "is a directory");
+        assert!(!vfs.write("/missing/f", b"x".to_vec()));
+    }
+
+    #[test]
+    fn list_returns_children_sorted_with_dir_suffix() {
+        let vfs = Vfs::new();
+        vfs.mkdir("/pub");
+        vfs.mkdir("/pub/sub");
+        vfs.write("/pub/b.txt", vec![1]);
+        vfs.write("/pub/a.txt", vec![2]);
+        vfs.write("/pub/sub/deep.txt", vec![3]);
+        let listing = vfs.list("/pub").unwrap();
+        assert_eq!(listing, vec!["a.txt", "b.txt", "sub/"]);
+        // Root listing sees only top-level entries.
+        assert_eq!(vfs.list("/").unwrap(), vec!["pub/"]);
+        // Listing a file fails.
+        assert!(vfs.list("/pub/a.txt").is_none());
+    }
+
+    #[test]
+    fn delete_only_files() {
+        let vfs = Vfs::new();
+        vfs.mkdir("/d");
+        vfs.write("/f", vec![0]);
+        assert!(vfs.delete("/f"));
+        assert!(!vfs.delete("/f"), "already gone");
+        assert!(!vfs.delete("/d"), "directories are not deletable");
+        assert!(vfs.is_dir("/d"));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::thread;
+        let vfs = Arc::new(Vfs::new());
+        vfs.mkdir("/t");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let vfs = Arc::clone(&vfs);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    vfs.write(&format!("/t/f{t}_{i}"), vec![t as u8; 10]);
+                    vfs.read(&format!("/t/f{t}_{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(vfs.list("/t").unwrap().len(), 400);
+    }
+}

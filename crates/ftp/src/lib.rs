@@ -1,0 +1,36 @@
+//! # nserver-ftp
+//!
+//! The FTP protocol library and the **COPS-FTP** server logic.
+//!
+//! The paper's Table 3 experiment transformed the (thread-per-connection)
+//! Apache FTPServer into an event-driven server by *reusing* 8,141 NCSS of
+//! protocol-agnostic library code and *adding* a small event-driven
+//! adaptation layer — demonstrating "how the N-Server can make extensive
+//! use of existing code by adapting it to a new server architecture."
+//!
+//! This crate mirrors that structure explicitly:
+//!
+//! * [`legacy`] — the reusable "existing library" half: the virtual
+//!   filesystem, the user registry, and reply formatting. Nothing in here
+//!   knows about events or the N-Server.
+//! * [`commands`] / [`session`] — protocol parsing and the per-connection
+//!   session state machine.
+//! * [`codec`] / [`service`] — the event-driven adaptation layer: the thin
+//!   hooks that plug the legacy library into the N-Server pipeline.
+//!   COPS-FTP runs with **synchronous** completions (Table 1: O4 =
+//!   Synchronous), so data transfers block the worker thread in place.
+//! * [`preset`] — the COPS-FTP column of Table 1.
+
+pub mod codec;
+pub mod commands;
+pub mod legacy;
+pub mod preset;
+pub mod service;
+pub mod session;
+
+pub use codec::FtpCodec;
+pub use commands::Command;
+pub use legacy::{replies, users::UserRegistry, vfs::Vfs};
+pub use preset::cops_ftp_options;
+pub use service::FtpService;
+pub use session::{Session, SessionState};

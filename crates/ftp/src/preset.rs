@@ -1,0 +1,61 @@
+//! The COPS-FTP column of the paper's Table 1.
+
+use nserver_core::options::{
+    CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
+    ServerOptions, ThreadAllocation,
+};
+
+/// Table 1's COPS-FTP column: one dispatcher, separate pool,
+/// encode/decode, **synchronous** completions, **dynamic** thread
+/// allocation, no cache, **idle shutdown on**, no scheduling, no overload
+/// control, production mode, no profiling, no logging.
+pub fn cops_ftp_options() -> ServerOptions {
+    ServerOptions {
+        dispatcher_threads: DispatcherThreads::Single,
+        separate_handler_pool: true,
+        encode_decode: true,
+        completion_mode: CompletionMode::Synchronous,
+        thread_allocation: ThreadAllocation::Dynamic {
+            min: 2,
+            max: 16,
+            idle_keepalive_ms: 5_000,
+        },
+        file_cache: FileCacheOption::No,
+        idle_shutdown_ms: Some(300_000), // five minutes of control-conn idleness
+        event_scheduling: EventScheduling::No,
+        overload_control: OverloadControl::No,
+        mode: Mode::Production,
+        profiling: false,
+        logging: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_table1_column() {
+        let o = cops_ftp_options();
+        o.validate().unwrap();
+        let rows = o.describe();
+        let value = |prefix: &str| {
+            rows.iter()
+                .find(|(name, _)| name.starts_with(prefix))
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(value("O1"), "1");
+        assert_eq!(value("O2"), "Yes");
+        assert_eq!(value("O3"), "Yes");
+        assert_eq!(value("O4"), "Synchronous");
+        assert_eq!(value("O5"), "Dynamic");
+        assert_eq!(value("O6"), "No");
+        assert_eq!(value("O7"), "Yes");
+        assert_eq!(value("O8"), "No");
+        assert_eq!(value("O9"), "No");
+        assert_eq!(value("O10"), "Production");
+        assert_eq!(value("O11"), "No");
+        assert_eq!(value("O12"), "No");
+    }
+}

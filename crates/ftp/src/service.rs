@@ -1,0 +1,530 @@
+//! The Handle Request hook for COPS-FTP: the event-driven adaptation layer
+//! over the legacy library.
+//!
+//! COPS-FTP is configured with **synchronous completions** (Table 1:
+//! O4 = Synchronous) and a **dynamic** worker pool (O5): data transfers
+//! block the worker thread that runs them, and the Processor Controller
+//! grows the pool when several transfers are in flight. The transfer
+//! commands are still expressed as `Action::Defer` blocking operations, so
+//! the very same service code would run unchanged under O4 = Asynchronous
+//! — that is the point of the pattern's hook interface.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use nserver_core::event::ConnId;
+use nserver_core::pipeline::{Action, ConnCtx, Service};
+
+use crate::codec::{FtpCodec, FtpRequest};
+use crate::commands::Command;
+use crate::legacy::replies;
+use crate::legacy::users::UserRegistry;
+use crate::legacy::vfs::{normalize, Vfs};
+use crate::session::{Session, SessionState};
+
+/// How long a data transfer waits for the peer to connect to the passive
+/// listener.
+const DATA_ACCEPT_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// The COPS-FTP application service.
+pub struct FtpService {
+    vfs: Arc<Vfs>,
+    users: Arc<UserRegistry>,
+    sessions: Mutex<HashMap<ConnId, Arc<Mutex<Session>>>>,
+    server_name: String,
+}
+
+impl FtpService {
+    /// Serve `vfs` to the accounts in `users`.
+    pub fn new(vfs: Arc<Vfs>, users: Arc<UserRegistry>) -> Self {
+        Self {
+            vfs,
+            users,
+            sessions: Mutex::new(HashMap::new()),
+            server_name: "COPS-FTP".to_string(),
+        }
+    }
+
+    /// The shared virtual filesystem.
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    fn session(&self, conn: ConnId) -> Arc<Mutex<Session>> {
+        Arc::clone(
+            self.sessions
+                .lock()
+                .entry(conn)
+                .or_insert_with(|| Arc::new(Mutex::new(Session::new()))),
+        )
+    }
+
+    /// Number of live sessions (diagnostics).
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+}
+
+/// Accept one data connection on a passive listener, with a deadline.
+fn accept_data(listener: &TcpListener) -> Option<TcpStream> {
+    listener.set_nonblocking(true).ok()?;
+    let deadline = Instant::now() + DATA_ACCEPT_TIMEOUT;
+    while Instant::now() < deadline {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                return Some(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+impl Service<FtpCodec> for FtpService {
+    fn on_open(&self, ctx: &ConnCtx) -> Option<String> {
+        self.session(ctx.id); // allocate session state
+        Some(replies::service_ready(&self.server_name))
+    }
+
+    fn on_close(&self, ctx: &ConnCtx) {
+        self.sessions.lock().remove(&ctx.id);
+    }
+
+    fn handle(&self, ctx: &ConnCtx, req: FtpRequest) -> Action<String> {
+        let cmd = match req {
+            FtpRequest::Command(c) => c,
+            FtpRequest::Malformed(why) => {
+                return Action::Reply(replies::syntax_error(&why));
+            }
+        };
+        let session = self.session(ctx.id);
+
+        // Commands allowed before login.
+        match &cmd {
+            Command::User(name) => {
+                let mut s = session.lock();
+                if self.users.knows(name) {
+                    s.state = SessionState::NeedPassword { user: name.clone() };
+                    return Action::Reply(replies::need_password(name));
+                }
+                s.state = SessionState::Greeted;
+                return Action::Reply(replies::not_logged_in("Unknown user"));
+            }
+            Command::Pass(pw) => {
+                let mut s = session.lock();
+                let user = match &s.state {
+                    SessionState::NeedPassword { user } => user.clone(),
+                    _ => return Action::Reply(replies::bad_sequence("Send USER first")),
+                };
+                if self.users.authenticate(&user, pw) {
+                    s.state = SessionState::LoggedIn { user: user.clone() };
+                    return Action::Reply(replies::logged_in(&user));
+                }
+                s.state = SessionState::Greeted;
+                return Action::Reply(replies::not_logged_in("Login incorrect"));
+            }
+            Command::Quit => return Action::ReplyClose(replies::goodbye()),
+            Command::Syst => return Action::Reply(replies::system_type()),
+            Command::Noop => return Action::Reply(replies::ok_command("NOOP ok")),
+            Command::Unknown(verb) => {
+                return Action::Reply(replies::not_implemented(verb));
+            }
+            _ => {}
+        }
+
+        if !session.lock().logged_in() {
+            return Action::Reply(replies::not_logged_in("Please login with USER and PASS"));
+        }
+
+        match cmd {
+            Command::Pwd => {
+                let cwd = session.lock().cwd.clone();
+                Action::Reply(replies::cwd_is(&cwd))
+            }
+            Command::Cwd(dir) => {
+                let mut s = session.lock();
+                match normalize(&s.cwd, &dir) {
+                    Some(path) if self.vfs.is_dir(&path) => {
+                        s.cwd = path;
+                        Action::Reply(replies::ok_action("Directory changed"))
+                    }
+                    _ => Action::Reply(replies::file_unavailable(&dir)),
+                }
+            }
+            Command::Type(t) => {
+                session.lock().transfer_type = t;
+                Action::Reply(replies::ok_command(&format!("Type set to {t}")))
+            }
+            Command::Mkd(dir) => {
+                let cwd = session.lock().cwd.clone();
+                match normalize(&cwd, &dir) {
+                    Some(path) if self.vfs.mkdir(&path) => {
+                        Action::Reply(replies::line(257, &format!("\"{path}\" created")))
+                    }
+                    _ => Action::Reply(replies::file_unavailable(&dir)),
+                }
+            }
+            Command::Dele(file) => {
+                let cwd = session.lock().cwd.clone();
+                match normalize(&cwd, &file) {
+                    Some(path) if self.vfs.delete(&path) => {
+                        Action::Reply(replies::ok_action("File deleted"))
+                    }
+                    _ => Action::Reply(replies::file_unavailable(&file)),
+                }
+            }
+            Command::Size(file) => {
+                let cwd = session.lock().cwd.clone();
+                match normalize(&cwd, &file).and_then(|p| self.vfs.size(&p)) {
+                    Some(n) => Action::Reply(replies::line(213, &n.to_string())),
+                    None => Action::Reply(replies::file_unavailable(&file)),
+                }
+            }
+            Command::Pasv => {
+                let listener = match TcpListener::bind("127.0.0.1:0") {
+                    Ok(l) => l,
+                    Err(_) => return Action::Reply(replies::data_failed()),
+                };
+                let port = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+                session.lock().pasv = Some(listener);
+                Action::Reply(replies::passive_mode([127, 0, 0, 1], port))
+            }
+            Command::List(path) => {
+                let (cwd, listener) = {
+                    let mut s = session.lock();
+                    (s.cwd.clone(), s.take_pasv())
+                };
+                let Some(listener) = listener else {
+                    return Action::Reply(replies::bad_sequence("Use PASV first"));
+                };
+                let target = match path {
+                    Some(p) => match normalize(&cwd, &p) {
+                        Some(t) => t,
+                        None => return Action::Reply(replies::file_unavailable(&p)),
+                    },
+                    None => cwd,
+                };
+                let vfs = Arc::clone(&self.vfs);
+                // Blocking data transfer: Defer runs it synchronously in
+                // place (O4 = Synchronous) or on the helper pool (O4 =
+                // Asynchronous) — the hook code is identical.
+                Action::Defer(Box::new(move || {
+                    let Some(listing) = vfs.list(&target) else {
+                        return replies::file_unavailable(&target);
+                    };
+                    let Some(mut data) = accept_data(&listener) else {
+                        return replies::data_failed();
+                    };
+                    let text: String =
+                        listing.iter().map(|e| format!("{e}\r\n")).collect();
+                    if data.write_all(text.as_bytes()).is_err() {
+                        return replies::data_failed();
+                    }
+                    drop(data);
+                    format!(
+                        "{}{}",
+                        replies::opening_data("directory listing"),
+                        replies::transfer_complete()
+                    )
+                }))
+            }
+            Command::Retr(file) => {
+                let (cwd, listener) = {
+                    let mut s = session.lock();
+                    (s.cwd.clone(), s.take_pasv())
+                };
+                let Some(listener) = listener else {
+                    return Action::Reply(replies::bad_sequence("Use PASV first"));
+                };
+                let Some(path) = normalize(&cwd, &file) else {
+                    return Action::Reply(replies::file_unavailable(&file));
+                };
+                let vfs = Arc::clone(&self.vfs);
+                Action::Defer(Box::new(move || {
+                    let Some(bytes) = vfs.read(&path) else {
+                        return replies::file_unavailable(&path);
+                    };
+                    let Some(mut data) = accept_data(&listener) else {
+                        return replies::data_failed();
+                    };
+                    if data.write_all(&bytes).is_err() {
+                        return replies::data_failed();
+                    }
+                    drop(data);
+                    format!(
+                        "{}{}",
+                        replies::opening_data(&path),
+                        replies::transfer_complete()
+                    )
+                }))
+            }
+            Command::Stor(file) => {
+                let (cwd, listener) = {
+                    let mut s = session.lock();
+                    (s.cwd.clone(), s.take_pasv())
+                };
+                let Some(listener) = listener else {
+                    return Action::Reply(replies::bad_sequence("Use PASV first"));
+                };
+                let Some(path) = normalize(&cwd, &file) else {
+                    return Action::Reply(replies::file_unavailable(&file));
+                };
+                let vfs = Arc::clone(&self.vfs);
+                Action::Defer(Box::new(move || {
+                    let Some(mut data) = accept_data(&listener) else {
+                        return replies::data_failed();
+                    };
+                    let mut bytes = Vec::new();
+                    if data.read_to_end(&mut bytes).is_err() {
+                        return replies::data_failed();
+                    }
+                    drop(data);
+                    if !vfs.write(&path, bytes) {
+                        return replies::file_unavailable(&path);
+                    }
+                    format!(
+                        "{}{}",
+                        replies::opening_data(&path),
+                        replies::transfer_complete()
+                    )
+                }))
+            }
+            // USER/PASS/QUIT/SYST/NOOP/Unknown handled above.
+            Command::User(_)
+            | Command::Pass(_)
+            | Command::Quit
+            | Command::Syst
+            | Command::Noop
+            | Command::Unknown(_) => unreachable!("handled before login gate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nserver_core::event::Priority;
+
+    fn ctx(id: ConnId) -> ConnCtx {
+        ConnCtx {
+            id,
+            peer: "t".into(),
+            priority: Priority::HIGHEST,
+        }
+    }
+
+    fn service() -> FtpService {
+        let vfs = Arc::new(Vfs::new());
+        vfs.mkdir("/pub");
+        vfs.write("/pub/hello.txt", b"hello ftp".to_vec());
+        let users = Arc::new(UserRegistry::new().with_anonymous());
+        users.add_user("alice", "secret");
+        FtpService::new(vfs, users)
+    }
+
+    fn reply(svc: &FtpService, id: ConnId, line: &str) -> String {
+        let cmd = Command::parse(line).unwrap();
+        match svc.handle(&ctx(id), FtpRequest::Command(cmd)) {
+            Action::Reply(r) => r,
+            Action::ReplyClose(r) => r,
+            Action::Defer(job) => job(),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    fn login(svc: &FtpService, id: ConnId) {
+        assert!(reply(svc, id, "USER alice").starts_with("331"));
+        assert!(reply(svc, id, "PASS secret").starts_with("230"));
+    }
+
+    #[test]
+    fn greeting_on_open() {
+        let svc = service();
+        let g = svc.on_open(&ctx(1)).unwrap();
+        assert!(g.starts_with("220"));
+        assert_eq!(svc.live_sessions(), 1);
+        svc.on_close(&ctx(1));
+        assert_eq!(svc.live_sessions(), 0);
+    }
+
+    #[test]
+    fn login_flow_and_wrong_password() {
+        let svc = service();
+        assert!(reply(&svc, 1, "USER alice").starts_with("331"));
+        assert!(reply(&svc, 1, "PASS wrong").starts_with("530"));
+        // After failure the FSM resets.
+        assert!(reply(&svc, 1, "PASS secret").starts_with("503"));
+        login(&svc, 1);
+    }
+
+    #[test]
+    fn unknown_user_is_rejected() {
+        let svc = service();
+        assert!(reply(&svc, 1, "USER mallory").starts_with("530"));
+    }
+
+    #[test]
+    fn anonymous_login() {
+        let svc = service();
+        assert!(reply(&svc, 1, "USER anonymous").starts_with("331"));
+        assert!(reply(&svc, 1, "PASS guest@").starts_with("230"));
+    }
+
+    #[test]
+    fn commands_require_login() {
+        let svc = service();
+        assert!(reply(&svc, 1, "PWD").starts_with("530"));
+        assert!(reply(&svc, 1, "RETR /pub/hello.txt").starts_with("530"));
+        // SYST and NOOP work pre-login.
+        assert!(reply(&svc, 1, "SYST").starts_with("215"));
+        assert!(reply(&svc, 1, "NOOP").starts_with("200"));
+    }
+
+    #[test]
+    fn pwd_and_cwd() {
+        let svc = service();
+        login(&svc, 1);
+        assert!(reply(&svc, 1, "PWD").contains("\"/\""));
+        assert!(reply(&svc, 1, "CWD pub").starts_with("250"));
+        assert!(reply(&svc, 1, "PWD").contains("\"/pub\""));
+        assert!(reply(&svc, 1, "CWD nonexistent").starts_with("550"));
+        assert!(reply(&svc, 1, "CWD ..").starts_with("250"));
+        assert!(reply(&svc, 1, "PWD").contains("\"/\""));
+    }
+
+    #[test]
+    fn mkd_dele_size() {
+        let svc = service();
+        login(&svc, 1);
+        assert!(reply(&svc, 1, "MKD /inbox").starts_with("257"));
+        assert!(reply(&svc, 1, "MKD /inbox").starts_with("550"), "exists");
+        assert!(reply(&svc, 1, "SIZE /pub/hello.txt").starts_with("213 9"));
+        assert!(reply(&svc, 1, "DELE /pub/hello.txt").starts_with("250"));
+        assert!(reply(&svc, 1, "SIZE /pub/hello.txt").starts_with("550"));
+    }
+
+    #[test]
+    fn transfers_require_pasv_first() {
+        let svc = service();
+        login(&svc, 1);
+        assert!(reply(&svc, 1, "LIST").starts_with("503"));
+        assert!(reply(&svc, 1, "RETR /pub/hello.txt").starts_with("503"));
+        assert!(reply(&svc, 1, "STOR up.txt").starts_with("503"));
+    }
+
+    /// Parse the port from a 227 reply.
+    fn pasv_port(reply_text: &str) -> u16 {
+        let inner = reply_text
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split(')')
+            .next()
+            .unwrap();
+        let nums: Vec<u16> = inner.split(',').map(|n| n.parse().unwrap()).collect();
+        (nums[4] << 8) | nums[5]
+    }
+
+    #[test]
+    fn retr_transfers_file_over_data_connection() {
+        let svc = Arc::new(service());
+        login(&svc, 1);
+        let pasv = reply(&svc, 1, "PASV");
+        assert!(pasv.starts_with("227"), "{pasv}");
+        let port = pasv_port(&pasv);
+        // The client connects to the data port, then issues RETR.
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            buf
+        });
+        let r = reply(&svc, 1, "RETR /pub/hello.txt");
+        assert!(r.contains("150"), "{r}");
+        assert!(r.contains("226"), "{r}");
+        assert_eq!(reader.join().unwrap(), b"hello ftp");
+    }
+
+    #[test]
+    fn list_transfers_directory_over_data_connection() {
+        let svc = Arc::new(service());
+        login(&svc, 1);
+        let port = pasv_port(&reply(&svc, 1, "PASV"));
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            buf
+        });
+        let r = reply(&svc, 1, "LIST /pub");
+        assert!(r.contains("226"), "{r}");
+        assert_eq!(reader.join().unwrap(), "hello.txt\r\n");
+    }
+
+    #[test]
+    fn stor_uploads_into_the_vfs() {
+        let svc = Arc::new(service());
+        login(&svc, 1);
+        let port = pasv_port(&reply(&svc, 1, "PASV"));
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            s.write_all(b"uploaded bytes").unwrap();
+        });
+        let r = reply(&svc, 1, "STOR /pub/up.bin");
+        assert!(r.contains("226"), "{r}");
+        writer.join().unwrap();
+        assert_eq!(&**svc.vfs().read("/pub/up.bin").unwrap(), b"uploaded bytes");
+    }
+
+    #[test]
+    fn retr_of_missing_file_reports_550_and_pasv_is_consumed() {
+        let svc = service();
+        login(&svc, 1);
+        let _ = reply(&svc, 1, "PASV");
+        assert!(reply(&svc, 1, "RETR /nope").starts_with("550"));
+        // The listener was consumed; a new transfer needs a fresh PASV.
+        assert!(reply(&svc, 1, "RETR /pub/hello.txt").starts_with("503"));
+    }
+
+    #[test]
+    fn sessions_are_independent_per_connection() {
+        let svc = service();
+        login(&svc, 1);
+        assert!(reply(&svc, 1, "CWD pub").starts_with("250"));
+        // Connection 2 is not logged in and has its own cwd.
+        assert!(reply(&svc, 2, "PWD").starts_with("530"));
+        login(&svc, 2);
+        assert!(reply(&svc, 2, "PWD").contains("\"/\""));
+    }
+
+    #[test]
+    fn quit_closes_and_unknown_is_502() {
+        let svc = service();
+        let action = svc.handle(
+            &ctx(1),
+            FtpRequest::Command(Command::parse("QUIT").unwrap()),
+        );
+        assert!(matches!(action, Action::ReplyClose(_)));
+        assert!(reply(&svc, 1, "FEAT").starts_with("502"));
+    }
+
+    #[test]
+    fn malformed_requests_get_500() {
+        let svc = service();
+        match svc.handle(&ctx(1), FtpRequest::Malformed("RETR needs arg".into())) {
+            Action::Reply(r) => assert!(r.starts_with("500")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

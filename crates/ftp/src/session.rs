@@ -1,0 +1,92 @@
+//! Per-connection FTP session state: the authentication FSM, current
+//! directory, transfer type and passive-mode data listener.
+
+use std::net::TcpListener;
+
+/// Authentication progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionState {
+    /// No USER yet.
+    Greeted,
+    /// USER received; waiting for PASS.
+    NeedPassword {
+        /// The claimed user name.
+        user: String,
+    },
+    /// Logged in.
+    LoggedIn {
+        /// The authenticated user name.
+        user: String,
+    },
+}
+
+/// One control connection's state.
+pub struct Session {
+    /// Authentication FSM state.
+    pub state: SessionState,
+    /// Current working directory.
+    pub cwd: String,
+    /// Transfer type (`A` or `I`).
+    pub transfer_type: char,
+    /// Passive-mode listener awaiting a data connection.
+    pub pasv: Option<TcpListener>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Fresh session at the root directory.
+    pub fn new() -> Self {
+        Self {
+            state: SessionState::Greeted,
+            cwd: "/".to_string(),
+            transfer_type: 'A',
+            pasv: None,
+        }
+    }
+
+    /// Whether the session is authenticated.
+    pub fn logged_in(&self) -> bool {
+        matches!(self.state, SessionState::LoggedIn { .. })
+    }
+
+    /// Take the passive listener for a data transfer (single use).
+    pub fn take_pasv(&mut self) -> Option<TcpListener> {
+        self.pasv.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_session_defaults() {
+        let s = Session::new();
+        assert_eq!(s.state, SessionState::Greeted);
+        assert_eq!(s.cwd, "/");
+        assert_eq!(s.transfer_type, 'A');
+        assert!(!s.logged_in());
+    }
+
+    #[test]
+    fn login_fsm_transitions() {
+        let mut s = Session::new();
+        s.state = SessionState::NeedPassword { user: "u".into() };
+        assert!(!s.logged_in());
+        s.state = SessionState::LoggedIn { user: "u".into() };
+        assert!(s.logged_in());
+    }
+
+    #[test]
+    fn pasv_listener_is_single_use() {
+        let mut s = Session::new();
+        s.pasv = Some(TcpListener::bind("127.0.0.1:0").unwrap());
+        assert!(s.take_pasv().is_some());
+        assert!(s.take_pasv().is_none());
+    }
+}

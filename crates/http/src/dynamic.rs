@@ -1,0 +1,257 @@
+//! Dynamic content support — the paper's noted extension: "The same
+//! pattern can be used to generate a server for dynamic content, except
+//! that more application-dependent code would be required to support the
+//! additional protocols."
+//!
+//! [`RoutedService`] front-ends the static file service with
+//! prefix-matched dynamic handlers. A handler is a plain closure from
+//! request to response; handlers marked *blocking* run through the
+//! framework's Proactor path (`Action::Defer`) so a slow generator (a
+//! database query, a CGI-like computation) never stalls the event loop.
+
+use std::sync::Arc;
+
+use nserver_core::pipeline::{Action, ConnCtx, Service};
+
+use crate::codec::HttpCodec;
+use crate::service::{ContentStore, StaticFileService};
+use crate::types::{Request, Response, Status};
+
+/// A dynamic request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct Route {
+    prefix: String,
+    handler: Handler,
+    blocking: bool,
+}
+
+/// Static files plus prefix-routed dynamic handlers.
+pub struct RoutedService<St: ContentStore> {
+    routes: Vec<Route>,
+    fallback: StaticFileService<St>,
+}
+
+impl<St: ContentStore> RoutedService<St> {
+    /// Wrap a static file service.
+    pub fn new(fallback: StaticFileService<St>) -> Self {
+        Self {
+            routes: Vec::new(),
+            fallback,
+        }
+    }
+
+    /// Mount a fast (non-blocking) handler at a path prefix. Longest
+    /// prefix wins; ties go to the earliest mount.
+    pub fn route(
+        mut self,
+        prefix: impl Into<String>,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            prefix: prefix.into(),
+            handler: Arc::new(handler),
+            blocking: false,
+        });
+        self
+    }
+
+    /// Mount a blocking handler (database access, heavy generation): it
+    /// runs off the event loop via the Proactor path.
+    pub fn route_blocking(
+        mut self,
+        prefix: impl Into<String>,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            prefix: prefix.into(),
+            handler: Arc::new(handler),
+            blocking: true,
+        });
+        self
+    }
+
+    fn find(&self, target: &str) -> Option<&Route> {
+        let path = target.split('?').next().unwrap_or(target);
+        self.routes
+            .iter()
+            .filter(|r| path.starts_with(&r.prefix))
+            .max_by_key(|r| r.prefix.len())
+    }
+
+    /// Number of mounted routes.
+    pub fn routes_len(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+impl<St: ContentStore> Service<HttpCodec> for RoutedService<St> {
+    fn handle(&self, ctx: &ConnCtx, req: Request) -> Action<Response> {
+        let Some(route) = self.find(&req.target) else {
+            return self.fallback.handle(ctx, req);
+        };
+        let keep_alive = req.keep_alive();
+        if route.blocking {
+            let handler = Arc::clone(&route.handler);
+            let job = move || {
+                let resp = handler(&req).with_keep_alive(keep_alive);
+                if req.method == crate::types::Method::Head {
+                    resp.head()
+                } else {
+                    resp
+                }
+            };
+            if keep_alive {
+                Action::Defer(Box::new(job))
+            } else {
+                Action::DeferClose(Box::new(job))
+            }
+        } else {
+            let resp = (route.handler)(&req).with_keep_alive(keep_alive);
+            let resp = if req.method == crate::types::Method::Head {
+                resp.head()
+            } else {
+                resp
+            };
+            if keep_alive {
+                Action::Reply(resp)
+            } else {
+                Action::ReplyClose(resp)
+            }
+        }
+    }
+}
+
+/// A ready-made JSON-ish status page handler exposing a closure's text.
+pub fn text_page(
+    status: Status,
+    body: impl Fn(&Request) -> String + Send + Sync + 'static,
+) -> impl Fn(&Request) -> Response + Send + Sync + 'static {
+    move |req: &Request| {
+        let text = body(req);
+        let mut resp = Response::error(status, req.version);
+        resp.body = Arc::new(text.into_bytes());
+        resp.headers = crate::types::Headers::new();
+        resp.headers.push("Content-Type", "text/plain");
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::MemStore;
+    use crate::types::{Headers, Method, Version};
+    use nserver_core::event::Priority;
+
+    fn ctx() -> ConnCtx {
+        ConnCtx {
+            id: 1,
+            peer: "t".into(),
+            priority: Priority::HIGHEST,
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+        }
+    }
+
+    fn service() -> RoutedService<MemStore> {
+        let mut store = MemStore::new();
+        store.insert("/static.txt", b"file bytes".to_vec());
+        RoutedService::new(StaticFileService::new(store, None))
+            .route("/api/hello", text_page(Status::Ok, |_| "hi there".into()))
+            .route("/api", text_page(Status::Ok, |r| format!("api root: {}", r.target)))
+            .route_blocking(
+                "/api/slow",
+                text_page(Status::Ok, |_| "computed slowly".into()),
+            )
+    }
+
+    fn run(action: Action<Response>) -> Response {
+        match action {
+            Action::Reply(r) | Action::ReplyClose(r) => r,
+            Action::Defer(job) | Action::DeferClose(job) => job(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let svc = service();
+        let r = run(svc.handle(&ctx(), get("/api/hello")));
+        assert_eq!(String::from_utf8_lossy(&r.body), "hi there");
+        let r = run(svc.handle(&ctx(), get("/api/other")));
+        assert!(String::from_utf8_lossy(&r.body).starts_with("api root"));
+    }
+
+    #[test]
+    fn blocking_routes_defer() {
+        let svc = service();
+        let action = svc.handle(&ctx(), get("/api/slow/compute"));
+        assert!(matches!(action, Action::Defer(_)));
+        let r = run(action);
+        assert_eq!(String::from_utf8_lossy(&r.body), "computed slowly");
+    }
+
+    #[test]
+    fn unrouted_paths_fall_back_to_static_files() {
+        let svc = service();
+        let r = run(svc.handle(&ctx(), get("/static.txt")));
+        assert_eq!(String::from_utf8_lossy(&r.body), "file bytes");
+        let r = run(svc.handle(&ctx(), get("/missing")));
+        assert_eq!(r.status, Status::NotFound);
+    }
+
+    #[test]
+    fn query_strings_do_not_break_routing() {
+        let svc = service();
+        let r = run(svc.handle(&ctx(), get("/api/hello?x=1")));
+        assert_eq!(String::from_utf8_lossy(&r.body), "hi there");
+    }
+
+    #[test]
+    fn dynamic_handlers_see_the_request() {
+        let svc = service();
+        let r = run(svc.handle(&ctx(), get("/api/echo-target")));
+        assert!(String::from_utf8_lossy(&r.body).contains("/api/echo-target"));
+    }
+
+    #[test]
+    fn connection_close_propagates_through_routes() {
+        let svc = service();
+        let mut headers = Headers::new();
+        headers.push("Connection", "close");
+        let req = Request {
+            method: Method::Get,
+            target: "/api/hello".into(),
+            version: Version::Http11,
+            headers,
+        };
+        let action = svc.handle(&ctx(), req);
+        assert!(matches!(action, Action::ReplyClose(_)));
+    }
+
+    #[test]
+    fn head_requests_suppress_dynamic_bodies() {
+        let svc = service();
+        let req = Request {
+            method: Method::Head,
+            target: "/api/hello".into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+        };
+        let r = run(svc.handle(&ctx(), req));
+        assert!(r.head_only);
+    }
+
+    #[test]
+    fn routes_len_counts_mounts() {
+        assert_eq!(service().routes_len(), 3);
+    }
+}

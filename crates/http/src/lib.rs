@@ -1,0 +1,37 @@
+//! # nserver-http
+//!
+//! The HTTP protocol library and the **COPS-HTTP** server logic.
+//!
+//! In the paper's Table 4 code-distribution study, COPS-HTTP consists of
+//! automatically generated framework code plus two handwritten parts: an
+//! HTTP protocol library (449 NCSS) and server-specific application code
+//! (785 NCSS). This crate is those two handwritten parts:
+//!
+//! * [`types`] / [`parse`] — the protocol library: request/response
+//!   types, an incremental request parser and a response encoder;
+//! * [`codec`] — the Decode Request / Encode Reply hooks plugging the
+//!   protocol library into the N-Server pipeline;
+//! * [`service`] — the Handle Request hook: static file serving through
+//!   the transparent file cache (template option O6), with misses emulated
+//!   as non-blocking file I/O via `Action::Defer` (option O4);
+//! * [`dynamic`] — the paper's noted extension: prefix-routed dynamic
+//!   content handlers in front of the static file service;
+//! * [`preset`] — the exact Table 1 option columns for COPS-HTTP,
+//!   including the event-scheduling and overload-control variants used in
+//!   the paper's second and third experiments.
+
+pub mod codec;
+pub mod dynamic;
+pub mod log;
+pub mod parse;
+pub mod preset;
+pub mod service;
+pub mod types;
+
+pub use codec::HttpCodec;
+pub use dynamic::{text_page, RoutedService};
+pub use log::{clf_line, clf_line_now};
+pub use parse::{encode_response, parse_request, ParseOutcome};
+pub use preset::{cops_http_options, cops_http_overload_options, cops_http_scheduling_options};
+pub use service::{ContentStore, MemStore, StaticFileService};
+pub use types::{Headers, Method, Request, Response, Status, Version};

@@ -1,0 +1,259 @@
+//! Incremental HTTP request parsing and response encoding — the protocol
+//! library half of COPS-HTTP's handwritten code.
+
+use bytes::BytesMut;
+
+use crate::types::{Headers, Method, Request, Response, Version};
+
+/// Result of a parse attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// A complete request was consumed from the buffer.
+    Complete(Request),
+    /// More bytes are needed.
+    Incomplete,
+    /// The bytes are not a valid HTTP request.
+    Invalid(String),
+}
+
+/// Hard cap on the request head (status line + headers) to bound memory.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Try to parse one request from the front of `buf`, consuming it on
+/// success. Static servers accept no request bodies, so a request is
+/// complete at its blank line.
+pub fn parse_request(buf: &mut BytesMut) -> ParseOutcome {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None => {
+            return if buf.len() > MAX_HEAD_BYTES {
+                ParseOutcome::Invalid("request head too large".into())
+            } else {
+                ParseOutcome::Incomplete
+            };
+        }
+    };
+    let head = buf.split_to(head_end.end);
+    let text = match std::str::from_utf8(&head[..head_end.start]) {
+        Ok(t) => t,
+        Err(_) => return ParseOutcome::Invalid("request head is not UTF-8".into()),
+    };
+    let mut lines = text.split("\r\n").filter(|l| !l.is_empty());
+    let request_line = match lines.next() {
+        Some(l) => l,
+        None => return ParseOutcome::Invalid("empty request".into()),
+    };
+    let mut parts = request_line.split(' ');
+    let (m, t, v) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return ParseOutcome::Invalid(format!("malformed request line: {request_line}")),
+    };
+    let method = match Method::parse(m) {
+        Some(m) => m,
+        None => return ParseOutcome::Invalid(format!("unsupported method: {m}")),
+    };
+    let version = match Version::parse(v) {
+        Some(v) => v,
+        None => return ParseOutcome::Invalid(format!("unsupported version: {v}")),
+    };
+    if t.is_empty() || !t.starts_with('/') {
+        return ParseOutcome::Invalid(format!("bad target: {t}"));
+    }
+    let mut headers = Headers::new();
+    for line in lines {
+        match line.split_once(':') {
+            Some((name, value)) => headers.push(name.trim(), value.trim()),
+            None => return ParseOutcome::Invalid(format!("malformed header: {line}")),
+        }
+    }
+    ParseOutcome::Complete(Request {
+        method,
+        target: t.to_string(),
+        version,
+        headers,
+    })
+}
+
+struct HeadEnd {
+    /// Byte offset where the head text ends (before the blank line).
+    start: usize,
+    /// Byte offset just past the blank line (what to consume).
+    end: usize,
+}
+
+fn find_head_end(buf: &BytesMut) -> Option<HeadEnd> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| HeadEnd {
+            start: i + 2, // keep the final header's CRLF for splitting
+            end: i + 4,
+        })
+}
+
+/// Encode a response onto `out`, adding Content-Length and Connection
+/// headers.
+pub fn encode_response(resp: &Response, out: &mut BytesMut) {
+    let status_line = format!(
+        "{} {} {}\r\n",
+        resp.version,
+        resp.status.code(),
+        resp.status.reason()
+    );
+    out.extend_from_slice(status_line.as_bytes());
+    for (name, value) in resp.headers.iter() {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(
+        if resp.keep_alive {
+            b"Connection: keep-alive\r\n" as &[u8]
+        } else {
+            b"Connection: close\r\n"
+        },
+    );
+    out.extend_from_slice(b"\r\n");
+    if !resp.head_only {
+        out.extend_from_slice(&resp.body);
+    }
+}
+
+/// Render a request as wire bytes (client side; used by tests and the
+/// workload drivers).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = format!("{} {} {}\r\n", req.method, req.target, req.version);
+    for (name, value) in req.headers.iter() {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn bm(s: &str) -> BytesMut {
+        BytesMut::from(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let mut buf = bm("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n");
+        match parse_request(&mut buf) {
+            ParseOutcome::Complete(req) => {
+                assert_eq!(req.method, Method::Get);
+                assert_eq!(req.target, "/index.html");
+                assert_eq!(req.version, Version::Http11);
+                assert_eq!(req.headers.get("host"), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(buf.is_empty(), "request consumed");
+    }
+
+    #[test]
+    fn incomplete_until_blank_line() {
+        let mut buf = bm("GET / HTTP/1.1\r\nHost: x\r\n");
+        assert_eq!(parse_request(&mut buf), ParseOutcome::Incomplete);
+        buf.extend_from_slice(b"\r\n");
+        assert!(matches!(parse_request(&mut buf), ParseOutcome::Complete(_)));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut buf = bm("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let first = parse_request(&mut buf);
+        let second = parse_request(&mut buf);
+        match (first, second) {
+            (ParseOutcome::Complete(a), ParseOutcome::Complete(b)) => {
+                assert_eq!(a.target, "/a");
+                assert_eq!(b.target, "/b");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_request(&mut buf), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn rejects_bad_method_version_target() {
+        for bad in [
+            "POST / HTTP/1.1\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET index HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GARBAGE\r\n\r\n",
+        ] {
+            let mut buf = bm(bad);
+            assert!(
+                matches!(parse_request(&mut buf), ParseOutcome::Invalid(_)),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        let mut buf = bm("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n");
+        assert!(matches!(parse_request(&mut buf), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(parse_request(&mut buf), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn encode_response_includes_length_and_connection() {
+        let resp = Response::ok(Arc::new(b"hello".to_vec()), "text/plain", Version::Http11);
+        let mut out = BytesMut::new();
+        encode_response(&resp, &mut out);
+        let text = String::from_utf8(out.to_vec()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn encode_head_response_has_no_body() {
+        let resp = Response::ok(Arc::new(b"hello".to_vec()), "text/plain", Version::Http11)
+            .head()
+            .with_keep_alive(false);
+        let mut out = BytesMut::new();
+        encode_response(&resp, &mut out);
+        let text = String::from_utf8(out.to_vec()).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn request_encode_parse_round_trip() {
+        let mut headers = Headers::new();
+        headers.push("Host", "example");
+        headers.push("Connection", "close");
+        let req = Request {
+            method: Method::Head,
+            target: "/x/y.png".into(),
+            version: Version::Http10,
+            headers,
+        };
+        let mut buf = BytesMut::from(&encode_request(&req)[..]);
+        match parse_request(&mut buf) {
+            ParseOutcome::Complete(parsed) => assert_eq!(parsed, req),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The COPS-HTTP columns of the paper's Table 1, as option presets.
+//!
+//! Base configuration (throughput/fairness experiments): one dispatcher,
+//! separate pool, encode/decode, **asynchronous** completions, **static**
+//! thread allocation, **LRU file cache (20 MB)**, no idle shutdown, no
+//! scheduling, no overload control, production mode, no profiling, no
+//! logging. The second experiment enables O8; the third enables O9 with
+//! watermarks 20/5.
+
+use nserver_cache::PolicyKind;
+use nserver_core::options::{
+    CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
+    ServerOptions, ThreadAllocation,
+};
+
+/// Cache capacity the paper configures: "The file cache of COPS-HTTP is
+/// limited to 20 MB".
+pub const COPS_HTTP_CACHE_BYTES: u64 = 20 * 1024 * 1024;
+
+/// Table 1's COPS-HTTP column (first experiment).
+pub fn cops_http_options() -> ServerOptions {
+    ServerOptions {
+        dispatcher_threads: DispatcherThreads::Single,
+        separate_handler_pool: true,
+        encode_decode: true,
+        completion_mode: CompletionMode::Asynchronous,
+        thread_allocation: ThreadAllocation::Static { threads: 4 },
+        file_cache: FileCacheOption::Yes {
+            policy: PolicyKind::Lru,
+            capacity_bytes: COPS_HTTP_CACHE_BYTES,
+        },
+        idle_shutdown_ms: None,
+        event_scheduling: EventScheduling::No,
+        overload_control: OverloadControl::No,
+        mode: Mode::Production,
+        profiling: false,
+        logging: false,
+    }
+}
+
+/// Second experiment: event scheduling on (differentiated service). The
+/// quota pair is the experiment's `x/y` ratio — `portal_quota` is the
+/// high-priority (level 0) quota, `homepage_quota` level 1. The cache is
+/// disabled, as in the paper ("the file caching capability is disabled to
+/// make the workload heavier").
+pub fn cops_http_scheduling_options(homepage_quota: u32, portal_quota: u32) -> ServerOptions {
+    ServerOptions {
+        event_scheduling: EventScheduling::Yes {
+            quotas: vec![portal_quota, homepage_quota],
+        },
+        file_cache: FileCacheOption::No,
+        ..cops_http_options()
+    }
+}
+
+/// Third experiment: automatic overload control with the paper's
+/// watermarks ("The high watermark and low watermark for the Reactive
+/// Event Processor queue length are set to 20 and 5 respectively").
+pub fn cops_http_overload_options() -> ServerOptions {
+    ServerOptions {
+        overload_control: OverloadControl::Watermark { high: 20, low: 5 },
+        ..cops_http_options()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_preset_matches_table1_column() {
+        let o = cops_http_options();
+        o.validate().unwrap();
+        let rows = o.describe();
+        let value = |prefix: &str| {
+            rows.iter()
+                .find(|(name, _)| name.starts_with(prefix))
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(value("O1"), "1");
+        assert_eq!(value("O2"), "Yes");
+        assert_eq!(value("O3"), "Yes");
+        assert_eq!(value("O4"), "Asynchronous");
+        assert_eq!(value("O5"), "Static");
+        assert_eq!(value("O6"), "Yes: LRU");
+        assert_eq!(value("O7"), "No");
+        assert_eq!(value("O8"), "No");
+        assert_eq!(value("O9"), "No");
+        assert_eq!(value("O10"), "Production");
+        assert_eq!(value("O11"), "No");
+        assert_eq!(value("O12"), "No");
+    }
+
+    #[test]
+    fn scheduling_preset_flips_o8_and_disables_cache() {
+        let o = cops_http_scheduling_options(1, 10);
+        o.validate().unwrap();
+        match &o.event_scheduling {
+            EventScheduling::Yes { quotas } => assert_eq!(quotas, &vec![10, 1]),
+            _ => panic!("O8 should be on"),
+        }
+        assert_eq!(o.file_cache, FileCacheOption::No);
+    }
+
+    #[test]
+    fn overload_preset_uses_paper_watermarks() {
+        let o = cops_http_overload_options();
+        o.validate().unwrap();
+        assert_eq!(
+            o.overload_control,
+            OverloadControl::Watermark { high: 20, low: 5 }
+        );
+    }
+
+    #[test]
+    fn cache_capacity_is_20mb() {
+        assert_eq!(COPS_HTTP_CACHE_BYTES, 20_971_520);
+    }
+}

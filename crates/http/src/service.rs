@@ -1,0 +1,326 @@
+//! The Handle Request hook for COPS-HTTP: static file serving through the
+//! transparent file cache.
+//!
+//! The flow mirrors the paper's generated server: a cache hit replies
+//! immediately from memory; a miss issues an (emulated) non-blocking file
+//! read via `Action::Defer`, which the framework routes to the Proactor
+//! helper pool under O4 = Asynchronous. The cache itself is the O6
+//! machinery from `nserver-cache`, with LRU enforced for COPS-HTTP.
+
+use std::sync::Arc;
+
+use nserver_cache::SharedFileCache;
+use nserver_core::pipeline::{Action, ConnCtx, Service};
+
+use crate::codec::HttpCodec;
+use crate::types::{mime_for, Method, Request, Response, Status};
+
+/// Where file bytes come from on a cache miss.
+pub trait ContentStore: Send + Sync + 'static {
+    /// Load a file's bytes by URL path, or `None` if it does not exist.
+    fn load(&self, path: &str) -> Option<Arc<Vec<u8>>>;
+}
+
+/// A directory-backed store (the production backend).
+pub struct DiskStore {
+    root: std::path::PathBuf,
+}
+
+impl DiskStore {
+    /// Serve files under `root`.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+}
+
+impl ContentStore for DiskStore {
+    fn load(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        let rel = path.trim_start_matches('/');
+        let full = self.root.join(rel);
+        std::fs::read(full).ok().map(Arc::new)
+    }
+}
+
+/// An in-memory store (tests and benchmarks).
+#[derive(Default)]
+pub struct MemStore {
+    files: std::collections::HashMap<String, Arc<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a file.
+    pub fn insert(&mut self, path: impl Into<String>, data: Vec<u8>) {
+        self.files.insert(path.into(), Arc::new(data));
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl ContentStore for MemStore {
+    fn load(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        // Emulate disk latency? No — the Proactor pool provides the
+        // blocking context; tests keep this instantaneous.
+        self.files.get(path).cloned()
+    }
+}
+
+/// The COPS-HTTP application service: static files with optional cache.
+pub struct StaticFileService<St: ContentStore> {
+    store: Arc<St>,
+    cache: Option<SharedFileCache<String>>,
+    /// Artificial per-miss disk latency (emulates slow disk in tests).
+    miss_latency_ms: u64,
+}
+
+impl<St: ContentStore> StaticFileService<St> {
+    /// Serve from `store`, optionally through a cache (template option O6).
+    pub fn new(store: St, cache: Option<SharedFileCache<String>>) -> Self {
+        Self {
+            store: Arc::new(store),
+            cache,
+            miss_latency_ms: 0,
+        }
+    }
+
+    /// Add artificial latency to cache misses (testing aid).
+    pub fn with_miss_latency_ms(mut self, ms: u64) -> Self {
+        self.miss_latency_ms = ms;
+        self
+    }
+
+    /// The cache handle, if caching is enabled.
+    pub fn cache(&self) -> Option<&SharedFileCache<String>> {
+        self.cache.as_ref()
+    }
+
+    fn sanitize(target: &str) -> Option<&str> {
+        // Strip a query string; refuse path traversal.
+        let path = target.split('?').next().unwrap_or(target);
+        if path.contains("..") || !path.starts_with('/') {
+            None
+        } else {
+            Some(path)
+        }
+    }
+}
+
+impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
+    fn handle(&self, _ctx: &ConnCtx, req: Request) -> Action<Response> {
+        let keep_alive = req.keep_alive();
+        let head = req_is_head(&req);
+        let version = req.version;
+        let respond = move |resp: Response| {
+            let resp = resp.with_keep_alive(keep_alive);
+            let resp = if head { resp.head() } else { resp };
+            if keep_alive {
+                Action::Reply(resp)
+            } else {
+                Action::ReplyClose(resp)
+            }
+        };
+
+        let path = match Self::sanitize(&req.target) {
+            Some(p) => p.to_string(),
+            None => return respond(Response::error(Status::Forbidden, version)),
+        };
+
+        // Cache hit: reply without any blocking operation.
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(&path) {
+                return respond(Response::ok(data, mime_for(&path), req.version));
+            }
+        }
+
+        // Cache miss (or no cache): the file read is a blocking operation —
+        // defer it so the event loop never blocks (Proactor emulation).
+        let store = Arc::clone(&self.store);
+        let cache = self.cache.clone();
+        let miss_latency = self.miss_latency_ms;
+        let path2 = path.clone();
+        let job = move || {
+            if miss_latency > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(miss_latency));
+            }
+            match store.load(&path2) {
+                Some(data) => {
+                    if let Some(cache) = &cache {
+                        cache.insert(path2.clone(), Arc::clone(&data));
+                    }
+                    let resp = Response::ok(data, mime_for(&path2), version)
+                        .with_keep_alive(true);
+                    if head {
+                        resp.head()
+                    } else {
+                        resp
+                    }
+                }
+                None => Response::error(Status::NotFound, version),
+            }
+        };
+        // Keep-alive decision applies to deferred replies too.
+        if keep_alive {
+            Action::Defer(Box::new(move || job().with_keep_alive(true)))
+        } else {
+            Action::DeferClose(Box::new(move || job().with_keep_alive(false)))
+        }
+    }
+}
+
+fn req_is_head(req: &Request) -> bool {
+    req.method == Method::Head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Headers, Version};
+    use nserver_cache::{FileCache, PolicyKind};
+    use nserver_core::event::Priority;
+
+    fn ctx() -> ConnCtx {
+        ConnCtx {
+            id: 1,
+            peer: "test".into(),
+            priority: Priority::HIGHEST,
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+        }
+    }
+
+    fn store() -> MemStore {
+        let mut s = MemStore::new();
+        s.insert("/index.html", b"<html>home</html>".to_vec());
+        s.insert("/big.bin", vec![7u8; 4096]);
+        s
+    }
+
+    fn run_action(action: Action<Response>) -> (Response, bool) {
+        match action {
+            Action::Reply(r) => (r, false),
+            Action::ReplyClose(r) => (r, true),
+            Action::Defer(job) => (job(), false),
+            Action::DeferClose(job) => (job(), true),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_file_via_deferred_read_then_cache_hit() {
+        let cache = SharedFileCache::new(FileCache::new(1 << 20, PolicyKind::Lru));
+        let svc = StaticFileService::new(store(), Some(cache.clone()));
+        // First access: miss -> Defer.
+        let action = svc.handle(&ctx(), get("/index.html"));
+        assert!(matches!(action, Action::Defer(_)));
+        let (resp, _) = run_action(action);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(&**resp.body, b"<html>home</html>");
+        // Second access: hit -> immediate Reply.
+        let action = svc.handle(&ctx(), get("/index.html"));
+        assert!(matches!(action, Action::Reply(_)));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let svc = StaticFileService::new(store(), None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/nope.html")));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn path_traversal_is_forbidden() {
+        let svc = StaticFileService::new(store(), None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/../etc/passwd")));
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let svc = StaticFileService::new(store(), None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/index.html?v=2")));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn connection_close_requests_reply_close() {
+        let svc = StaticFileService::new(store(), None);
+        let mut headers = Headers::new();
+        headers.push("Connection", "close");
+        let req = Request {
+            method: Method::Get,
+            target: "/index.html".into(),
+            version: Version::Http11,
+            headers,
+        };
+        let action = svc.handle(&ctx(), req);
+        let (resp, closed) = run_action(action);
+        assert!(closed);
+        assert!(!resp.keep_alive);
+    }
+
+    #[test]
+    fn head_requests_mark_head_only() {
+        let svc = StaticFileService::new(store(), None);
+        let req = Request {
+            method: Method::Head,
+            target: "/index.html".into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+        };
+        let (resp, _) = run_action(svc.handle(&ctx(), req));
+        assert!(resp.head_only);
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn mime_type_follows_extension() {
+        let svc = StaticFileService::new(store(), None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/index.html")));
+        assert_eq!(resp.headers.get("content-type"), Some("text/html"));
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/big.bin")));
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("application/octet-stream")
+        );
+    }
+
+    #[test]
+    fn disk_store_reads_real_files() {
+        let dir = std::env::temp_dir().join(format!("nserver-http-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("f.txt"), b"disk bytes").unwrap();
+        let store = DiskStore::new(&dir);
+        assert_eq!(&**store.load("/f.txt").unwrap(), b"disk bytes");
+        assert!(store.load("/missing").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_capacity_limits_residency() {
+        let cache = SharedFileCache::new(FileCache::new(4096, PolicyKind::Lru));
+        let svc = StaticFileService::new(store(), Some(cache.clone()));
+        let (_, _) = run_action(svc.handle(&ctx(), get("/big.bin"))); // 4096 bytes fills it
+        let (_, _) = run_action(svc.handle(&ctx(), get("/index.html")));
+        assert!(cache.used_bytes() <= 4096);
+    }
+}

@@ -1,0 +1,330 @@
+//! HTTP message types: methods, versions, statuses, headers, requests and
+//! responses. COPS-HTTP "only handles static Web page requests", so the
+//! vocabulary is the HTTP/1.0–1.1 subset a static server needs.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET — fetch a resource.
+    Get,
+    /// HEAD — fetch headers only.
+    Head,
+}
+
+impl Method {
+    /// Parse from the request line token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+        })
+    }
+}
+
+/// Protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/1.0 — connections close by default.
+    Http10,
+    /// HTTP/1.1 — persistent connections by default.
+    Http11,
+}
+
+impl Version {
+    /// Parse from the request line token.
+    pub fn parse(s: &str) -> Option<Version> {
+        match s {
+            "HTTP/1.0" => Some(Version::Http10),
+            "HTTP/1.1" => Some(Version::Http11),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        })
+    }
+}
+
+/// Response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 400.
+    BadRequest,
+    /// 403.
+    Forbidden,
+    /// 404.
+    NotFound,
+    /// 405.
+    MethodNotAllowed,
+    /// 500.
+    InternalError,
+    /// 501.
+    NotImplemented,
+    /// 503.
+    ServiceUnavailable,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::Forbidden => 403,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalError => 500,
+            Status::NotImplemented => 501,
+            Status::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::Forbidden => "Forbidden",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalError => "Internal Server Error",
+            Status::NotImplemented => "Not Implemented",
+            Status::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+}
+
+/// An ordered, case-insensitive header collection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header (duplicates allowed, as in HTTP).
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value of a header, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Request headers.
+    pub headers: Headers,
+}
+
+impl Request {
+    /// Whether the connection stays open after this exchange: HTTP/1.1
+    /// defaults to keep-alive, HTTP/1.0 to close, both overridable by the
+    /// `Connection` header.
+    pub fn keep_alive(&self) -> bool {
+        match self.headers.get("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == Version::Http11,
+        }
+    }
+}
+
+/// A response to encode.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line status.
+    pub status: Status,
+    /// Protocol version to answer with.
+    pub version: Version,
+    /// Response headers (Content-Length is added by the encoder).
+    pub headers: Headers,
+    /// Body bytes (shared: cached files are served without copying).
+    pub body: Arc<Vec<u8>>,
+    /// Suppress the body (HEAD requests).
+    pub head_only: bool,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A 200 response with the given body and content type.
+    pub fn ok(body: Arc<Vec<u8>>, content_type: &str, version: Version) -> Self {
+        let mut headers = Headers::new();
+        headers.push("Content-Type", content_type);
+        Self {
+            status: Status::Ok,
+            version,
+            headers,
+            body,
+            head_only: false,
+            keep_alive: true,
+        }
+    }
+
+    /// An error response with a small text body.
+    pub fn error(status: Status, version: Version) -> Self {
+        let body = format!("{} {}\n", status.code(), status.reason());
+        let mut headers = Headers::new();
+        headers.push("Content-Type", "text/plain");
+        Self {
+            status,
+            version,
+            headers,
+            body: Arc::new(body.into_bytes()),
+            head_only: false,
+            keep_alive: true,
+        }
+    }
+
+    /// Mark as a HEAD response (headers only).
+    pub fn head(mut self) -> Self {
+        self.head_only = true;
+        self
+    }
+
+    /// Set the keep-alive decision.
+    pub fn with_keep_alive(mut self, ka: bool) -> Self {
+        self.keep_alive = ka;
+        self
+    }
+}
+
+/// Minimal content-type guess from a path extension.
+pub fn mime_for(path: &str) -> &'static str {
+    let ext = path.rsplit('.').next().unwrap_or("");
+    match ext {
+        "html" | "htm" => "text/html",
+        "txt" => "text/plain",
+        "css" => "text/css",
+        "js" => "application/javascript",
+        "png" => "image/png",
+        "jpg" | "jpeg" => "image/jpeg",
+        "gif" => "image/gif",
+        _ => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_and_version_parse() {
+        assert_eq!(Method::parse("GET"), Some(Method::Get));
+        assert_eq!(Method::parse("HEAD"), Some(Method::Head));
+        assert_eq!(Method::parse("POST"), None);
+        assert_eq!(Version::parse("HTTP/1.1"), Some(Version::Http11));
+        assert_eq!(Version::parse("HTTP/2"), None);
+    }
+
+    #[test]
+    fn status_codes_and_reasons() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::NotFound.reason(), "Not Found");
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
+    }
+
+    #[test]
+    fn headers_case_insensitive_first_match() {
+        let mut h = Headers::new();
+        h.push("Content-Type", "text/html");
+        h.push("X-Test", "1");
+        h.push("x-test", "2");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("X-TEST"), Some("1"));
+        assert_eq!(h.len(), 3);
+        assert!(h.get("missing").is_none());
+    }
+
+    #[test]
+    fn keep_alive_defaults_by_version() {
+        let mk = |version, conn: Option<&str>| {
+            let mut headers = Headers::new();
+            if let Some(c) = conn {
+                headers.push("Connection", c);
+            }
+            Request {
+                method: Method::Get,
+                target: "/".into(),
+                version,
+                headers,
+            }
+        };
+        assert!(mk(Version::Http11, None).keep_alive());
+        assert!(!mk(Version::Http10, None).keep_alive());
+        assert!(!mk(Version::Http11, Some("close")).keep_alive());
+        assert!(mk(Version::Http10, Some("keep-alive")).keep_alive());
+        assert!(mk(Version::Http10, Some("Keep-Alive")).keep_alive());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::ok(Arc::new(b"hi".to_vec()), "text/plain", Version::Http11);
+        assert_eq!(r.status, Status::Ok);
+        assert!(!r.head_only);
+        let e = Response::error(Status::NotFound, Version::Http10).head();
+        assert!(e.head_only);
+        assert!(String::from_utf8_lossy(&e.body).contains("404"));
+    }
+
+    #[test]
+    fn mime_guesses() {
+        assert_eq!(mime_for("/a/b/index.html"), "text/html");
+        assert_eq!(mime_for("x.txt"), "text/plain");
+        assert_eq!(mime_for("noext"), "application/octet-stream");
+        assert_eq!(mime_for("pic.jpeg"), "image/jpeg");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the HTTP protocol library: encode∘parse
+//! round-trips, incremental-delivery equivalence, and no-panic on
+//! arbitrary input.
+
+use bytes::BytesMut;
+use nserver_http::parse::encode_request;
+use nserver_http::{
+    encode_response, parse_request, Headers, Method, ParseOutcome, Request, Response, Version,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^:]]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+fn path() -> impl Strategy<Value = String> {
+    "(/[A-Za-z0-9_.-]{1,12}){1,4}".prop_map(|s| s)
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        prop_oneof![Just(Method::Get), Just(Method::Head)],
+        path(),
+        prop_oneof![Just(Version::Http10), Just(Version::Http11)],
+        proptest::collection::vec((token(), header_value()), 0..8),
+    )
+        .prop_map(|(method, target, version, hdrs)| {
+            let mut headers = Headers::new();
+            for (n, v) in hdrs {
+                headers.push(n, v);
+            }
+            Request {
+                method,
+                target,
+                version,
+                headers,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode_request ∘ parse_request is the identity on valid requests.
+    #[test]
+    fn request_round_trip(req in request()) {
+        let wire = encode_request(&req);
+        let mut buf = BytesMut::from(&wire[..]);
+        match parse_request(&mut buf) {
+            ParseOutcome::Complete(parsed) => {
+                prop_assert_eq!(parsed.method, req.method);
+                prop_assert_eq!(parsed.target, req.target);
+                prop_assert_eq!(parsed.version, req.version);
+                // Header count may shrink if generated values were empty
+                // after trimming; compare pairs that survive.
+                for ((n1, v1), (n2, v2)) in req.headers.iter().zip(parsed.headers.iter()) {
+                    prop_assert_eq!(n1, n2);
+                    prop_assert_eq!(v1.trim(), v2);
+                }
+                prop_assert!(buf.is_empty());
+            }
+            other => prop_assert!(false, "round trip failed: {other:?}"),
+        }
+    }
+
+    /// Byte-at-a-time delivery parses identically to one-shot delivery.
+    #[test]
+    fn incremental_parse_equivalence(req in request()) {
+        let wire = encode_request(&req);
+        let mut oneshot = BytesMut::from(&wire[..]);
+        let expected = parse_request(&mut oneshot);
+
+        let mut buf = BytesMut::new();
+        let mut result = ParseOutcome::Incomplete;
+        for &b in &wire {
+            buf.extend_from_slice(&[b]);
+            result = parse_request(&mut buf);
+            if !matches!(result, ParseOutcome::Incomplete) {
+                break;
+            }
+        }
+        prop_assert_eq!(result, expected);
+    }
+
+    /// The parser never panics on arbitrary bytes and always consumes a
+    /// terminated head (complete or invalid, never stuck).
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let before = buf.len();
+        let outcome = parse_request(&mut buf);
+        match outcome {
+            ParseOutcome::Complete(_) => prop_assert!(buf.len() < before),
+            ParseOutcome::Incomplete => prop_assert_eq!(buf.len(), before),
+            ParseOutcome::Invalid(_) => {}
+        }
+    }
+
+    /// Responses always carry an accurate Content-Length and terminate
+    /// the head properly.
+    #[test]
+    fn response_encoding_is_well_formed(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        keep_alive in any::<bool>(),
+        head_only in any::<bool>(),
+    ) {
+        let mut resp = Response::ok(Arc::new(body.clone()), "text/plain", Version::Http11)
+            .with_keep_alive(keep_alive);
+        if head_only {
+            resp = resp.head();
+        }
+        let mut out = BytesMut::new();
+        encode_response(&resp, &mut out);
+        let text = out.to_vec();
+        let head_end = text.windows(4).position(|w| w == b"\r\n\r\n").expect("head end");
+        let head = String::from_utf8_lossy(&text[..head_end]);
+        prop_assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let want = format!("Content-Length: {}", body.len());
+        prop_assert!(head.contains(&want), "missing {}", want);
+        let wire_body = &text[head_end + 4..];
+        if head_only {
+            prop_assert!(wire_body.is_empty());
+        } else {
+            prop_assert_eq!(wire_body, &body[..]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! An N-CPU FIFO service centre modelling the server host.
+//!
+//! The Fig. 3/4 testbed server is a 4-CPU Sun E420R; Fig. 5/6 use a 2-CPU
+//! Pentium III. A job (request-processing step) is dispatched to the CPU
+//! that frees up earliest. The pool also exposes the per-process
+//! context-switch overhead knob that the paper's §II argument about
+//! multiprogramming models relies on: with many runnable processes,
+//! "context switching and scheduling, cache misses, and lock contention"
+//! inflate every quantum of service.
+
+use crate::time::SimTime;
+
+/// FIFO multi-CPU service centre.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    free_at: Vec<SimTime>,
+    busy_accum_us: u64,
+    jobs: u64,
+}
+
+impl CpuPool {
+    /// Create a pool of `n` CPUs (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one CPU");
+        Self {
+            free_at: vec![SimTime::ZERO; n],
+            busy_accum_us: 0,
+            jobs: 0,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Dispatch a job with the given CPU `demand` at time `now`; returns
+    /// its completion time. Jobs wait FIFO for the earliest-free CPU.
+    pub fn run(&mut self, now: SimTime, demand: SimTime) -> SimTime {
+        let idx = self.earliest();
+        let start = self.free_at[idx].max(now);
+        let done = start + demand;
+        self.free_at[idx] = done;
+        self.busy_accum_us += demand.as_micros();
+        self.jobs += 1;
+        done
+    }
+
+    /// Dispatch a job whose effective demand is inflated by a
+    /// multiprogramming overhead factor: `demand * (1 + overhead)`. Used by
+    /// the Apache process-per-connection model, where `overhead` grows with
+    /// the number of runnable processes.
+    pub fn run_with_overhead(&mut self, now: SimTime, demand: SimTime, overhead: f64) -> SimTime {
+        let inflated =
+            SimTime::from_micros((demand.as_micros() as f64 * (1.0 + overhead.max(0.0))) as u64);
+        self.run(now, inflated)
+    }
+
+    /// Earliest time any CPU becomes free.
+    pub fn next_free(&self) -> SimTime {
+        self.free_at.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// How many CPUs are still busy at `now`.
+    pub fn busy(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+
+    /// How long a job arriving at `now` would wait before starting.
+    pub fn wait_estimate(&self, now: SimTime) -> SimTime {
+        self.next_free().saturating_sub(now)
+    }
+
+    /// Fraction of aggregate CPU time spent busy over `elapsed`.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        let total = elapsed.as_micros() * self.free_at.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_accum_us as f64 / total as f64
+        }
+    }
+
+    /// Jobs served so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    fn earliest(&self) -> usize {
+        let mut best = 0;
+        for (i, &t) in self.free_at.iter().enumerate() {
+            if t < self.free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cpu_serializes() {
+        let mut p = CpuPool::new(1);
+        let a = p.run(SimTime::ZERO, SimTime::from_millis(10));
+        let b = p.run(SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(a, SimTime::from_millis(10));
+        assert_eq!(b, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn multiple_cpus_run_in_parallel() {
+        let mut p = CpuPool::new(4);
+        for _ in 0..4 {
+            let done = p.run(SimTime::ZERO, SimTime::from_millis(10));
+            assert_eq!(done, SimTime::from_millis(10));
+        }
+        // Fifth job waits for a CPU.
+        let done = p.run(SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(done, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn idle_cpu_starts_immediately() {
+        let mut p = CpuPool::new(2);
+        p.run(SimTime::ZERO, SimTime::from_millis(10));
+        let done = p.run(SimTime::from_millis(50), SimTime::from_millis(5));
+        assert_eq!(done, SimTime::from_millis(55));
+    }
+
+    #[test]
+    fn overhead_inflates_demand() {
+        let mut p = CpuPool::new(1);
+        let done = p.run_with_overhead(SimTime::ZERO, SimTime::from_millis(10), 0.5);
+        assert_eq!(done, SimTime::from_millis(15));
+        // Negative overhead is clamped to zero.
+        let mut q = CpuPool::new(1);
+        let done = q.run_with_overhead(SimTime::ZERO, SimTime::from_millis(10), -1.0);
+        assert_eq!(done, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn busy_and_wait_estimates() {
+        let mut p = CpuPool::new(2);
+        p.run(SimTime::ZERO, SimTime::from_millis(10));
+        p.run(SimTime::ZERO, SimTime::from_millis(20));
+        assert_eq!(p.busy(SimTime::from_millis(5)), 2);
+        assert_eq!(p.busy(SimTime::from_millis(15)), 1);
+        assert_eq!(p.busy(SimTime::from_millis(25)), 0);
+        assert_eq!(
+            p.wait_estimate(SimTime::from_millis(5)),
+            SimTime::from_millis(5)
+        );
+        assert_eq!(p.wait_estimate(SimTime::from_millis(30)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn utilization_accounts_all_cpus() {
+        let mut p = CpuPool::new(2);
+        p.run(SimTime::ZERO, SimTime::from_millis(10));
+        let u = p.utilization(SimTime::from_millis(10));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(p.jobs(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! A shared-bandwidth FIFO link with MTU framing.
+//!
+//! Models the testbed's bottleneck: "a switched Gigabit Ethernet connects
+//! the clients and servers. The maximal packet size of the Ethernet switch
+//! is 1500 bytes … the actual network bandwidth is limited to something
+//! slightly higher than 100 MBits/sec". The link is a fluid store-and-
+//! forward pipe: each message is serialized at link rate behind everything
+//! queued before it, so saturation produces realistic queueing delay growth.
+
+use crate::time::SimTime;
+
+/// Shared FIFO link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bits_per_sec: u64,
+    /// Per-packet protocol overhead in bytes (Ethernet + IP + TCP headers).
+    header_bytes: u64,
+    /// Maximum payload bytes per packet (MTU minus headers).
+    payload_per_packet: u64,
+    /// One-way propagation + switching latency added to every message.
+    propagation: SimTime,
+    busy_until: SimTime,
+    busy_accum_us: u64,
+    bytes_carried: u64,
+    messages: u64,
+}
+
+impl Link {
+    /// A link with the given line rate, 1500-byte MTU and 40-byte headers.
+    pub fn new(bits_per_sec: u64) -> Self {
+        Self::with_frame(bits_per_sec, 1500, 40, SimTime::from_micros(100))
+    }
+
+    /// Fully parameterised construction: `mtu` is the maximal packet size,
+    /// `header_bytes` the per-packet overhead (payload per packet is
+    /// `mtu - header_bytes`), `propagation` the one-way latency.
+    pub fn with_frame(
+        bits_per_sec: u64,
+        mtu: u64,
+        header_bytes: u64,
+        propagation: SimTime,
+    ) -> Self {
+        assert!(bits_per_sec > 0, "link needs positive bandwidth");
+        assert!(mtu > header_bytes, "MTU must exceed header size");
+        Self {
+            bits_per_sec,
+            header_bytes,
+            payload_per_packet: mtu - header_bytes,
+            propagation,
+            busy_until: SimTime::ZERO,
+            busy_accum_us: 0,
+            bytes_carried: 0,
+            messages: 0,
+        }
+    }
+
+    /// Bytes actually put on the wire for a payload of `payload` bytes,
+    /// including per-packet headers (a zero-byte message still costs one
+    /// packet — e.g. a bare ACK or SYN).
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        let packets = payload.div_ceil(self.payload_per_packet).max(1);
+        payload + packets * self.header_bytes
+    }
+
+    /// Transmission (serialization) time for a payload, excluding queueing
+    /// and propagation.
+    pub fn tx_time(&self, payload: u64) -> SimTime {
+        let bits = self.wire_bytes(payload) * 8;
+        SimTime::from_micros(bits * 1_000_000 / self.bits_per_sec)
+    }
+
+    /// Enqueue a message at `now`; returns its arrival time at the far end
+    /// (queueing + serialization + propagation).
+    pub fn send(&mut self, now: SimTime, payload: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let tx = self.tx_time(payload);
+        self.busy_until = start + tx;
+        self.busy_accum_us += tx.as_micros();
+        self.bytes_carried += payload;
+        self.messages += 1;
+        self.busy_until + self.propagation
+    }
+
+    /// How long a message enqueued at `now` would wait before its first bit
+    /// is transmitted.
+    pub fn queue_delay(&self, now: SimTime) -> SimTime {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Fraction of `elapsed` time the link spent transmitting.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_accum_us as f64 / elapsed.as_micros() as f64
+        }
+    }
+
+    /// Total payload bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total messages carried.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbit(n: u64) -> u64 {
+        n * 1_000_000
+    }
+
+    #[test]
+    fn wire_bytes_includes_per_packet_headers() {
+        let l = Link::new(mbit(100));
+        // 1460 payload = 1 packet = 1500 wire bytes.
+        assert_eq!(l.wire_bytes(1460), 1500);
+        // 1461 payload = 2 packets.
+        assert_eq!(l.wire_bytes(1461), 1461 + 80);
+        // Empty message still costs one header.
+        assert_eq!(l.wire_bytes(0), 40);
+    }
+
+    #[test]
+    fn tx_time_matches_line_rate() {
+        let l = Link::new(mbit(100));
+        // 1500 wire bytes at 100 Mbit/s = 120 µs.
+        assert_eq!(l.tx_time(1460), SimTime::from_micros(120));
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_messages() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO);
+        let t1 = l.send(SimTime::ZERO, 1460);
+        let t2 = l.send(SimTime::ZERO, 1460);
+        assert_eq!(t1, SimTime::from_micros(120));
+        assert_eq!(t2, SimTime::from_micros(240));
+        assert_eq!(l.queue_delay(SimTime::ZERO), SimTime::from_micros(240));
+    }
+
+    #[test]
+    fn idle_link_has_no_queue_delay() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO);
+        l.send(SimTime::ZERO, 1460);
+        assert_eq!(l.queue_delay(SimTime::from_millis(5)), SimTime::ZERO);
+        let t = l.send(SimTime::from_millis(5), 1460);
+        assert_eq!(t, SimTime::from_micros(5120));
+    }
+
+    #[test]
+    fn propagation_adds_to_arrival_not_occupancy() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::from_millis(1));
+        let t1 = l.send(SimTime::ZERO, 1460);
+        assert_eq!(t1, SimTime::from_micros(120) + SimTime::from_millis(1));
+        // Second message queues behind serialization only, not propagation.
+        let t2 = l.send(SimTime::ZERO, 1460);
+        assert_eq!(t2, SimTime::from_micros(240) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn utilization_and_counters() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO);
+        l.send(SimTime::ZERO, 1460);
+        l.send(SimTime::ZERO, 1460);
+        assert_eq!(l.bytes_carried(), 2920);
+        assert_eq!(l.messages(), 2);
+        let u = l.utilization(SimTime::from_micros(480));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn saturation_grows_queue_delay_linearly() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO);
+        // Offer 2x capacity for a while.
+        let mut last = SimTime::ZERO;
+        for i in 0..100 {
+            let now = SimTime::from_micros(i * 60); // every 60µs, 120µs each
+            last = l.send(now, 1460);
+        }
+        // Arrival of last message far exceeds its enqueue time.
+        assert!(last > SimTime::from_micros(100 * 60 + 120 * 10));
+    }
+}

@@ -1,0 +1,155 @@
+//! A small deterministic RNG (SplitMix64) for reproducible simulations.
+//!
+//! The experiment harnesses need reproducibility above all: two runs with
+//! the same seed must schedule identical event sequences so that paper
+//! figures regenerate bit-identically. SplitMix64 passes BigCrush-level
+//! statistical tests for this use and needs no external dependency, keeping
+//! the simulator's determinism independent of `rand` version bumps.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a seed. Equal seeds ⇒ equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent stream for a sub-component (e.g. one per
+    /// client) so adding a consumer does not perturb the others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64*n,
+        // negligible for simulation workloads.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(43);
+        assert_ne!(SimRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 each; allow ±5%.
+            assert!((9500..10500).contains(&c), "count {c} out of tolerance");
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SimRng::new(1);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exp_has_requested_mean() {
+        let mut r = SimRng::new(5);
+        let n = 200_000;
+        let mean = 20.0;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.5, "mean {observed}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(11);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let a_seq: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let b_seq: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(a_seq, b_seq);
+        // Re-deriving with the same root seed reproduces the same forks.
+        let mut root2 = SimRng::new(11);
+        let mut a2 = root2.fork(1);
+        let a2_seq: Vec<u64> = (0..10).map(|_| a2.next_u64()).collect();
+        assert_eq!(a_seq, a2_seq);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

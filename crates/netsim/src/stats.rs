@@ -1,0 +1,310 @@
+//! Measurement utilities: streaming moments, latency histograms, and the
+//! Jain fairness index used in Fig. 4.
+
+use crate::time::SimTime;
+
+/// Jain fairness index over per-client allocations:
+/// `f(x) = (Σ xᵢ)² / (N · Σ xᵢ²)`.
+///
+/// Equal shares give 1.0; if k of N clients receive equal service and the
+/// rest nothing, the index is k/N (both properties are unit-tested, since
+/// the paper uses the latter to interpret Apache's 0.51 at 1024 clients).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        // All-zero allocation: conventionally perfectly fair.
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sumsq)
+}
+
+/// Streaming count/mean/variance/min/max (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        if self.n == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Add a [`SimTime`] observation in milliseconds.
+    pub fn add_time_ms(&mut self, t: SimTime) {
+        self.add(t.as_millis_f64());
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator; 0 when n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel combination).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A logarithmic latency histogram over microsecond durations.
+///
+/// Buckets are powers of two: bucket `i` covers `[2^i, 2^(i+1))` µs, with
+/// bucket 0 covering `[0, 2)`. Good to ~2× resolution across twelve decades
+/// with 64 fixed counters — plenty for shape comparisons.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_us: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us < 2 {
+            0
+        } else {
+            63 - us.leading_zeros() as usize
+        }
+    }
+
+    /// Record a duration.
+    pub fn record(&mut self, t: SimTime) {
+        let us = t.as_micros();
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_micros((self.sum_us / self.count as u128) as u64)
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`): upper bound of the bucket
+    /// containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return SimTime::from_micros(upper);
+            }
+        }
+        SimTime::from_micros(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_equal_allocation_is_one() {
+        assert!((jain_index(&[5.0; 10]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_k_of_n_property() {
+        // k clients get equal service, N-k get none -> index = k/N.
+        let mut xs = vec![0.0; 100];
+        for x in xs.iter_mut().take(37) {
+            *x = 8.0;
+        }
+        assert!((jain_index(&xs) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_edge_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.add(x);
+        }
+        for &x in &data[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.add(3.0);
+        let before = (a.count(), a.mean());
+        a.merge(&OnlineStats::new());
+        assert_eq!((a.count(), a.mean()), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_micros(100));
+        h.record(SimTime::from_micros(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::from_micros(i));
+        }
+        let q50 = h.quantile(0.5);
+        let q95 = h.quantile(0.95);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q95 && q95 <= q99);
+        // Median of 1..=1000 µs lies in the bucket containing 500.
+        assert!(q50 >= SimTime::from_micros(500));
+        assert!(q50 <= SimTime::from_micros(1023));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.quantile(0.99), SimTime::ZERO);
+    }
+}

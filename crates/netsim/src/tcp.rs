@@ -1,0 +1,189 @@
+//! TCP connection-establishment behaviour relevant to the experiments.
+//!
+//! The paper attributes Apache's extreme unfairness at 1024 clients to "the
+//! exponential backoff scheme of the TCP protocol": when the accept queue
+//! is full, client SYN packets are dropped silently and the client
+//! retransmits after exponentially growing timeouts, capped — under Solaris
+//! — at one minute. This module models exactly that: a bounded listen
+//! queue and the retransmission schedule.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Exponential SYN retransmission schedule: `initial`, 2×, 4×, … capped at
+/// `cap` (Solaris caps at 60 s). Call [`SynRetransmit::next_delay`] each
+/// time a SYN goes unanswered.
+#[derive(Debug, Clone)]
+pub struct SynRetransmit {
+    next: SimTime,
+    cap: SimTime,
+    attempts: u32,
+    total_waited: SimTime,
+}
+
+impl SynRetransmit {
+    /// Schedule with a given initial timeout and cap.
+    pub fn new(initial: SimTime, cap: SimTime) -> Self {
+        assert!(initial > SimTime::ZERO);
+        Self {
+            next: initial,
+            cap,
+            attempts: 0,
+            total_waited: SimTime::ZERO,
+        }
+    }
+
+    /// Solaris-like defaults the paper describes: start at 3 s (the classic
+    /// initial connect RTO), double, cap at 60 s.
+    pub fn solaris() -> Self {
+        Self::new(SimTime::from_secs(3), SimTime::from_secs(60))
+    }
+
+    /// The delay before the next retransmission attempt; advances the
+    /// schedule.
+    pub fn next_delay(&mut self) -> SimTime {
+        let d = self.next;
+        self.attempts += 1;
+        self.total_waited += d;
+        self.next = SimTime::from_micros((self.next.as_micros() * 2).min(self.cap.as_micros()));
+        d
+    }
+
+    /// Number of retransmissions so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Total time spent waiting across all attempts.
+    pub fn total_waited(&self) -> SimTime {
+        self.total_waited
+    }
+
+    /// Reset after a successful connection.
+    pub fn reset(&mut self, initial: SimTime) {
+        self.next = initial;
+        self.attempts = 0;
+        self.total_waited = SimTime::ZERO;
+    }
+}
+
+/// A bounded listen (accept) queue. When full, new connection attempts are
+/// dropped silently — the client never learns; it just retransmits later.
+#[derive(Debug, Clone)]
+pub struct ListenQueue<T> {
+    backlog: usize,
+    queue: VecDeque<T>,
+    accepted: u64,
+    dropped: u64,
+}
+
+impl<T> ListenQueue<T> {
+    /// Create a listen queue with the given backlog limit.
+    pub fn new(backlog: usize) -> Self {
+        Self {
+            backlog,
+            queue: VecDeque::new(),
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offer a pending connection. Returns `false` (and counts a drop) when
+    /// the backlog is full.
+    pub fn offer(&mut self, conn: T) -> bool {
+        if self.queue.len() >= self.backlog {
+            self.dropped += 1;
+            false
+        } else {
+            self.queue.push_back(conn);
+            self.accepted += 1;
+            true
+        }
+    }
+
+    /// Accept the oldest pending connection, if any.
+    pub fn accept(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Pending connections not yet accepted.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no connections are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// SYNs enqueued successfully over the lifetime.
+    pub fn enqueued(&self) -> u64 {
+        self.accepted
+    }
+
+    /// SYNs dropped because the backlog was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut s = SynRetransmit::new(SimTime::from_secs(1), SimTime::from_secs(60));
+        let delays: Vec<u64> = (0..8).map(|_| s.next_delay().as_micros() / 1_000_000).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 16, 32, 60, 60]);
+        assert_eq!(s.attempts(), 8);
+        assert_eq!(s.total_waited(), SimTime::from_secs(1 + 2 + 4 + 8 + 16 + 32 + 60 + 60));
+    }
+
+    #[test]
+    fn solaris_schedule_caps_at_one_minute() {
+        let mut s = SynRetransmit::solaris();
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            last = s.next_delay();
+        }
+        assert_eq!(last, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn reset_restores_schedule() {
+        let mut s = SynRetransmit::new(SimTime::from_secs(1), SimTime::from_secs(60));
+        s.next_delay();
+        s.next_delay();
+        s.reset(SimTime::from_secs(1));
+        assert_eq!(s.next_delay(), SimTime::from_secs(1));
+        assert_eq!(s.attempts(), 1);
+    }
+
+    #[test]
+    fn listen_queue_drops_when_full() {
+        let mut q = ListenQueue::new(2);
+        assert!(q.offer(1));
+        assert!(q.offer(2));
+        assert!(!q.offer(3));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.enqueued(), 2);
+        assert_eq!(q.accept(), Some(1));
+        assert!(q.offer(3)); // space freed
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn listen_queue_is_fifo() {
+        let mut q = ListenQueue::new(10);
+        for i in 0..5 {
+            q.offer(i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.accept(), Some(i));
+        }
+        assert_eq!(q.accept(), None);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Virtual time, measured in integer microseconds.
+//!
+//! Integer microseconds are precise enough for network/CPU service times in
+//! these experiments while keeping event ordering exact (no floating-point
+//! tie ambiguity) and arithmetic overflow-checked in debug builds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from fractional seconds (rounds to the nearest µs).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative sim duration");
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction (useful for "time since" computations).
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimTime::from_millis(500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!((t - SimTime::from_secs(1)).as_millis_f64(), 500.0);
+        assert_eq!(
+            SimTime::from_secs(1).saturating_sub(SimTime::from_secs(2)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimTime::ZERO <= SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_micros(12).to_string(), "12µs");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(12).to_string(), "12.000s");
+    }
+}

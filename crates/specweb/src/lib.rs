@@ -1,0 +1,54 @@
+//! # nserver-specweb
+//!
+//! SpecWeb99-style workload generation for the COPS-HTTP experiments.
+//!
+//! The paper: "The file size and access frequency distribution follows the
+//! SpecWeb99 benchmark. A file set of size 204.8 MB is created using the
+//! SpecWeb99 suite, with an average file size of 16 KB." And the client
+//! model: "establish a connection to the Web server, issue 5 HTTP requests
+//! (to simulate HTTP 1.1 persistent connections), and then terminate the
+//! connection. To simulate the wide-area transfer delay, there is a
+//! 20 milliseconds pause after receiving each page."
+//!
+//! This crate reproduces that structure: the SpecWeb99 directory layout
+//! (per directory, four size classes of nine files each), the class access
+//! mix (35 / 50 / 14 / 1 %), Zipf popularity across directories, and the
+//! 5-requests + 20 ms-think-time client configuration.
+
+pub mod access;
+pub mod driver;
+pub mod fileset;
+
+pub use access::{AccessSampler, Zipf};
+pub use driver::{DriverConfig, DriverReport};
+pub use fileset::{FileClass, FileSet, FileSpec};
+
+/// The paper's client behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Requests issued per connection (persistent-connection emulation).
+    pub requests_per_connection: u32,
+    /// Pause after receiving each page, in milliseconds.
+    pub think_time_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            requests_per_connection: 5,
+            think_time_ms: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_client_config_matches_paper() {
+        let c = ClientConfig::default();
+        assert_eq!(c.requests_per_connection, 5);
+        assert_eq!(c.think_time_ms, 20);
+    }
+}

@@ -1,0 +1,102 @@
+//! Distributed N-Server — the paper's future-work extension: serve "from
+//! a network of workstations" with *unchanged* application hook code.
+//!
+//! Two backend COPS-HTTP instances run behind a
+//! [`nserver_core::cluster::ClusterFrontEnd`] relay; clients talk to the
+//! front end and are balanced round-robin across the backends.
+//!
+//! Run: `cargo run -p nserver-examples --bin cluster`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nserver_core::cluster::{Balancing, ClusterFrontEnd};
+use nserver_core::prelude::*;
+use nserver_http::{cops_http_options, HttpCodec, MemStore, RoutedService, StaticFileService};
+use nserver_http::{text_page, Status};
+
+fn backend(name: &'static str) -> ServerHandle<HttpCodec, RoutedService<MemStore>> {
+    let mut store = MemStore::new();
+    store.insert("/index.html", format!("<html>{name}</html>").into_bytes());
+    // Each backend exposes a dynamic identity route (the dynamic-content
+    // extension) so clients can see which node served them.
+    let service = RoutedService::new(StaticFileService::new(store, None))
+        .route("/whoami", text_page(Status::Ok, move |_| name.to_string()));
+    ServerBuilder::new(cops_http_options(), HttpCodec::new(), service)
+        .expect("valid options")
+        .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"))
+}
+
+fn get(addr: &str, path: &str) -> String {
+    let mut c = TcpStream::connect(addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    c.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut acc = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match c.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
+        }
+    }
+    let text = String::from_utf8_lossy(&acc);
+    text.split("\r\n\r\n").nth(1).unwrap_or("").to_string()
+}
+
+fn main() {
+    let node_a = backend("node-a");
+    let node_b = backend("node-b");
+    println!(
+        "backends: {} (node-a), {} (node-b)",
+        node_a.local_label(),
+        node_b.local_label()
+    );
+
+    let front = ClusterFrontEnd::start(
+        TcpListenerNb::bind("127.0.0.1:0").expect("bind front end"),
+        vec![
+            node_a.local_label().to_string(),
+            node_b.local_label().to_string(),
+        ],
+        Balancing::RoundRobin,
+    )
+    .expect("start front end");
+    let addr = front.local_label().to_string();
+    println!("cluster front end on {addr}\n");
+
+    let mut served = std::collections::HashMap::new();
+    for i in 0..6 {
+        let who = get(&addr, "/whoami");
+        println!("request {i} served by {who}");
+        *served.entry(who).or_insert(0u32) += 1;
+    }
+    assert_eq!(served.get("node-a"), Some(&3));
+    assert_eq!(served.get("node-b"), Some(&3));
+
+    let page = get(&addr, "/index.html");
+    println!("\nstatic page through the relay: {page}");
+    assert!(page.contains("node-"));
+
+    println!(
+        "relay stats: {} connections, {} bytes up, {} bytes down",
+        front
+            .stats()
+            .connections
+            .load(std::sync::atomic::Ordering::Relaxed),
+        front
+            .stats()
+            .bytes_upstream
+            .load(std::sync::atomic::Ordering::Relaxed),
+        front
+            .stats()
+            .bytes_downstream
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+
+    front.shutdown();
+    node_a.shutdown();
+    node_b.shutdown();
+    println!("cluster OK");
+}

@@ -1,0 +1,150 @@
+//! A key-value store server — a domain-specific N-Server application
+//! showing two template options the web/FTP demos don't exercise
+//! together: **event scheduling** (O8: admin connections outrank regular
+//! clients) and **debug mode** (O10: the internal event trace).
+//!
+//! Protocol: `SET key value`, `GET key`, `DEL key`, `STATS` — one command
+//! per line.
+//!
+//! Run: `cargo run -p nserver-examples --bin kv_store`
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use nserver_core::prelude::*;
+use parking_lot::RwLock;
+
+struct KvCodec;
+
+impl Codec for KvCodec {
+    type Request = Vec<String>;
+    type Response = String;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<Vec<String>>, ProtocolError> {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let line = buf.split_to(i + 1);
+                let text = String::from_utf8_lossy(&line[..i]).trim().to_string();
+                Ok(Some(
+                    text.splitn(3, ' ').map(|s| s.to_string()).collect(),
+                ))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn encode(&self, resp: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(resp.as_bytes());
+        out.extend_from_slice(b"\n");
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct KvService {
+    data: RwLock<HashMap<String, String>>,
+}
+
+impl Service<KvCodec> for KvService {
+    fn handle(&self, ctx: &ConnCtx, req: Vec<String>) -> Action<String> {
+        let verb = req.first().map(|s| s.as_str()).unwrap_or("");
+        match (verb, req.len()) {
+            ("SET", 3) => {
+                self.data
+                    .write()
+                    .insert(req[1].clone(), req[2].clone());
+                Action::Reply("OK".into())
+            }
+            ("GET", 2) => match self.data.read().get(&req[1]) {
+                Some(v) => Action::Reply(format!("VALUE {v}")),
+                None => Action::Reply("NOT_FOUND".into()),
+            },
+            ("DEL", 2) => {
+                let removed = self.data.write().remove(&req[1]).is_some();
+                Action::Reply(if removed { "OK" } else { "NOT_FOUND" }.into())
+            }
+            ("STATS", 1) => Action::Reply(format!(
+                "KEYS {} PRIORITY {}",
+                self.data.read().len(),
+                ctx.priority
+            )),
+            ("QUIT", 1) => Action::ReplyClose("BYE".into()),
+            _ => Action::Reply("ERR unknown command".into()),
+        }
+    }
+}
+
+fn session(addr: &str, script: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut replies = Vec::new();
+    for cmd in script {
+        writer.write_all(cmd.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        replies.push(line.trim_end().to_string());
+    }
+    replies
+}
+
+fn main() {
+    let options = ServerOptions {
+        // O8: two priority levels — the high level gets an 8:1 quota.
+        event_scheduling: EventScheduling::Yes { quotas: vec![8, 1] },
+        // O10: debug mode traces every internal event.
+        mode: Mode::Debug,
+        profiling: true,
+        ..ServerOptions::default()
+    };
+    let server = ServerBuilder::new(options, KvCodec, KvService::default())
+        .expect("valid options")
+        // Priority policy: loopback "admin" port parity decides the level
+        // (a stand-in for the paper's by-IP classification).
+        .priority_policy(|peer| {
+            let port: u32 = peer.rsplit(':').next().and_then(|p| p.parse().ok()).unwrap_or(0);
+            if port.is_multiple_of(2) {
+                Priority(0)
+            } else {
+                Priority(1)
+            }
+        })
+        .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
+    let addr = server.local_label().to_string();
+    println!("kv store listening on {addr}");
+
+    let replies = session(
+        &addr,
+        &[
+            "SET lang rust",
+            "SET paper ipps-2005",
+            "GET lang",
+            "STATS",
+            "DEL lang",
+            "GET lang",
+            "QUIT",
+        ],
+    );
+    for r in &replies {
+        println!("  -> {r}");
+    }
+    assert_eq!(replies[0], "OK");
+    assert_eq!(replies[2], "VALUE rust");
+    assert!(replies[3].starts_with("KEYS 2"));
+    assert_eq!(replies[5], "NOT_FOUND");
+
+    // Debug mode captured the internal event flow.
+    let trace = server.tracer().dump();
+    println!("\ndebug trace captured {} internal events; first few:", trace.len());
+    for rec in trace.iter().take(5) {
+        println!("  [{:>8}µs] {} {}", rec.at_us, rec.kind, rec.detail);
+    }
+    assert!(!trace.is_empty());
+    server.shutdown();
+    println!("kv store OK");
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the smallest useful N-Server — an uppercase-echo server.
+//!
+//! Demonstrates the programmer's entire job under the pattern template:
+//! supply the three application-dependent hooks (Decode, Handle, Encode)
+//! and a template option configuration; everything else — the reactor,
+//! the event processor, connection management — is framework.
+//!
+//! Run: `cargo run -p nserver-examples --bin quickstart`
+//! The demo starts the server on a loopback port, drives it with a
+//! client, prints the exchange, and shuts down.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use nserver_core::prelude::*;
+
+/// Decode Request / Encode Reply: newline-delimited text.
+struct LineCodec;
+
+impl Codec for LineCodec {
+    type Request = String;
+    type Response = String;
+
+    fn decode(&self, buf: &mut BytesMut) -> Result<Option<String>, ProtocolError> {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let line = buf.split_to(i + 1);
+                Ok(Some(String::from_utf8_lossy(&line[..i]).into_owned()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn encode(&self, resp: &String, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        out.extend_from_slice(resp.as_bytes());
+        out.extend_from_slice(b"\n");
+        Ok(())
+    }
+}
+
+/// Handle Request: uppercase the line; `quit` closes the connection.
+struct UppercaseService;
+
+impl Service<LineCodec> for UppercaseService {
+    fn handle(&self, _ctx: &ConnCtx, req: String) -> Action<String> {
+        if req == "quit" {
+            Action::ReplyClose("BYE".into())
+        } else {
+            Action::Reply(req.to_uppercase())
+        }
+    }
+
+    fn on_open(&self, _ctx: &ConnCtx) -> Option<String> {
+        Some("WELCOME".into())
+    }
+}
+
+fn main() {
+    // One dispatcher, 4-worker event processor, five-step pipeline —
+    // the template defaults.
+    let options = ServerOptions::default();
+    let server = ServerBuilder::new(options, LineCodec, UppercaseService)
+        .expect("valid options")
+        .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
+    let addr = server.local_label().to_string();
+    println!("quickstart server listening on {addr}");
+
+    // Drive it with a plain blocking client.
+    let mut client = TcpStream::connect(&addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    client.write_all(b"hello pattern templates\nquit\n").unwrap();
+    let mut reply = String::new();
+    let mut buf = [0u8; 256];
+    loop {
+        match client.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => break,
+        }
+    }
+    print!("server said:\n{reply}");
+    assert!(reply.contains("WELCOME"));
+    assert!(reply.contains("HELLO PATTERN TEMPLATES"));
+    assert!(reply.contains("BYE"));
+
+    let stats = server.stats();
+    println!(
+        "stats: {} connection(s), {} request(s), {} bytes out",
+        stats.connections_accepted, stats.requests_decoded, stats.bytes_sent
+    );
+    server.shutdown();
+    println!("quickstart OK");
+}

@@ -1,0 +1,62 @@
+//! Time server — the paper's example of a "trivial application" the
+//! N-Server generates, using the **Fig. 2 structural variation**: no
+//! encoding or decoding (template option O3 = No), so the pipeline is
+//! Read → Handle → Send and the codec hook disappears entirely.
+//!
+//! Any bytes received on a connection are answered with the current time
+//! (like RFC 867 daytime, but query-triggered so it works over one
+//! persistent connection).
+//!
+//! Run: `cargo run -p nserver-examples --bin time_server`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use nserver_core::prelude::*;
+
+/// Handle Request over raw bytes (no codec — O3 = No).
+struct TimeService;
+
+impl Service<RawCodec> for TimeService {
+    fn handle(&self, _ctx: &ConnCtx, _req: Vec<u8>) -> Action<Vec<u8>> {
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        Action::Reply(format!("unix-time {}.{:09}\n", now.as_secs(), now.subsec_nanos()).into_bytes())
+    }
+}
+
+fn main() {
+    let options = ServerOptions {
+        // Fig. 2: no Decode/Encode stages are generated.
+        encode_decode: false,
+        // A trivial server doesn't need a worker pool either: run the
+        // handler inline on the dispatcher (classic single-threaded
+        // Reactor, O2 = No).
+        separate_handler_pool: false,
+        thread_allocation: ThreadAllocation::Static { threads: 1 },
+        ..ServerOptions::default()
+    };
+    let server = ServerBuilder::new(options, RawCodec, TimeService)
+        .expect("valid options")
+        .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
+    let addr = server.local_label().to_string();
+    println!("time server (O3=No, O2=No) listening on {addr}");
+
+    let mut client = TcpStream::connect(&addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    for i in 0..3 {
+        client.write_all(b"?").unwrap();
+        let mut buf = [0u8; 128];
+        let n = client.read(&mut buf).unwrap();
+        let line = String::from_utf8_lossy(&buf[..n]);
+        print!("query {i}: {line}");
+        assert!(line.starts_with("unix-time "));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    println!("time server OK");
+}

@@ -1,0 +1,124 @@
+//! COPS-HTTP — the paper's flagship generated application: a static web
+//! server with the full Table 1 configuration (asynchronous completions
+//! through the Proactor helper pool, a 20 MB LRU file cache, a static
+//! worker pool).
+//!
+//! The demo builds a small SpecWeb99-style site in memory, serves it over
+//! loopback TCP, fetches a handful of pages twice (so the second pass
+//! hits the cache), and prints the profiling counters and cache hit rate.
+//!
+//! Run: `cargo run -p nserver-examples --bin web_server` for the
+//! self-driving demo, or with `--serve` to keep serving until killed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
+use nserver_core::prelude::*;
+use nserver_core::server::ServerBuilder;
+use nserver_http::preset::COPS_HTTP_CACHE_BYTES;
+use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
+use nserver_specweb::FileSet;
+
+fn fetch(client: &mut TcpStream, path: &str) -> (u16, usize) {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n");
+    client.write_all(req.as_bytes()).unwrap();
+    let mut head = Vec::new();
+    let mut buf = [0u8; 4096];
+    // Read until we have the full head, then the declared body length.
+    let (status, body_len, mut body_got);
+    loop {
+        let n = client.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed early");
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+            let text = String::from_utf8_lossy(&head[..pos]).to_string();
+            let code: u16 = text.split(' ').nth(1).unwrap().parse().unwrap();
+            let len: usize = text
+                .lines()
+                .find(|l| l.to_ascii_lowercase().starts_with("content-length"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            body_got = head.len() - (pos + 4);
+            status = code;
+            body_len = len;
+            break;
+        }
+    }
+    while body_got < body_len {
+        let n = client.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed mid-body");
+        body_got += n;
+    }
+    (status, body_len)
+}
+
+fn main() {
+    // A one-directory SpecWeb99 site (36 files, ~5 MB), held in memory.
+    let fileset = FileSet::with_dirs(1);
+    let mut store = MemStore::new();
+    for spec in fileset.files() {
+        store.insert(spec.path(), fileset.synth_content(spec));
+    }
+    println!(
+        "site: {} files, {} bytes",
+        fileset.files().len(),
+        fileset.total_bytes()
+    );
+
+    // The template options of Table 1's COPS-HTTP column; the file cache
+    // object is the O6 machinery with LRU enforced.
+    let options = cops_http_options();
+    let cache = SharedFileCache::new(FileCache::new(COPS_HTTP_CACHE_BYTES, PolicyKind::Lru));
+    let service = StaticFileService::new(store, Some(cache.clone()));
+    let server = ServerBuilder::new(options, HttpCodec::new(), service)
+        .expect("valid options")
+        .helper_threads(4)
+        .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
+    let addr = server.local_label().to_string();
+    println!("COPS-HTTP listening on {addr}");
+
+    if std::env::args().any(|a| a == "--serve") {
+        println!("serving until killed (--serve mode)");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    let mut client = TcpStream::connect(&addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let paths: Vec<String> = fileset.files().iter().take(8).map(|f| f.path()).collect();
+    for round in 0..2 {
+        for path in &paths {
+            let (status, len) = fetch(&mut client, path);
+            assert_eq!(status, 200);
+            if round == 0 {
+                println!("GET {path} -> {status} ({len} bytes)");
+            }
+        }
+    }
+    let (status, _) = fetch(&mut client, "/no/such/file");
+    println!("GET /no/such/file -> {status}");
+    assert_eq!(status, 404);
+
+    let stats = server.stats();
+    println!(
+        "\nprofiling: {} requests, {} responses, {} bytes sent, {} blocking ops",
+        stats.requests_decoded, stats.responses_sent, stats.bytes_sent, stats.blocking_ops
+    );
+    let cs = cache.stats();
+    println!(
+        "file cache: {} hits / {} misses (hit rate {:.0}%)",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate() * 100.0
+    );
+    assert!(cs.hits >= paths.len() as u64, "second pass must hit");
+    server.shutdown();
+    println!("web server OK");
+}

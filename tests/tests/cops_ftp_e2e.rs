@@ -1,0 +1,187 @@
+//! End-to-end COPS-FTP: a full client session against the real server —
+//! login, navigation, passive-mode LIST/RETR/STOR, upload verification —
+//! plus the option-driven behaviours of the FTP preset (synchronous
+//! completions, dynamic pool).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nserver_core::server::ServerBuilder;
+use nserver_core::transport::TcpListenerNb;
+use nserver_ftp::{cops_ftp_options, FtpCodec, FtpService, UserRegistry, Vfs};
+
+struct Ctl {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Ctl {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\r\n").unwrap();
+    }
+
+    fn reply(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line
+    }
+}
+
+fn pasv_port(reply: &str) -> u16 {
+    let inner = reply.split('(').nth(1).unwrap().split(')').next().unwrap();
+    let nums: Vec<u16> = inner.split(',').map(|n| n.trim().parse().unwrap()).collect();
+    (nums[4] << 8) | nums[5]
+}
+
+fn start_server() -> (nserver_core::server::ServerHandle<FtpCodec, FtpService>, Arc<Vfs>) {
+    let vfs = Arc::new(Vfs::new());
+    vfs.mkdir("/pub");
+    vfs.write("/pub/a.txt", b"alpha".to_vec());
+    vfs.write("/pub/b.txt", b"beta-beta".to_vec());
+    let users = Arc::new(UserRegistry::new().with_anonymous());
+    users.add_user("alice", "secret");
+    let server = ServerBuilder::new(
+        cops_ftp_options(),
+        FtpCodec,
+        FtpService::new(Arc::clone(&vfs), users),
+    )
+    .unwrap()
+    .serve(TcpListenerNb::bind("127.0.0.1:0").unwrap());
+    (server, vfs)
+}
+
+#[test]
+fn full_session_list_retr_stor() {
+    let (server, vfs) = start_server();
+    let addr = server.local_label().to_string();
+    let mut ctl = Ctl::connect(&addr);
+
+    assert!(ctl.reply().starts_with("220"));
+    ctl.send("USER alice");
+    assert!(ctl.reply().starts_with("331"));
+    ctl.send("PASS secret");
+    assert!(ctl.reply().starts_with("230"));
+    ctl.send("CWD /pub");
+    assert!(ctl.reply().starts_with("250"));
+    ctl.send("TYPE I");
+    assert!(ctl.reply().starts_with("200"));
+
+    // LIST over a data connection.
+    ctl.send("PASV");
+    let port = pasv_port(&ctl.reply());
+    let mut data = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    ctl.send("LIST");
+    let mut listing = String::new();
+    data.read_to_string(&mut listing).unwrap();
+    assert!(ctl.reply().starts_with("150"));
+    assert!(ctl.reply().starts_with("226"));
+    assert_eq!(listing, "a.txt\r\nb.txt\r\n");
+
+    // RETR.
+    ctl.send("PASV");
+    let port = pasv_port(&ctl.reply());
+    let mut data = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    ctl.send("RETR a.txt");
+    let mut content = Vec::new();
+    data.read_to_end(&mut content).unwrap();
+    assert!(ctl.reply().starts_with("150"));
+    assert!(ctl.reply().starts_with("226"));
+    assert_eq!(content, b"alpha");
+
+    // STOR (upload) lands in the shared VFS.
+    ctl.send("PASV");
+    let port = pasv_port(&ctl.reply());
+    let mut data = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    ctl.send("STOR upload.bin");
+    data.write_all(b"fresh upload").unwrap();
+    drop(data); // EOF terminates the transfer
+    assert!(ctl.reply().starts_with("150"));
+    assert!(ctl.reply().starts_with("226"));
+    assert_eq!(&**vfs.read("/pub/upload.bin").unwrap(), b"fresh upload");
+
+    ctl.send("QUIT");
+    assert!(ctl.reply().starts_with("221"));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_have_isolated_state() {
+    let (server, _vfs) = start_server();
+    let addr = server.local_label().to_string();
+
+    let mut a = Ctl::connect(&addr);
+    let mut b = Ctl::connect(&addr);
+    assert!(a.reply().starts_with("220"));
+    assert!(b.reply().starts_with("220"));
+
+    a.send("USER alice");
+    a.reply();
+    a.send("PASS secret");
+    assert!(a.reply().starts_with("230"));
+    a.send("CWD /pub");
+    assert!(a.reply().starts_with("250"));
+
+    // Session B is still unauthenticated and at "/".
+    b.send("PWD");
+    assert!(b.reply().starts_with("530"));
+    b.send("USER anonymous");
+    b.reply();
+    b.send("PASS x");
+    assert!(b.reply().starts_with("230"));
+    b.send("PWD");
+    assert!(b.reply().contains("\"/\""));
+
+    a.send("PWD");
+    assert!(a.reply().contains("\"/pub\""));
+    server.shutdown();
+}
+
+#[test]
+fn blocking_transfers_do_not_stall_other_sessions() {
+    // COPS-FTP uses O4 = Synchronous: a transfer blocks its worker. The
+    // dynamic pool (O5) must keep other control connections responsive
+    // while one session's data transfer waits for its peer.
+    let (server, _vfs) = start_server();
+    let addr = server.local_label().to_string();
+
+    let mut slow = Ctl::connect(&addr);
+    assert!(slow.reply().starts_with("220"));
+    slow.send("USER alice");
+    slow.reply();
+    slow.send("PASS secret");
+    slow.reply();
+    slow.send("PASV");
+    let _port = pasv_port(&slow.reply());
+    // Issue RETR but never connect to the data port: the worker blocks in
+    // accept_data for its timeout window.
+    slow.send("RETR /pub/a.txt");
+
+    // Meanwhile another session must be served promptly.
+    let t0 = std::time::Instant::now();
+    let mut fast = Ctl::connect(&addr);
+    assert!(fast.reply().starts_with("220"));
+    fast.send("USER anonymous");
+    assert!(fast.reply().starts_with("331"));
+    fast.send("PASS x");
+    assert!(fast.reply().starts_with("230"));
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "fast session stalled behind the blocking transfer"
+    );
+
+    // The slow session eventually reports the failed data connection.
+    assert!(slow.reply().starts_with("425"));
+    server.shutdown();
+}

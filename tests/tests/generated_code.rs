@@ -1,0 +1,163 @@
+//! Integration tests of the generative path: generate frameworks for the
+//! paper's configurations, validate their structure against the Table 2
+//! crosscut facts, and compile + run one generated crate for real.
+
+use nserver_codegen::{generate, registry, CrosscutMatrix, OptionId};
+use nserver_core::options::{EventScheduling, ServerOptions};
+use nserver_ftp::cops_ftp_options;
+use nserver_http::{cops_http_options, cops_http_scheduling_options};
+
+#[test]
+fn http_and_ftp_presets_generate_different_frameworks() {
+    let http = generate("cops-http", &cops_http_options(), "../crates");
+    let ftp = generate("cops-ftp", &cops_ftp_options(), "../crates");
+    // O4: async machinery exists only in the HTTP framework.
+    assert!(http.file("src/framework/completion_event.rs").is_some());
+    assert!(ftp.file("src/framework/completion_event.rs").is_none());
+    // O5: the Processor Controller exists only in the FTP framework.
+    assert!(http.file("src/framework/processor_controller.rs").is_none());
+    assert!(ftp.file("src/framework/processor_controller.rs").is_some());
+    // O6: the cache exists only in the HTTP framework.
+    assert!(http.file("src/framework/cache.rs").is_some());
+    assert!(ftp.file("src/framework/cache.rs").is_none());
+}
+
+#[test]
+fn scheduling_variant_crosscuts_the_expected_classes() {
+    // The paper: enabling O8 adds a priority field to Event and the
+    // Communicator and swaps the Event Processor's queue — crosscutting
+    // several components at generation time.
+    let base = generate("base", &cops_http_options(), "../crates");
+    let sched = generate("sched", &cops_http_scheduling_options(1, 10), "../crates");
+    let m = CrosscutMatrix::build();
+    let o8_col = OptionId::ALL.iter().position(|&o| o == OptionId::O8).unwrap();
+    let mut checked = 0;
+    for (spec, row) in registry().iter().zip(&m.cells) {
+        let o8_dependent = !matches!(row[o8_col], nserver_codegen::crosscut::Mark::None);
+        let path = format!("src/framework/{}.rs", spec.module);
+        let (Some(a), Some(b)) = (base.file(&path), sched.file(&path)) else {
+            continue;
+        };
+        // O6 also differs between the two presets (scheduling experiment
+        // disables the cache), so only classes untouched by O6 give a
+        // clean O8 signal.
+        let o6_dependent = spec.depends_on(OptionId::O6);
+        if o8_dependent && !o6_dependent {
+            assert_ne!(a.content, b.content, "{} should change with O8", spec.name);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "checked only {checked} O8-dependent classes");
+}
+
+#[test]
+fn generated_event_class_gains_priority_field_with_o8() {
+    let opts = ServerOptions {
+        event_scheduling: EventScheduling::Yes { quotas: vec![4, 1] },
+        ..ServerOptions::default()
+    };
+    let with = generate("with", &opts, "../crates");
+    let without = generate("without", &ServerOptions::default(), "../crates");
+    let ev_with = &with.file("src/framework/event.rs").unwrap().content;
+    let ev_without = &without.file("src/framework/event.rs").unwrap().content;
+    assert!(ev_with.contains("pub priority: Priority"));
+    assert!(!ev_without.contains("pub priority: Priority"));
+}
+
+#[test]
+fn generated_framework_compiles_and_runs() {
+    // Expand the COPS-HTTP template into a scratch crate and actually
+    // build and smoke-run it against this workspace's runtime crates.
+    let dir = std::env::temp_dir().join(format!("nserver-genbuild-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let crates = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .join("crates");
+    let fw = generate(
+        "generated-smoke",
+        &cops_http_options(),
+        crates.to_str().unwrap(),
+    );
+    fw.write_to(&dir).unwrap();
+
+    let build = std::process::Command::new("cargo")
+        .args(["build", "--offline", "--quiet"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        build.status.success(),
+        "generated crate failed to build:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    let run = std::process::Command::new(dir.join("target/debug/generated-smoke"))
+        .env("NSERVER_GENERATED_SMOKE", "1")
+        .output()
+        .expect("run generated server");
+    assert!(run.status.success());
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        stdout.contains("listening on 127.0.0.1:"),
+        "unexpected output: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generated_ftp_framework_compiles_and_runs() {
+    // The COPS-FTP preset exercises the opposite gates from the HTTP one:
+    // synchronous completions (no completion classes), dynamic allocation
+    // (Processor Controller generated), no cache.
+    let dir = std::env::temp_dir().join(format!("nserver-genftp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let crates = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .join("crates");
+    let fw = generate(
+        "generated-ftp-smoke",
+        &cops_ftp_options(),
+        crates.to_str().unwrap(),
+    );
+    assert!(fw.file("src/framework/processor_controller.rs").is_some());
+    assert!(fw.file("src/framework/completion_event.rs").is_none());
+    fw.write_to(&dir).unwrap();
+
+    let build = std::process::Command::new("cargo")
+        .args(["build", "--offline", "--quiet"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        build.status.success(),
+        "generated FTP-preset crate failed to build:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let run = std::process::Command::new(dir.join("target/debug/generated-ftp-smoke"))
+        .env("NSERVER_GENERATED_SMOKE", "1")
+        .output()
+        .expect("run generated server");
+    assert!(run.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ncss_of_generated_frameworks_scales_with_enabled_options() {
+    let minimal = ServerOptions {
+        encode_decode: false,
+        separate_handler_pool: false,
+        thread_allocation: nserver_core::options::ThreadAllocation::Static { threads: 1 },
+        ..ServerOptions::default()
+    };
+    let small = generate("small", &minimal, "../crates").generated_stats();
+    let full = generate("full", &cops_http_options(), "../crates").generated_stats();
+    assert!(
+        full.ncss > small.ncss,
+        "full {} <= minimal {}",
+        full.ncss,
+        small.ncss
+    );
+    assert!(full.classes > small.classes);
+}

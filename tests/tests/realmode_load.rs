@@ -1,0 +1,61 @@
+//! Real-mode load test: the SpecWeb99 workload driver (real sockets,
+//! real threads) against a live COPS-HTTP instance — a miniature of the
+//! paper's first experiment running on the actual framework instead of
+//! the simulator.
+
+use std::time::Duration;
+
+use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
+use nserver_core::server::ServerBuilder;
+use nserver_core::transport::TcpListenerNb;
+use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
+use nserver_netsim::jain_index;
+use nserver_specweb::driver::{run, DriverConfig};
+use nserver_specweb::{ClientConfig, FileSet};
+
+#[test]
+fn specweb_driver_loads_real_cops_http() {
+    let fileset = FileSet::with_dirs(2);
+    let mut store = MemStore::new();
+    for spec in fileset.files() {
+        store.insert(spec.path(), fileset.synth_content(spec));
+    }
+    let cache = SharedFileCache::new(FileCache::new(8 << 20, PolicyKind::Lru));
+    let server = ServerBuilder::new(
+        cops_http_options(),
+        HttpCodec::new(),
+        StaticFileService::new(store, Some(cache.clone())),
+    )
+    .unwrap()
+    .serve(TcpListenerNb::bind("127.0.0.1:0").unwrap());
+
+    let report = run(
+        &fileset,
+        &DriverConfig {
+            addr: server.local_label().to_string(),
+            clients: 8,
+            duration: Duration::from_secs(2),
+            client: ClientConfig {
+                requests_per_connection: 5,
+                think_time_ms: 5,
+            },
+            seed: 7,
+        },
+    );
+
+    assert_eq!(report.errors, 0, "no failed requests");
+    let total = report.total_responses();
+    assert!(total >= 8 * 10, "only {total} responses in 2 s");
+    assert!(report.body_bytes > 0);
+
+    // The event-driven server serves all clients fairly.
+    let per: Vec<f64> = report.per_client.iter().map(|&c| c as f64).collect();
+    let fairness = jain_index(&per);
+    assert!(fairness > 0.9, "fairness {fairness}: {per:?}");
+
+    // Server-side accounting agrees with the driver's view.
+    let stats = server.stats();
+    assert!(stats.responses_sent >= total);
+    assert!(cache.stats().hits > 0, "Zipf workload must produce hits");
+    server.shutdown();
+}

@@ -1,0 +1,112 @@
+//! Scaled-down runs of the four figure-level experiments, asserting the
+//! *shapes* the paper reports. The full harnesses live in
+//! `crates/bench/src/bin`; these tests keep the shapes from regressing.
+
+use nserver_baselines::world::CopsParams;
+use nserver_baselines::{
+    run_scheduling_experiment, ApacheParams, ExperimentParams, SchedulingParams, ServerKind,
+    World,
+};
+use nserver_netsim::SimTime;
+
+fn short3(clients: usize, kind: ServerKind) -> ExperimentParams {
+    let mut p = ExperimentParams::figure3(clients, kind);
+    p.warmup = SimTime::from_secs(5);
+    p.measure = SimTime::from_secs(25);
+    p
+}
+
+#[test]
+fn fig3_shape_crossover_and_saturation() {
+    let apache = |n| World::new(short3(n, ServerKind::Apache(ApacheParams::default()))).run();
+    let cops = |n| World::new(short3(n, ServerKind::Cops(CopsParams::default()))).run();
+
+    // Light load: Apache at least as good (C vs Java per-request cost).
+    let (a8, c8) = (apache(8), cops(8));
+    assert!(
+        a8.throughput_rps >= c8.throughput_rps * 0.995,
+        "light load: apache {} vs cops {}",
+        a8.throughput_rps,
+        c8.throughput_rps
+    );
+
+    // Mid load: COPS ahead (multiprogramming overhead bites Apache).
+    let (a128, c128) = (apache(128), cops(128));
+    assert!(
+        c128.throughput_rps > a128.throughput_rps * 1.02,
+        "mid load: apache {} vs cops {}",
+        a128.throughput_rps,
+        c128.throughput_rps
+    );
+
+    // Heavy load: both saturate; COPS's saturation exceeds Apache's.
+    let (a512, c512) = (apache(512), cops(512));
+    assert!(c512.throughput_rps > a512.throughput_rps);
+    // Very heavy (1024): Apache regains the lead (it serves only its 150
+    // lucky connections), at the price Fig. 4 shows.
+    let (a1024, c1024) = (apache(1024), cops(1024));
+    assert!(
+        a1024.throughput_rps > c1024.throughput_rps,
+        "1024: apache {} vs cops {}",
+        a1024.throughput_rps,
+        c1024.throughput_rps
+    );
+}
+
+#[test]
+fn fig4_shape_fairness_collapse() {
+    let apache =
+        World::new(short3(1024, ServerKind::Apache(ApacheParams::default()))).run();
+    let cops = World::new(short3(1024, ServerKind::Cops(CopsParams::default()))).run();
+    assert!(cops.fairness > 0.95, "cops fairness {}", cops.fairness);
+    assert!(
+        apache.fairness < 0.7,
+        "apache fairness {} should collapse at 1024 clients",
+        apache.fairness
+    );
+    // The collapse is caused by SYN drops + exponential backoff.
+    assert!(apache.syn_drops > 100);
+    // At light load both are fair.
+    let apache_light =
+        World::new(short3(64, ServerKind::Apache(ApacheParams::default()))).run();
+    assert!(apache_light.fairness > 0.95);
+}
+
+#[test]
+fn fig5_shape_quota_ratio_controls_throughput_ratio() {
+    let mut p = SchedulingParams::paper(1, 5);
+    p.warmup = SimTime::from_secs(2);
+    p.measure = SimTime::from_secs(20);
+    let out = run_scheduling_experiment(p);
+    let ratio = out.ratio();
+    assert!(
+        (3.7..6.3).contains(&ratio),
+        "5:1 quotas gave ratio {ratio}"
+    );
+    assert!(out.portal_rps > out.homepage_rps);
+}
+
+#[test]
+fn fig6_shape_overload_control_bounds_response_time() {
+    let run = |clients, ctl| {
+        let mut p = ExperimentParams::figure6(clients, ctl);
+        p.warmup = SimTime::from_secs(5);
+        p.measure = SimTime::from_secs(25);
+        World::new(p).run()
+    };
+    let off64 = run(64, false);
+    let on64 = run(64, true);
+    // Controlled response time is significantly lower...
+    assert!(on64.mean_response_ms < off64.mean_response_ms * 0.6);
+    // ...throughput is not degraded...
+    assert!(on64.throughput_rps > off64.throughput_rps * 0.9);
+    // ...and the combined time reflects the connect wait instead.
+    assert!(on64.mean_combined_ms > on64.mean_response_ms);
+
+    // Response time without control grows with load; with control it
+    // stays roughly flat.
+    let off16 = run(16, false);
+    let on16 = run(16, true);
+    assert!(off64.mean_response_ms > off16.mean_response_ms * 2.0);
+    assert!(on64.mean_response_ms < on16.mean_response_ms * 1.5);
+}
