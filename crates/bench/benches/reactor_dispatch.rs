@@ -1,7 +1,11 @@
 //! Ablation for option O2: request round-trip latency through a live
 //! framework instance with handlers inline on the dispatcher (classic
-//! Reactor) vs handed to the Event Processor pool.
+//! Reactor) vs handed to the Event Processor pool — plus the O1
+//! demultiplexing ablation: how fast a parked dispatcher notices new
+//! work under the old scan-and-sleep loop vs a poller waker.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
@@ -9,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nserver_core::options::{ServerOptions, ThreadAllocation};
 use nserver_core::pipeline::{Action, Codec, ConnCtx, ProtocolError, Service};
 use nserver_core::server::ServerBuilder;
-use nserver_core::transport::{mem, ReadOutcome, StreamIo};
+use nserver_core::transport::{mem, Poller, ReadOutcome, StreamIo};
 
 struct LineCodec;
 
@@ -103,5 +107,72 @@ fn bench_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dispatch);
+/// O1 ablation: latency from "work arrives" to "the idle dispatch thread
+/// notices". The scan-and-sleep baseline reproduces the loop this PR
+/// removed (sleep 200 µs between scans); the poller side blocks in
+/// `MemPoller::wait` and is pulled out by its waker.
+fn bench_idle_wake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idle_wake_latency");
+    g.sample_size(30);
+
+    // Baseline: flag checked every 200 µs, exactly like the old loop.
+    {
+        let flag = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel::<()>();
+        let h = {
+            let flag = Arc::clone(&flag);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if flag.swap(false, Ordering::Relaxed) {
+                        ack_tx.send(()).unwrap();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            })
+        };
+        g.bench_function("sleep_poll_200us", |b| {
+            b.iter(|| {
+                flag.store(true, Ordering::Relaxed);
+                ack_rx.recv().unwrap();
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        flag.store(true, Ordering::Relaxed);
+        let _ = h.join();
+    }
+
+    // Demultiplexed: thread parked in the poller, woken by the waker.
+    {
+        let mut poller = mem::MemPoller::new();
+        let waker = poller.waker();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel::<()>();
+        let h = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut events = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    poller.wait(&mut events, None).unwrap();
+                    ack_tx.send(()).unwrap();
+                }
+            })
+        };
+        g.bench_function("poller_waker", |b| {
+            b.iter(|| {
+                waker.wake();
+                ack_rx.recv().unwrap();
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        waker.wake();
+        let _ = h.join();
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_idle_wake);
 criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! O1 ablation artifact: idle-wake latency of the dispatch loop.
+//!
+//! Measures how long an idle dispatch thread takes to notice newly
+//! arrived work under two regimes:
+//!
+//! * `sleep_poll` — the scan-and-sleep loop this repository used before
+//!   readiness demultiplexing: check for work, sleep 200 µs, repeat.
+//! * `poller_waker` — the current design: block in `MemPoller::wait`
+//!   until the registered [`Waker`] fires.
+//!
+//! Writes `BENCH_dispatch.json` at the workspace root recording the
+//! distributions and the mean-latency improvement factor. Pass `--quick`
+//! for a shortened run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nserver_core::transport::{mem, Poller};
+
+/// Latency distribution summary in nanoseconds.
+struct Summary {
+    mean_ns: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    max_ns: u64,
+}
+
+fn summarize(mut samples: Vec<u64>) -> Summary {
+    samples.sort_unstable();
+    let n = samples.len();
+    Summary {
+        mean_ns: samples.iter().sum::<u64>() as f64 / n as f64,
+        p50_ns: samples[n / 2],
+        p95_ns: samples[n * 95 / 100],
+        max_ns: samples[n - 1],
+    }
+}
+
+/// The pre-demultiplexing dispatch loop: poll a flag, sleep 200 µs when
+/// idle. Reported latency is signal → loop notices.
+fn measure_sleep_poll(iters: usize) -> Summary {
+    let flag = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (ack_tx, ack_rx) = channel::<()>();
+    let worker = {
+        let flag = Arc::clone(&flag);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if flag.swap(false, Ordering::Relaxed) {
+                    let _ = ack_tx.send(());
+                } else {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        })
+    };
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        flag.store(true, Ordering::Relaxed);
+        ack_rx.recv().unwrap();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    stop.store(true, Ordering::Relaxed);
+    flag.store(true, Ordering::Relaxed);
+    let _ = worker.join();
+    summarize(samples)
+}
+
+/// The demultiplexed dispatch loop: block in the poller, get pulled out
+/// by the waker. Reported latency is wake → `wait` returns.
+fn measure_poller_waker(iters: usize) -> Summary {
+    let mut poller = mem::MemPoller::new();
+    let waker = poller.waker();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (ack_tx, ack_rx) = channel::<()>();
+    let worker = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut events = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                poller.wait(&mut events, None).unwrap();
+                let _ = ack_tx.send(());
+            }
+        })
+    };
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        waker.wake();
+        ack_rx.recv().unwrap();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    stop.store(true, Ordering::Relaxed);
+    waker.wake();
+    let _ = worker.join();
+    summarize(samples)
+}
+
+fn json_block(name: &str, s: &Summary) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"mean_ns\": {:.0},\n    \"p50_ns\": {},\n    \"p95_ns\": {},\n    \"max_ns\": {}\n  }}",
+        s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 200 } else { 2000 };
+
+    println!("idle-wake latency, {iters} wake cycles per mode\n");
+    // Interleave a warmup of each before measuring either.
+    let _ = measure_sleep_poll(50);
+    let _ = measure_poller_waker(50);
+
+    let sleep = measure_sleep_poll(iters);
+    let poller = measure_poller_waker(iters);
+    let speedup = sleep.mean_ns / poller.mean_ns;
+
+    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "mode", "mean ns", "p50 ns", "p95 ns", "max ns");
+    for (name, s) in [("sleep_poll", &sleep), ("poller_waker", &poller)] {
+        println!(
+            "{name:<16} {:>12.0} {:>12} {:>12} {:>12}",
+            s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+        );
+    }
+    println!("\nmean idle-wake latency improvement: {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"idle_wake_latency\",\n  \"iters_per_mode\": {iters},\n{},\n{},\n  \"mean_speedup\": {:.2}\n}}\n",
+        json_block("sleep_poll", &sleep),
+        json_block("poller_waker", &poller),
+        speedup
+    );
+    let path = nserver_bench::crates_dir()
+        .parent()
+        .map(|p| p.join("BENCH_dispatch.json"))
+        .unwrap_or_else(|| "BENCH_dispatch.json".into());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

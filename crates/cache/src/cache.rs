@@ -37,6 +37,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Component-wise accumulation (used to aggregate per-shard stats).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.rejected += other.rejected;
+        self.evicted_bytes += other.evicted_bytes;
+    }
 }
 
 struct Entry<K> {
@@ -210,18 +219,64 @@ impl<K: Eq + Hash + Clone> FileCache<K> {
     }
 }
 
+/// Default shard count for [`SharedFileCache::sharded`].
+pub const DEFAULT_SHARDS: usize = 8;
+
 /// Thread-safe cache handle shared between event-processor workers.
+///
+/// The cache is partitioned into independent shards, each behind its own
+/// lock, with keys routed by `hash(key) % shards`. Workers touching
+/// different shards never contend; a single global lock would serialize
+/// every worker of the Event Processor (O2) behind one mutex on the file
+/// hot path (O6). Capacity is split evenly across shards, so the byte
+/// bound still holds globally — the tradeoff is that no single object
+/// larger than `capacity / shards` can be cached.
 #[derive(Clone)]
 pub struct SharedFileCache<K: Eq + Hash + Clone> {
-    inner: Arc<Mutex<FileCache<K>>>,
+    shards: Arc<Vec<Mutex<FileCache<K>>>>,
 }
 
 impl<K: Eq + Hash + Clone> SharedFileCache<K> {
-    /// Wrap a cache for shared use.
+    /// Wrap a single pre-built cache for shared use (one shard). This is
+    /// the path for custom policy objects, which cannot be replicated
+    /// across shards.
     pub fn new(cache: FileCache<K>) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(cache)),
+            shards: Arc::new(vec![Mutex::new(cache)]),
         }
+    }
+
+    /// Build a sharded cache: `shards` independent partitions (≥ 1), each
+    /// running its own instance of the built-in `policy` over an even
+    /// split of `capacity`.
+    pub fn sharded(capacity: u64, policy: PolicyKind, shards: usize) -> Self {
+        let n = shards.max(1) as u64;
+        let base = capacity / n;
+        let remainder = capacity % n;
+        let shards = (0..n)
+            // Spread the rounding remainder so the shard capacities sum
+            // exactly to `capacity`.
+            .map(|i| base + u64::from(i < remainder))
+            .map(|cap| Mutex::new(FileCache::new(cap, policy)))
+            .collect();
+        Self {
+            shards: Arc::new(shards),
+        }
+    }
+
+    fn shard_for<Q>(&self, key: &Q) -> &Mutex<FileCache<K>>
+    where
+        Q: Hash + ?Sized,
+    {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of independent partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// See [`FileCache::get`].
@@ -230,12 +285,12 @@ impl<K: Eq + Hash + Clone> SharedFileCache<K> {
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        self.inner.lock().get(key)
+        self.shard_for(key).lock().get(key)
     }
 
     /// See [`FileCache::insert`].
     pub fn insert(&self, key: K, data: Arc<Vec<u8>>) -> bool {
-        self.inner.lock().insert(key, data)
+        self.shard_for(&key).lock().insert(key, data)
     }
 
     /// See [`FileCache::invalidate`].
@@ -244,17 +299,36 @@ impl<K: Eq + Hash + Clone> SharedFileCache<K> {
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        self.inner.lock().invalidate(key)
+        self.shard_for(key).lock().invalidate(key)
     }
 
-    /// See [`FileCache::stats`].
+    /// Aggregate statistics summed over every shard.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats()
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            total.merge(&shard.lock().stats());
+        }
+        total
     }
 
-    /// See [`FileCache::used_bytes`].
+    /// Bytes resident, summed over every shard.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().used_bytes()
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Configured capacity, summed over every shard.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().capacity_bytes()).sum()
+    }
+
+    /// Resident entries, summed over every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -424,5 +498,98 @@ mod tests {
             h.join().unwrap();
         }
         assert!(shared.used_bytes() <= 50_000);
+    }
+
+    #[test]
+    fn sharded_cache_splits_capacity_exactly() {
+        let c: SharedFileCache<u64> = SharedFileCache::sharded(1003, PolicyKind::Lru, 8);
+        assert_eq!(c.shard_count(), 8);
+        assert_eq!(c.capacity_bytes(), 1003);
+        let single: SharedFileCache<u64> = SharedFileCache::new(FileCache::new(100, PolicyKind::Lru));
+        assert_eq!(single.shard_count(), 1);
+        let zero: SharedFileCache<u64> = SharedFileCache::sharded(100, PolicyKind::Lru, 0);
+        assert_eq!(zero.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_routes_keys_consistently() {
+        let c: SharedFileCache<String> = SharedFileCache::sharded(8_000, PolicyKind::Lru, 8);
+        for i in 0..50 {
+            assert!(c.insert(format!("/file/{i}"), blob(10)));
+        }
+        for i in 0..50 {
+            // Borrowed-form lookups must land on the same shard as the
+            // owned-key inserts (Borrow guarantees equal hashes).
+            assert!(c.get(&format!("/file/{i}")[..]).is_some(), "lost /file/{i}");
+        }
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.used_bytes(), 500);
+        let s = c.stats();
+        assert_eq!(s.hits, 50);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn sharded_cache_aggregates_stats_across_shards() {
+        let c: SharedFileCache<u64> = SharedFileCache::sharded(4_000, PolicyKind::Lru, 4);
+        for k in 0..40u64 {
+            c.insert(k, blob(50));
+        }
+        for k in 0..40u64 {
+            c.get(&k);
+        }
+        for k in 1000..1010u64 {
+            c.get(&k);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 50);
+        assert_eq!(s.misses, 10);
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_cache_respects_global_capacity_under_pressure() {
+        let c: SharedFileCache<u64> = SharedFileCache::sharded(10_000, PolicyKind::Lru, 8);
+        for k in 0..500u64 {
+            c.insert(k, blob(100));
+            assert!(c.used_bytes() <= 10_000);
+        }
+        assert!(c.stats().evictions > 0, "pressure must evict");
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_invalidate_hits_the_owning_shard() {
+        let c: SharedFileCache<String> = SharedFileCache::sharded(8_000, PolicyKind::Lru, 8);
+        c.insert("victim".to_string(), blob(10));
+        assert!(c.invalidate("victim"));
+        assert!(!c.invalidate("victim"));
+        assert!(c.get("victim").is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_workers_stay_bounded() {
+        use std::thread;
+        let shared: SharedFileCache<u64> =
+            SharedFileCache::sharded(50_000, PolicyKind::Lru, DEFAULT_SHARDS);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = shared.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = (t * 31 + i) % 200;
+                    if c.get(&key).is_none() {
+                        c.insert(key, Arc::new(vec![0u8; 64]));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(shared.used_bytes() <= 50_000);
+        let s = shared.stats();
+        assert!(s.hits > 0);
     }
 }

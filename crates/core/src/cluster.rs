@@ -4,23 +4,27 @@
 //! workstations."
 //!
 //! The [`ClusterFrontEnd`] is an event-driven connection relay built from
-//! the same non-blocking transport the Reactor uses: it accepts client
-//! connections, dials a backend N-Server per connection (round-robin or
-//! least-connections), and shuttles bytes both ways without ever
-//! blocking. Backend N-Servers run unchanged — exactly the paper's
-//! promise that "the programmer \[writes\] identical hook methods … whether
-//! the application was generated for a shared memory machine or a network
-//! of workstations."
+//! the same non-blocking transport — and the same readiness demultiplexer
+//! — the Reactor uses: it accepts client connections, dials a backend
+//! N-Server per connection (round-robin or least-connections), and
+//! shuttles bytes both ways, blocking in its poller whenever no socket is
+//! ready. Backend N-Servers run unchanged — exactly the paper's promise
+//! that "the programmer \[writes\] identical hook methods … whether the
+//! application was generated for a shared memory machine or a network of
+//! workstations."
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use bytes::BytesMut;
 
-use crate::transport::{Listener, ReadOutcome, StreamIo, TcpListenerNb, TcpStreamNb};
+use crate::transport::{
+    Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, TcpListenerNb, TcpPoller,
+    TcpStreamNb, Waker, LISTENER_TOKEN,
+};
 
 /// Backend selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +56,15 @@ struct Session {
     down_buf: BytesMut,
     client_eof: bool,
     backend_eof: bool,
+    /// Interest currently registered for the client / backend stream.
+    client_armed: Interest,
+    backend_armed: Interest,
 }
 
 /// A running cluster front end.
 pub struct ClusterFrontEnd {
     stop: Arc<AtomicBool>,
+    waker: Waker,
     thread: Option<JoinHandle<()>>,
     local_label: String,
     stats: Arc<RelayStats>,
@@ -79,16 +87,22 @@ impl ClusterFrontEnd {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RelayStats::default());
         let local_label = listener.local_label();
+        let mut poller = TcpPoller::new()?;
+        listener.register_listener(&mut poller)?;
+        // Held by the handle so shutdown can pull the relay thread out of
+        // its blocking wait.
+        let waker = poller.waker();
         let thread = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("nserver-cluster-frontend".into())
-                .spawn(move || relay_loop(listener, backends, balancing, stop, stats))
+                .spawn(move || relay_loop(listener, poller, backends, balancing, stop, stats))
                 .expect("spawn relay thread")
         };
         Ok(ClusterFrontEnd {
             stop,
+            waker,
             thread: Some(thread),
             local_label,
             stats,
@@ -108,6 +122,7 @@ impl ClusterFrontEnd {
     /// Stop relaying and join the relay thread; live connections close.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -117,76 +132,117 @@ impl ClusterFrontEnd {
 impl Drop for ClusterFrontEnd {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
 
+/// Poller tokens: session `k` registers its client stream under `2k` and
+/// its backend stream under `2k + 1`. Keys start at 1 so no session token
+/// collides with [`LISTENER_TOKEN`].
+fn session_key(token: u64) -> u64 {
+    token >> 1
+}
+
 fn relay_loop(
     mut listener: TcpListenerNb,
+    mut poller: TcpPoller,
     backends: Vec<String>,
     balancing: Balancing,
     stop: Arc<AtomicBool>,
     stats: Arc<RelayStats>,
 ) {
-    let mut sessions: Vec<Session> = Vec::new();
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
     let mut per_backend = vec![0usize; backends.len()];
     let mut next_rr = 0usize;
+    let mut next_key: u64 = 1;
     let mut buf = vec![0u8; 16 * 1024];
+    let mut events: Vec<PollEvent> = Vec::new();
 
-    while !stop.load(Ordering::Relaxed) {
-        let mut active = false;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+
+        let mut accept_ready = false;
+        let mut touched: Vec<u64> = Vec::new();
+        for ev in events.drain(..) {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready = true;
+            } else {
+                touched.push(session_key(ev.token));
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
 
         // Accept and dial.
-        while let Ok(Some(client)) = listener.try_accept() {
-            active = true;
-            let index = match balancing {
-                Balancing::RoundRobin => {
-                    let i = next_rr % backends.len();
-                    next_rr += 1;
-                    i
-                }
-                Balancing::LeastConnections => per_backend
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &n)| n)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0),
-            };
-            match TcpStreamNb::connect(&backends[index]) {
-                Ok(backend) => {
-                    per_backend[index] += 1;
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    sessions.push(Session {
-                        client,
-                        backend,
-                        backend_index: index,
-                        up_buf: BytesMut::new(),
-                        down_buf: BytesMut::new(),
-                        client_eof: false,
-                        backend_eof: false,
-                    });
-                }
-                Err(_) => {
-                    stats.backend_failures.fetch_add(1, Ordering::Relaxed);
-                    let mut client = client;
-                    client.shutdown();
+        if accept_ready {
+            while let Ok(Some(client)) = listener.try_accept() {
+                let index = match balancing {
+                    Balancing::RoundRobin => {
+                        let i = next_rr % backends.len();
+                        next_rr += 1;
+                        i
+                    }
+                    Balancing::LeastConnections => per_backend
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &n)| n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                };
+                match TcpStreamNb::connect(&backends[index]) {
+                    Ok(backend) => {
+                        per_backend[index] += 1;
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let k = next_key;
+                        next_key += 1;
+                        let _ = poller.register(2 * k, &client, Interest::READABLE);
+                        let _ = poller.register(2 * k + 1, &backend, Interest::READABLE);
+                        sessions.insert(
+                            k,
+                            Session {
+                                client,
+                                backend,
+                                backend_index: index,
+                                up_buf: BytesMut::new(),
+                                down_buf: BytesMut::new(),
+                                client_eof: false,
+                                backend_eof: false,
+                                client_armed: Interest::READABLE,
+                                backend_armed: Interest::READABLE,
+                            },
+                        );
+                        // Service once now: data may already be in flight.
+                        touched.push(k);
+                    }
+                    Err(_) => {
+                        stats.backend_failures.fetch_add(1, Ordering::Relaxed);
+                        let mut client = client;
+                        client.shutdown();
+                    }
                 }
             }
         }
 
-        // Shuttle bytes.
-        let mut closed: Vec<usize> = Vec::new();
-        for (i, s) in sessions.iter_mut().enumerate() {
-            let moved = pump(
+        // Shuttle bytes on the sessions the poller flagged.
+        for k in touched {
+            let s = match sessions.get_mut(&k) {
+                Some(s) => s,
+                None => continue, // stale event for a finished session
+            };
+            pump(
                 &mut s.client,
                 &mut s.backend,
                 &mut s.up_buf,
                 &mut s.client_eof,
                 &mut buf,
                 &stats.bytes_upstream,
-            ) | pump(
+            );
+            pump(
                 &mut s.backend,
                 &mut s.client,
                 &mut s.down_buf,
@@ -194,25 +250,44 @@ fn relay_loop(
                 &mut buf,
                 &stats.bytes_downstream,
             );
-            active |= moved;
             // Close once either side ended and its pending bytes drained.
             if (s.client_eof && s.up_buf.is_empty()) || (s.backend_eof && s.down_buf.is_empty())
             {
-                closed.push(i);
+                let mut s = sessions.remove(&k).expect("present");
+                let _ = poller.deregister(2 * k, &s.client);
+                let _ = poller.deregister(2 * k + 1, &s.backend);
+                s.client.shutdown();
+                s.backend.shutdown();
+                per_backend[s.backend_index] -= 1;
+                continue;
+            }
+            // Re-arm interest: stop read-polling a half-closed side, poll
+            // writability only while relay bytes are actually queued.
+            let want_client = Interest {
+                readable: !s.client_eof,
+                writable: !s.down_buf.is_empty(),
+            };
+            if want_client != s.client_armed {
+                let _ = poller.reregister(2 * k, &s.client, want_client);
+                s.client_armed = want_client;
+            }
+            let want_backend = Interest {
+                readable: !s.backend_eof,
+                writable: !s.up_buf.is_empty(),
+            };
+            if want_backend != s.backend_armed {
+                let _ = poller.reregister(2 * k + 1, &s.backend, want_backend);
+                s.backend_armed = want_backend;
             }
         }
-        for i in closed.into_iter().rev() {
-            let mut s = sessions.remove(i);
-            s.client.shutdown();
-            s.backend.shutdown();
-            per_backend[s.backend_index] -= 1;
-        }
 
-        if !active {
-            std::thread::sleep(Duration::from_micros(300));
+        // Block until a socket is ready or the shutdown waker fires — the
+        // relay performs no periodic work at all.
+        if poller.wait(&mut events, None).is_err() {
+            events.clear();
         }
     }
-    for mut s in sessions.drain(..) {
+    for (_, mut s) in sessions.drain() {
         s.client.shutdown();
         s.backend.shutdown();
     }
@@ -272,6 +347,7 @@ mod tests {
     use crate::server::{ServerBuilder, ServerHandle};
     use std::io::{Read, Write};
     use std::net::TcpStream;
+    use std::time::Duration;
 
     struct TagCodec;
 
@@ -375,7 +451,15 @@ mod tests {
         // they should alternate to keep loads level.
         let mut held = TcpStream::connect(&addr).unwrap();
         held.write_all(b"held\n").unwrap();
-        std::thread::sleep(Duration::from_millis(50));
+        // Deterministic sync: the relay counts the connection only after
+        // dialing its backend, so the next accept sees the load imbalance.
+        for _ in 0..5000 {
+            if front.stats().connections.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(front.stats().connections.load(Ordering::Relaxed), 1);
         let r1 = ask(&addr, "x");
         assert!(r1.starts_with("two:"), "least-loaded backend expected: {r1}");
         drop(held);

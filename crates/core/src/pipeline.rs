@@ -31,6 +31,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::event::{CompletionToken, ConnId, EventKind, Priority};
 use crate::proactor::HelperPool;
 use crate::profiling::ServerStats;
+use crate::reactor::DispatchNotifier;
 use crate::trace::{AccessLogger, DebugTracer};
 
 /// A protocol error raised by a codec; the framework closes the offending
@@ -272,6 +273,10 @@ pub struct Engine<C: Codec, S: Service<C>> {
     pub helper: Option<Arc<HelperPool>>,
     /// Completion channel back into the dispatcher (O4=Asynchronous).
     pub completion_tx: Option<Sender<(CompletionToken, C::Response)>>,
+    /// Wakes the dispatcher owning a connection when a work item changed
+    /// its state (reply queued, closing requested): dispatchers block in
+    /// their poller and no longer scan connections for output.
+    pub notifier: DispatchNotifier,
 }
 
 impl<C: Codec, S: Service<C>> Engine<C, S> {
@@ -285,10 +290,19 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
     /// identical, only the calling thread differs.
     pub fn handle_work(&self, work: Work<C::Response>) {
         ServerStats::bump(&self.stats.events_dispatched);
+        let id = match &work {
+            Work::Process(id) => *id,
+            Work::Completion(token, _) => token.conn,
+        };
         match work {
             Work::Process(id) => self.process_conn(id),
             Work::Completion(token, resp) => self.handle_completion(token, resp),
         }
+        // Single choke point for dispatcher wake-ups: every outbox /
+        // closing transition a work item can cause has happened by now
+        // (including the panic path inside process_conn), so one
+        // notification covers them all.
+        self.notifier.notify_conn(id);
     }
 
     fn process_conn(&self, id: ConnId) {
@@ -382,11 +396,15 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                     conn.closing.store(true, Ordering::Relaxed);
                 }
                 let tx = tx.clone();
+                let notifier = self.notifier.clone();
                 self.tracer
                     .record(EventKind::Completion, Some(conn.id), format!("defer {token}"));
                 helper.submit(move || {
                     let resp = job();
                     let _ = tx.send((token, resp));
+                    // Dispatcher 0 drains the completion channel; pull it
+                    // out of its poller wait.
+                    notifier.wake_completion_sink();
                 });
             }
             _ => {
@@ -505,6 +523,7 @@ mod tests {
                 logger: Some(logger.as_hook()),
                 helper,
                 completion_tx: tx,
+                notifier: DispatchNotifier::disabled(),
             },
             logger,
         )

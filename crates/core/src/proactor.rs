@@ -151,21 +151,21 @@ mod tests {
     #[test]
     fn in_flight_accounting() {
         let pool = HelperPool::new(1);
+        let (started_tx, started_rx) = unbounded::<()>();
         let (block_tx, block_rx) = unbounded::<()>();
         pool.submit(move || {
-            let _ = block_rx.recv_timeout(Duration::from_secs(2));
+            started_tx.send(()).unwrap();
+            let _ = block_rx.recv_timeout(Duration::from_secs(5));
         });
-        // Give the helper a beat to pick it up.
-        std::thread::sleep(Duration::from_millis(10));
+        // Deterministic handshake: the job itself tells us it is running.
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("job started");
         assert_eq!(pool.in_flight(), 1);
         block_tx.send(()).unwrap();
-        for _ in 0..200 {
-            if pool.in_flight() == 0 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
+        while pool.in_flight() != 0 {
+            std::thread::yield_now();
         }
-        assert_eq!(pool.in_flight(), 0);
         assert_eq!(pool.completed(), 1);
     }
 

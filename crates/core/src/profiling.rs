@@ -28,6 +28,11 @@ pub struct ServerStats {
     pub responses_sent: AtomicU64,
     /// Events dispatched through the Event Processor (or inline).
     pub events_dispatched: AtomicU64,
+    /// Times a dispatcher returned from its poller wait (readiness,
+    /// waker, or timeout). An idle server barely moves this counter —
+    /// that property is what distinguishes demultiplexed dispatch from
+    /// the scan-and-sleep loop it replaced.
+    pub dispatcher_wakeups: AtomicU64,
     /// Blocking operations executed via the Proactor helper pool.
     pub blocking_ops: AtomicU64,
     /// Accept attempts refused by the overload controller.
@@ -53,6 +58,7 @@ impl ServerStats {
             requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
             responses_sent: self.responses_sent.load(Ordering::Relaxed),
             events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+            dispatcher_wakeups: self.dispatcher_wakeups.load(Ordering::Relaxed),
             blocking_ops: self.blocking_ops.load(Ordering::Relaxed),
             accepts_deferred: self.accepts_deferred.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
@@ -82,6 +88,7 @@ pub struct StatsSnapshot {
     pub requests_decoded: u64,
     pub responses_sent: u64,
     pub events_dispatched: u64,
+    pub dispatcher_wakeups: u64,
     pub blocking_ops: u64,
     pub accepts_deferred: u64,
     pub protocol_errors: u64,
@@ -105,6 +112,7 @@ impl StatsSnapshot {
             ("requests decoded", self.requests_decoded),
             ("responses sent", self.responses_sent),
             ("events dispatched", self.events_dispatched),
+            ("dispatcher wakeups", self.dispatcher_wakeups),
             ("blocking operations", self.blocking_ops),
             ("accepts deferred", self.accepts_deferred),
             ("protocol errors", self.protocol_errors),
@@ -165,8 +173,9 @@ mod tests {
     fn render_includes_every_counter() {
         let snap = StatsSnapshot::default();
         let text = snap.render();
-        assert_eq!(text.lines().count(), 11);
+        assert_eq!(text.lines().count(), 12);
         assert!(text.contains("bytes sent"));
         assert!(text.contains("accepts deferred"));
+        assert!(text.contains("dispatcher wakeups"));
     }
 }

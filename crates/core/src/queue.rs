@@ -7,7 +7,7 @@
 //! structural variations the template performs.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +63,9 @@ impl<T: Send> EventQueue<T> for FifoQueue<T> {
     }
 }
 
+/// Low-watermark value paired with the callback it triggers.
+type DrainHook = (usize, Box<dyn Fn() + Send + Sync>);
+
 /// A thread-safe blocking façade over any [`EventQueue`]: workers block on
 /// `pop_wait`, the dispatcher pushes, and the overload controller (O9)
 /// observes the exact queue length through a shared gauge without taking
@@ -72,6 +75,15 @@ pub struct BlockingQueue<T> {
     available: Condvar,
     len_gauge: Arc<AtomicUsize>,
     closed: Mutex<bool>,
+    /// Workers currently parked in `pop_wait`. Maintained under the inner
+    /// lock so an observer that sees a waiter knows its `notify` cannot be
+    /// lost — test synchronization without sleeps.
+    waiters: AtomicUsize,
+    /// Fires when a pop brings the length down to the low mark; the
+    /// watermark controller (O9) uses it to wake the gated acceptor the
+    /// moment the backlog drains. `(low, hook)`.
+    drain_hook: Mutex<Option<DrainHook>>,
+    drain_armed: AtomicBool,
 }
 
 impl<T: Send + 'static> BlockingQueue<T> {
@@ -82,12 +94,41 @@ impl<T: Send + 'static> BlockingQueue<T> {
             available: Condvar::new(),
             len_gauge: Arc::new(AtomicUsize::new(0)),
             closed: Mutex::new(false),
+            waiters: AtomicUsize::new(0),
+            drain_hook: Mutex::new(None),
+            drain_armed: AtomicBool::new(false),
         })
     }
 
     /// Shared gauge mirroring the queue length (for watermark probes).
     pub fn len_gauge(&self) -> Arc<AtomicUsize> {
         Arc::clone(&self.len_gauge)
+    }
+
+    /// Workers currently blocked in [`BlockingQueue::pop_wait`].
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Install the drain notification: `hook` runs (off the queue lock)
+    /// whenever a pop lowers the length to exactly `low`. Pops are
+    /// serialized by the inner lock, so the length passes through every
+    /// value on its way down and the crossing is never skipped.
+    pub fn set_drain_hook(&self, low: usize, hook: impl Fn() + Send + Sync + 'static) {
+        *self.drain_hook.lock() = Some((low, Box::new(hook)));
+        self.drain_armed.store(true, Ordering::Relaxed);
+    }
+
+    fn maybe_fire_drain(&self, len: usize) {
+        if !self.drain_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let hook = self.drain_hook.lock();
+        if let Some((low, f)) = hook.as_ref() {
+            if len == *low {
+                f();
+            }
+        }
     }
 
     /// Current queue length.
@@ -113,7 +154,12 @@ impl<T: Send + 'static> BlockingQueue<T> {
     pub fn try_pop(&self) -> Option<T> {
         let mut q = self.inner.lock();
         let item = q.pop();
-        self.len_gauge.store(q.len(), Ordering::Relaxed);
+        let len = q.len();
+        self.len_gauge.store(len, Ordering::Relaxed);
+        drop(q);
+        if item.is_some() {
+            self.maybe_fire_drain(len);
+        }
         item
     }
 
@@ -124,7 +170,10 @@ impl<T: Send + 'static> BlockingQueue<T> {
         let mut q = self.inner.lock();
         loop {
             if let Some(item) = q.pop() {
-                self.len_gauge.store(q.len(), Ordering::Relaxed);
+                let len = q.len();
+                self.len_gauge.store(len, Ordering::Relaxed);
+                drop(q);
+                self.maybe_fire_drain(len);
                 return Some(item);
             }
             if *self.closed.lock() {
@@ -132,11 +181,20 @@ impl<T: Send + 'static> BlockingQueue<T> {
             }
             // Wait on the guard we already hold: releasing and re-taking
             // the lock here would open a missed-wakeup window between the
-            // emptiness check and the wait.
+            // emptiness check and the wait. The waiter count is bumped
+            // under the same lock for the same reason: whoever observes it
+            // pushes (and notifies) only after we are parked.
+            self.waiters.fetch_add(1, Ordering::Relaxed);
             let timed_out = self.available.wait_until(&mut q, deadline).timed_out();
+            self.waiters.fetch_sub(1, Ordering::Relaxed);
             if timed_out {
                 let item = q.pop();
-                self.len_gauge.store(q.len(), Ordering::Relaxed);
+                let len = q.len();
+                self.len_gauge.store(len, Ordering::Relaxed);
+                drop(q);
+                if item.is_some() {
+                    self.maybe_fire_drain(len);
+                }
                 return item;
             }
         }
@@ -193,12 +251,21 @@ mod tests {
         assert_eq!(q.pop_wait(Duration::from_millis(1)), None);
     }
 
+    /// Deterministic replacement for the old sleep-and-hope: the waiter
+    /// gauge is bumped under the queue lock, so once it reads 1 the worker
+    /// is parked (or about to re-check with the notification pending).
+    fn await_waiter<T: Send + 'static>(q: &BlockingQueue<T>) {
+        while q.waiters() == 0 {
+            thread::yield_now();
+        }
+    }
+
     #[test]
     fn blocking_queue_wakes_waiter() {
         let q = BlockingQueue::new(Box::new(FifoQueue::new()));
         let q2 = Arc::clone(&q);
         let h = thread::spawn(move || q2.pop_wait(Duration::from_secs(5)));
-        thread::sleep(Duration::from_millis(20));
+        await_waiter(&q);
         q.push(42, Priority(0));
         assert_eq!(h.join().unwrap(), Some(42));
     }
@@ -208,10 +275,35 @@ mod tests {
         let q: Arc<BlockingQueue<i32>> = BlockingQueue::new(Box::new(FifoQueue::new()));
         let q2 = Arc::clone(&q);
         let h = thread::spawn(move || q2.pop_wait(Duration::from_secs(5)));
-        thread::sleep(Duration::from_millis(20));
+        await_waiter(&q);
         q.close();
         assert_eq!(h.join().unwrap(), None);
         assert!(q.is_closed());
+        assert_eq!(q.waiters(), 0);
+    }
+
+    #[test]
+    fn drain_hook_fires_on_low_mark_crossing() {
+        let q = BlockingQueue::new(Box::new(FifoQueue::new()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        q.set_drain_hook(1, move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..3 {
+            q.push(i, Priority(0));
+        }
+        assert_eq!(q.try_pop(), Some(0)); // 3 -> 2: no fire
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        assert_eq!(q.try_pop(), Some(1)); // 2 -> 1: fire
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(q.try_pop(), Some(2)); // 1 -> 0: no fire (already low)
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        // Refill above the mark and drain through pop_wait too.
+        q.push(9, Priority(0));
+        q.push(10, Priority(0));
+        assert_eq!(q.pop_wait(Duration::from_millis(10)), Some(9));
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
     }
 
     #[test]

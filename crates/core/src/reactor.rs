@@ -3,19 +3,29 @@
 //! "The Event Dispatcher repeatedly polls for ready events and dispatches
 //! a registered Event Handler to process each one." Here each dispatcher
 //! thread owns a partition of the connections (option O1: one dispatcher,
-//! or several with connections partitioned between them), polls their
-//! non-blocking streams for readiness, performs the framework-owned Read
-//! Request and Send Reply steps, and hands the application-dependent steps
-//! to the Event Processor (O2 = Yes) or runs them in place (O2 = No — the
-//! classic single-threaded Reactor).
+//! or several with connections partitioned between them), blocks in a
+//! [`Poller`] until one of them is ready, performs the framework-owned
+//! Read Request and Send Reply steps, and hands the application-dependent
+//! steps to the Event Processor (O2 = Yes) or runs them in place (O2 = No
+//! — the classic single-threaded Reactor).
+//!
+//! Readiness is demultiplexed, never scanned: the loop sleeps in
+//! `Poller::wait` (epoll for TCP, a condvar wake-list for the in-memory
+//! transport) and only touches connections the poller reported. Events
+//! that originate off the wire — a worker finished a reply, a Proactor
+//! completion arrived, the overload controller unblocked the acceptor,
+//! shutdown — reach the loop through a [`DispatchNotifier`], which pairs
+//! each dispatcher's injection channel with its poller's [`Waker`].
 //!
 //! The Acceptor half of the Acceptor-Connector pattern lives here too:
 //! dispatcher 0 owns the listening endpoint, consults the overload
 //! controller (O9) before accepting, assigns the connection its priority
 //! (O8) via the application's priority policy, and distributes accepted
-//! connections across dispatchers.
+//! connections across dispatchers. While the controller pauses accepting,
+//! the listener is deregistered from the poller so a backlog of pending
+//! connections cannot spin the loop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,7 +39,9 @@ use crate::pipeline::{Codec, ConnShared, Engine, Service, Work};
 use crate::processor::EventProcessor;
 use crate::profiling::ServerStats;
 use crate::timer::IdleTracker;
-use crate::transport::{Listener, ReadOutcome, StreamIo};
+use crate::transport::{
+    Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, Waker, LISTENER_TOKEN,
+};
 
 /// Where ready events go: the Event Processor pool (O2 = Yes) or inline on
 /// the dispatcher (O2 = No).
@@ -60,6 +72,77 @@ pub struct NewConn<St> {
     shared: Arc<ConnShared>,
 }
 
+/// Routes off-wire events to the dispatcher that owns a connection.
+///
+/// Worker threads cannot write to the wire themselves (streams are owned
+/// by dispatcher loops), so when a reply lands in a connection's outbox —
+/// or the connection starts closing — the engine notifies the owning
+/// dispatcher here: the connection id goes down that dispatcher's flush
+/// channel and its poller is woken. Ownership follows the same partition
+/// the acceptor uses: connection `id` belongs to dispatcher `id % n`.
+#[derive(Clone)]
+pub struct DispatchNotifier {
+    targets: Arc<Vec<(Sender<ConnId>, Waker)>>,
+}
+
+impl DispatchNotifier {
+    /// A notifier wired to every dispatcher's flush channel and waker,
+    /// in dispatcher-index order.
+    pub fn new(targets: Vec<(Sender<ConnId>, Waker)>) -> Self {
+        Self {
+            targets: Arc::new(targets),
+        }
+    }
+
+    /// A no-op notifier for engines that run without dispatcher loops
+    /// (unit tests, direct `Engine` use).
+    pub fn disabled() -> Self {
+        Self {
+            targets: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Tell the dispatcher owning `id` that the connection needs service
+    /// (outbox gained bytes, or its close conditions may now hold).
+    pub fn notify_conn(&self, id: ConnId) {
+        if self.targets.is_empty() {
+            return;
+        }
+        let (tx, waker) = &self.targets[(id as usize) % self.targets.len()];
+        let _ = tx.send(id);
+        waker.wake();
+    }
+
+    /// Wake one dispatcher without queueing a connection (re-check state:
+    /// injected connections, accept gate, stop flag).
+    pub fn wake(&self, index: usize) {
+        if let Some((_, waker)) = self.targets.get(index) {
+            waker.wake();
+        }
+    }
+
+    /// Wake dispatcher 0, the completion sink: it drains the Proactor
+    /// completion channel and owns the (possibly gated) acceptor.
+    pub fn wake_completion_sink(&self) {
+        self.wake(0);
+    }
+
+    /// Wake every dispatcher (shutdown).
+    pub fn wake_all(&self) {
+        for (_, waker) in self.targets.iter() {
+            waker.wake();
+        }
+    }
+}
+
+impl std::fmt::Debug for DispatchNotifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatchNotifier")
+            .field("targets", &self.targets.len())
+            .finish()
+    }
+}
+
 /// One dispatcher thread's configuration and state.
 pub struct Dispatcher<C: Codec, S: Service<C>, L: Listener> {
     /// Dispatcher index (0 owns the listener).
@@ -68,10 +151,18 @@ pub struct Dispatcher<C: Codec, S: Service<C>, L: Listener> {
     pub engine: Arc<Engine<C, S>>,
     /// The listening endpoint (dispatcher 0 only).
     pub listener: Option<L>,
+    /// This dispatcher's readiness demultiplexer.
+    pub poller: L::Poller,
     /// Incoming connections assigned to this dispatcher.
     pub inj_rx: Receiver<NewConn<L::Stream>>,
     /// Handles to every dispatcher's injection queue (used by dispatcher 0).
     pub inj_txs: Vec<Sender<NewConn<L::Stream>>>,
+    /// Connections flagged by workers as needing service (reply ready,
+    /// close requested). Paired with this dispatcher's waker in the
+    /// [`DispatchNotifier`].
+    pub flush_rx: Receiver<ConnId>,
+    /// Cross-dispatcher notification fabric.
+    pub notifier: DispatchNotifier,
     /// Work submission mode.
     pub submit: SubmitMode<C::Response>,
     /// Overload controller (consulted by dispatcher 0 before accepting).
@@ -92,20 +183,39 @@ struct ConnLocal<St> {
     stream: St,
     shared: Arc<ConnShared>,
     peer_eof: bool,
+    /// Interest currently registered with the poller.
+    armed: Interest,
 }
 
+/// How long a gated acceptor sleeps before re-checking the overload
+/// controller when no other event wakes it first.
+const GATED_ACCEPT_RECHECK: Duration = Duration::from_millis(10);
+
 impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
-    /// The dispatch loop. Runs until the stop flag is raised, then closes
-    /// every connection it owns.
+    /// The dispatch loop. Blocks in the poller until some owned connection
+    /// (or the listener, or a waker) is ready; runs until the stop flag is
+    /// raised, then closes every connection it owns.
     pub fn run(mut self) {
         let mut conns: HashMap<ConnId, ConnLocal<L::Stream>> = HashMap::new();
         let mut idle = self.idle_limit.map(IdleTracker::new);
-        let mut last_sweep = Instant::now();
         let mut read_buf = vec![0u8; 16 * 1024];
+        let mut events: Vec<PollEvent> = Vec::new();
+        // Connections (or LISTENER_TOKEN) that hit a fairness cap with
+        // work left: re-serviced next iteration without waiting. The mem
+        // transport notifies once per write, so capped intake must be
+        // carried forward explicitly.
+        let mut ready_backlog: VecDeque<u64> = VecDeque::new();
+        let mut pend: HashSet<ConnId> = HashSet::new();
+        let mut accept_gated = false;
+        let mut listener_armed = false;
+
+        if let Some(listener) = &self.listener {
+            if listener.register_listener(&mut self.poller).is_ok() {
+                listener_armed = true;
+            }
+        }
 
         loop {
-            let mut active = false;
-
             if self.stop.load(Ordering::Relaxed) {
                 for (_, mut c) in conns.drain() {
                     self.finalize(&mut c);
@@ -113,28 +223,69 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 return;
             }
 
-            // 1. Adopt connections assigned to this dispatcher.
+            // 1. Gather this iteration's work set: carried-over backlog,
+            //    poller events, and worker notifications.
+            pend.clear();
+            let mut accept_signal = false;
+            for token in ready_backlog.drain(..) {
+                if token == LISTENER_TOKEN {
+                    accept_signal = true;
+                } else {
+                    pend.insert(token);
+                }
+            }
+            for ev in events.drain(..) {
+                if ev.token == LISTENER_TOKEN {
+                    accept_signal = true;
+                } else {
+                    pend.insert(ev.token);
+                }
+            }
+            while let Ok(id) = self.flush_rx.try_recv() {
+                pend.insert(id);
+            }
+
+            // 2. Adopt connections assigned to this dispatcher.
             while let Ok(nc) = self.inj_rx.try_recv() {
                 if let Some(ref mut tracker) = idle {
                     tracker.touch(nc.id, Instant::now());
                 }
+                let want = Interest {
+                    readable: true,
+                    writable: !nc.shared.outbox.lock().is_empty(),
+                };
+                let _ = self.poller.register(nc.id, &nc.stream, want);
                 conns.insert(
                     nc.id,
                     ConnLocal {
                         stream: nc.stream,
                         shared: nc.shared,
                         peer_eof: false,
+                        armed: want,
                     },
                 );
-                active = true;
+                // Service immediately: flush any greeting, read early data.
+                pend.insert(nc.id);
             }
 
-            // 2. Accept new connections (dispatcher 0).
-            if self.listener.is_some() {
-                active |= self.accept_pending(&mut conns, &mut idle);
+            // 3. Accept new connections (dispatcher 0) when the listener
+            //    reported readiness or a pause is being re-checked.
+            if self.listener.is_some() && (accept_signal || accept_gated) {
+                let saturated = self.accept_pending(
+                    &mut conns,
+                    &mut idle,
+                    &mut pend,
+                    &mut accept_gated,
+                    &mut listener_armed,
+                );
+                if saturated {
+                    // Fairness cap hit with connections possibly still
+                    // queued; revisit without blocking.
+                    ready_backlog.push_back(LISTENER_TOKEN);
+                }
             }
 
-            // 3. Route Proactor completions (dispatcher 0).
+            // 4. Route Proactor completions (dispatcher 0).
             if let Some(rx) = &self.completion_rx {
                 while let Ok((token, resp)) = rx.try_recv() {
                     let prio = self
@@ -143,16 +294,23 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         .map(|c| c.priority)
                         .unwrap_or_default();
                     self.submit_work(Work::Completion(token, resp), prio);
-                    active = true;
                 }
             }
 
-            // 4. Per-connection I/O: Send Reply then Read Request.
+            // 5. Per-connection I/O on ready connections: Send Reply then
+            //    Read Request, then re-arm poller interest.
             let mut to_remove: Vec<ConnId> = Vec::new();
-            for (&id, c) in conns.iter_mut() {
-                let wrote = Self::flush(&self.engine.stats, c);
-                let read = self.read_into_inbox(c, &mut read_buf);
-                active |= wrote || read;
+            for &id in pend.iter() {
+                let c = match conns.get_mut(&id) {
+                    Some(c) => c,
+                    // Stale event for a connection already closed.
+                    None => continue,
+                };
+                Self::flush(&self.engine.stats, c);
+                let (read, saturated) = self.read_into_inbox(c, &mut read_buf);
+                if saturated {
+                    ready_backlog.push_back(id);
+                }
                 if read {
                     if let Some(ref mut tracker) = idle {
                         tracker.touch(id, Instant::now());
@@ -175,6 +333,19 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         && c.shared.inbox.lock().is_empty())
                 {
                     to_remove.push(id);
+                    continue;
+                }
+                // Re-arm interest: stop read-polling a half-closed or
+                // closing peer (level-triggered EOF would re-report
+                // forever), poll for writability only while reply bytes
+                // are actually queued.
+                let want = Interest {
+                    readable: !(c.peer_eof || closing),
+                    writable: !outbox_empty,
+                };
+                if want != c.armed {
+                    let _ = self.poller.reregister(id, &c.stream, want);
+                    c.armed = want;
                 }
             }
             for id in to_remove {
@@ -183,15 +354,15 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     if let Some(ref mut tracker) = idle {
                         tracker.forget(id);
                     }
-                    active = true;
                 }
             }
 
-            // 5. Idle sweep (O7), every 100 ms.
+            // 6. Idle sweep (O7): runs exactly when the earliest deadline
+            //    passes (the poll timeout below wakes us for it).
             if let Some(ref mut tracker) = idle {
-                if last_sweep.elapsed() >= Duration::from_millis(100) {
-                    last_sweep = Instant::now();
-                    for id in tracker.sweep(Instant::now()) {
+                let now = Instant::now();
+                if tracker.next_deadline().is_some_and(|d| d <= now) {
+                    for id in tracker.sweep(now) {
                         if let Some(c) = conns.get(&id) {
                             c.shared.closing.store(true, Ordering::Relaxed);
                             ServerStats::bump(&self.engine.stats.connections_idle_closed);
@@ -200,47 +371,88 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                                 Some(id),
                                 "idle shutdown",
                             );
+                            // Reap on the next (immediate) pass.
+                            ready_backlog.push_back(id);
                         }
                     }
                 }
             }
 
-            if !active {
-                std::thread::sleep(Duration::from_micros(200));
+            // 7. Block until readiness, a waker, or the next deadline. No
+            //    deadline and no backlog means a fully event-driven sleep.
+            let timeout = if !ready_backlog.is_empty() {
+                Some(Duration::ZERO)
+            } else {
+                let mut t: Option<Duration> = None;
+                if accept_gated {
+                    t = Some(GATED_ACCEPT_RECHECK);
+                }
+                if let Some(ref tracker) = idle {
+                    if let Some(deadline) = tracker.next_deadline() {
+                        let d = deadline.saturating_duration_since(Instant::now());
+                        t = Some(t.map_or(d, |cur| cur.min(d)));
+                    }
+                }
+                t
+            };
+            if self.poller.wait(&mut events, timeout).is_err() {
+                events.clear();
             }
+            ServerStats::bump(&self.engine.stats.dispatcher_wakeups);
         }
     }
 
+    /// Accept up to a fairness cap of pending connections. Returns true
+    /// when the cap was reached with connections possibly still queued.
+    /// While the overload controller refuses (O9), the listening endpoint
+    /// is deregistered from the poller — a level-triggered backlog would
+    /// otherwise wake the loop continuously — and re-armed when the
+    /// controller relents.
     fn accept_pending(
         &mut self,
         conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
         idle: &mut Option<IdleTracker>,
+        pend: &mut HashSet<ConnId>,
+        gated: &mut bool,
+        armed: &mut bool,
     ) -> bool {
-        let mut any = false;
         for _ in 0..64 {
             let open = self.engine.registry.read().len();
             if !self.overload.lock().may_accept(open) {
                 ServerStats::bump(&self.engine.stats.accepts_deferred);
-                break;
+                if *armed {
+                    if let Some(listener) = &self.listener {
+                        let _ = listener.deregister_listener(&mut self.poller);
+                    }
+                    *armed = false;
+                }
+                *gated = true;
+                return false;
             }
+            if !*armed {
+                if let Some(listener) = &self.listener {
+                    let _ = listener.register_listener(&mut self.poller);
+                }
+                *armed = true;
+            }
+            *gated = false;
             let listener = self.listener.as_mut().expect("only dispatcher 0 accepts");
             match listener.try_accept() {
                 Ok(Some(stream)) => {
-                    any = true;
-                    self.register(stream, conns, idle);
+                    self.register(stream, conns, idle, pend);
                 }
-                Ok(None) => break,
+                Ok(None) => return false,
                 Err(e) => {
                     self.engine.tracer.record(
                         EventKind::Accepted,
                         None,
                         format!("accept error: {e}"),
                     );
-                    break;
+                    return false;
                 }
             }
         }
-        any
+        true
     }
 
     fn register(
@@ -248,6 +460,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         stream: L::Stream,
         conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
         idle: &mut Option<IdleTracker>,
+        pend: &mut HashSet<ConnId>,
     ) {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let peer = stream.peer_label();
@@ -272,16 +485,24 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
             if let Some(ref mut tracker) = idle {
                 tracker.touch(id, Instant::now());
             }
+            let want = Interest {
+                readable: true,
+                writable: !shared.outbox.lock().is_empty(),
+            };
+            let _ = self.poller.register(id, &stream, want);
             conns.insert(
                 id,
                 ConnLocal {
                     stream,
                     shared,
                     peer_eof: false,
+                    armed: want,
                 },
             );
+            pend.insert(id);
         } else {
             let _ = self.inj_txs[target].send(NewConn { id, stream, shared });
+            self.notifier.wake(target);
         }
     }
 
@@ -321,11 +542,13 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         wrote_any
     }
 
-    /// Read Request: pull available bytes into the inbox. Returns true if
-    /// any bytes arrived.
-    fn read_into_inbox(&self, c: &mut ConnLocal<L::Stream>, buf: &mut [u8]) -> bool {
+    /// Read Request: pull available bytes into the inbox. Returns
+    /// `(read_any, saturated)` — `saturated` means the fairness cap was
+    /// hit without draining the stream, so the caller must re-service
+    /// this connection without waiting for another readiness event.
+    fn read_into_inbox(&self, c: &mut ConnLocal<L::Stream>, buf: &mut [u8]) -> (bool, bool) {
         if c.peer_eof || c.shared.closing.load(Ordering::Relaxed) {
-            return false;
+            return (false, false);
         }
         let mut got = false;
         // Cap per-iteration intake so one chatty peer cannot monopolise the
@@ -337,29 +560,34 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     ServerStats::add(&self.engine.stats.bytes_read, n as u64);
                     got = true;
                 }
-                Ok(ReadOutcome::WouldBlock) => break,
+                Ok(ReadOutcome::WouldBlock) => return (got, false),
                 Ok(ReadOutcome::Closed) => {
                     c.peer_eof = true;
-                    break;
+                    return (got, false);
                 }
                 Err(_) => {
                     c.peer_eof = true;
                     c.shared.closing.store(true, Ordering::Relaxed);
-                    break;
+                    return (got, false);
                 }
             }
         }
-        got
+        (got, true)
     }
 
-    fn finalize(&self, c: &mut ConnLocal<L::Stream>) {
-        c.stream.shutdown();
+    fn finalize(&mut self, c: &mut ConnLocal<L::Stream>) {
         let id = c.shared.id;
+        let _ = self.poller.deregister(id, &c.stream);
+        c.stream.shutdown();
         self.engine.registry.write().remove(&id);
         ServerStats::bump(&self.engine.stats.connections_closed);
         self.engine.service.on_close(&c.shared.ctx());
         self.engine
             .tracer
             .record(EventKind::Shutdown, Some(id), "connection closed");
+        // A closed connection may unblock a gated acceptor: let
+        // dispatcher 0 re-check the overload controller now instead of on
+        // its next re-check tick.
+        self.notifier.wake_completion_sink();
     }
 }

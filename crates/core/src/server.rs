@@ -26,10 +26,10 @@ use crate::pipeline::{Codec, Engine, Registry, Service, Work};
 use crate::processor::EventProcessor;
 use crate::profiling::{ServerStats, StatsSnapshot};
 use crate::queue::{BlockingQueue, FifoQueue};
-use crate::reactor::{Dispatcher, PriorityPolicy, SubmitMode};
+use crate::reactor::{DispatchNotifier, Dispatcher, PriorityPolicy, SubmitMode};
 use crate::scheduler::PriorityQuotaQueue;
 use crate::trace::{AccessLogger, DebugTracer};
-use crate::transport::Listener;
+use crate::transport::{Listener, Poller};
 
 /// Builder for a configured N-Server instance.
 pub struct ServerBuilder<C: Codec, S: Service<C>> {
@@ -106,6 +106,23 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             CompletionMode::Synchronous => (None, None, None),
         };
 
+        // --- O1: readiness demultiplexing fabric. Each dispatcher gets a
+        // poller; its waker plus a flush channel form the notifier that
+        // lets workers (and the Proactor, and shutdown) pull the owning
+        // dispatcher out of its blocking wait.
+        let n_dispatchers = opts.dispatcher_threads.count();
+        let mut pollers = Vec::with_capacity(n_dispatchers);
+        let mut flush_rxs = Vec::with_capacity(n_dispatchers);
+        let mut notify_targets = Vec::with_capacity(n_dispatchers);
+        for _ in 0..n_dispatchers {
+            let poller = L::new_poller().expect("create readiness poller");
+            let (flush_tx, flush_rx) = crossbeam::channel::unbounded();
+            notify_targets.push((flush_tx, poller.waker()));
+            pollers.push(poller);
+            flush_rxs.push(flush_rx);
+        }
+        let notifier = DispatchNotifier::new(notify_targets);
+
         let registry: Registry = Arc::new(parking_lot::RwLock::new(Default::default()));
         let engine = Arc::new(Engine {
             codec: Arc::clone(&self.codec),
@@ -116,6 +133,7 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             logger,
             helper,
             completion_tx,
+            notifier: notifier.clone(),
         });
 
         // --- Crosscut: O8 (queue discipline) and O2 (Event Processor). ---
@@ -146,18 +164,21 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
                 OverloadController::with_max_connections(limit)
             }
             OverloadControl::Watermark { high, low } => {
-                let probe = processor
+                let queue = processor
                     .as_ref()
                     .expect("validated: watermark requires O2=Yes")
-                    .queue()
-                    .len_gauge();
-                OverloadController::with_watermark(probe, high, low)
+                    .queue();
+                // The gated acceptor sits in a poller wait while paused;
+                // wake it the moment the queue drains to the low mark so
+                // resuming does not ride on the periodic re-check alone.
+                let wake = notifier.clone();
+                queue.set_drain_hook(low, move || wake.wake_completion_sink());
+                OverloadController::with_watermark(queue.len_gauge(), high, low)
             }
         };
         let overload = Arc::new(Mutex::new(overload));
 
         // --- O1: dispatcher threads. ---
-        let n_dispatchers = opts.dispatcher_threads.count();
         let stop = Arc::new(AtomicBool::new(false));
         let next_conn_id = Arc::new(AtomicU64::new(1));
         let mut inj_channels = Vec::with_capacity(n_dispatchers);
@@ -175,13 +196,19 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
 
         let mut dispatchers = Vec::with_capacity(n_dispatchers);
         let mut listener_slot = Some(listener);
-        for (index, (_, rx)) in inj_channels.into_iter().enumerate() {
+        let parts = inj_channels
+            .into_iter()
+            .zip(pollers.into_iter().zip(flush_rxs));
+        for (index, ((_, rx), (poller, flush_rx))) in parts.enumerate() {
             let d = Dispatcher::<C, S, L> {
                 index,
                 engine: Arc::clone(&engine),
                 listener: if index == 0 { listener_slot.take() } else { None },
+                poller,
                 inj_rx: rx,
                 inj_txs: inj_txs.clone(),
+                flush_rx,
+                notifier: notifier.clone(),
                 submit: submit.clone(),
                 overload: Arc::clone(&overload),
                 completion_rx: if index == 0 { completion_rx.clone() } else { None },
@@ -202,6 +229,7 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             engine,
             processor,
             stop,
+            notifier,
             dispatchers,
             local_label,
             options: self.options,
@@ -215,6 +243,7 @@ pub struct ServerHandle<C: Codec, S: Service<C>> {
     engine: Arc<Engine<C, S>>,
     processor: Option<Arc<EventProcessor<Work<C::Response>>>>,
     stop: Arc<AtomicBool>,
+    notifier: DispatchNotifier,
     dispatchers: Vec<JoinHandle<()>>,
     local_label: String,
     options: ServerOptions,
@@ -255,6 +284,9 @@ impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
     /// join all framework threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Dispatchers block in their pollers; pull each one out so it
+        // sees the stop flag immediately.
+        self.notifier.wake_all();
         for d in self.dispatchers.drain(..) {
             let _ = d.join();
         }

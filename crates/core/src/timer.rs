@@ -138,6 +138,17 @@ impl IdleTracker {
         expired
     }
 
+    /// The earliest instant at which some tracked connection becomes
+    /// idle-expired, or `None` when nothing is tracked. The dispatcher
+    /// uses this as its poll timeout so it sleeps exactly until the next
+    /// sweep is due instead of waking on a fixed cadence.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.last_activity
+            .values()
+            .min()
+            .map(|&t| t + self.limit)
+    }
+
     /// Number of tracked connections.
     pub fn len(&self) -> usize {
         self.last_activity.len()
@@ -212,6 +223,18 @@ mod tests {
         it.touch(2, t0 + Duration::from_millis(160));
         assert!(it.sweep(t0 + Duration::from_millis(200)).is_empty());
         assert!(!it.is_empty());
+    }
+
+    #[test]
+    fn idle_tracker_next_deadline_is_earliest_expiry() {
+        let t0 = Instant::now();
+        let mut it = IdleTracker::new(Duration::from_millis(100));
+        assert!(it.next_deadline().is_none());
+        it.touch(1, t0 + Duration::from_millis(50));
+        it.touch(2, t0);
+        assert_eq!(it.next_deadline(), Some(t0 + Duration::from_millis(100)));
+        it.forget(2);
+        assert_eq!(it.next_deadline(), Some(t0 + Duration::from_millis(150)));
     }
 
     #[test]

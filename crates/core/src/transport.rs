@@ -1,14 +1,24 @@
-//! Transport abstraction: non-blocking listeners and streams.
+//! Transport abstraction: non-blocking listeners and streams, plus the
+//! readiness demultiplexer ([`Poller`]) that drives the dispatch loop.
 //!
-//! The paper's framework relies on Java NIO for non-blocking socket I/O.
-//! The Rust analogue here is `std::net` sockets switched to non-blocking
-//! mode; the Reactor polls them for readiness. The same traits have an
-//! in-memory implementation ([`mem`]) used by tests and benchmarks, so the
-//! entire framework can be exercised deterministically without touching
-//! the network stack.
+//! The paper's framework relies on Java NIO for non-blocking socket I/O:
+//! the Event Dispatcher blocks in a `Selector` until some registered
+//! channel is ready, instead of scanning sockets in a loop. The Rust
+//! analogue here is the [`Poller`] trait — implemented over raw `epoll`
+//! for TCP ([`EpollPoller`]) and over a condvar wake-list for the
+//! in-memory [`mem`] transport ([`mem::MemPoller`]) — so the entire
+//! framework, including its blocking-wait behaviour, can be exercised
+//! deterministically without touching the network stack.
+//!
+//! A [`Waker`] is the cross-thread half of the demultiplexer: worker
+//! threads, the Proactor helper pool and the shutdown path use it to pull
+//! a dispatcher out of [`Poller::wait`] when an event originates off the
+//! wire (a reply became ready, a completion arrived, the server stops).
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of a non-blocking read attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,14 +44,136 @@ pub trait StreamIo: Send + 'static {
     fn shutdown(&mut self);
 }
 
+// ---------------------------------------------------------------------------
+// Readiness demultiplexing
+// ---------------------------------------------------------------------------
+
+/// The token under which a dispatcher registers its listening endpoint.
+/// Connection ids start at 1, so 0 is free.
+pub const LISTENER_TOKEN: u64 = 0;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the source has bytes (or EOF) to read.
+    pub readable: bool,
+    /// Wake when the sink can accept bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// No interest: stay registered but silent (a connection that is
+    /// draining replies for a peer we no longer read from).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event returned by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the source was registered under.
+    pub token: u64,
+    /// The source is readable (data, EOF, or error — reading will not
+    /// block either way).
+    pub readable: bool,
+    /// The sink is writable.
+    pub writable: bool,
+}
+
+/// A cheap, cloneable handle that pulls a [`Poller`] out of `wait` from
+/// any thread. Outlives its poller: waking a dropped poller is a no-op.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl Waker {
+    /// Wrap a wake closure.
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> Self {
+        Self { inner: Arc::new(f) }
+    }
+
+    /// A waker that does nothing (for tests and standalone engines).
+    pub fn noop() -> Self {
+        Self::new(|| {})
+    }
+
+    /// Interrupt the poller's wait. Spurious wakes are allowed; callers
+    /// of `wait` must tolerate returning with zero events.
+    pub fn wake(&self) {
+        (self.inner)();
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Waker")
+    }
+}
+
+/// A readiness demultiplexer: the Rust analogue of Java NIO's `Selector`.
+///
+/// Sources are registered under a caller-chosen token; `wait` blocks until
+/// at least one registered source is ready, the timeout elapses, or a
+/// [`Waker`] fires. Implementations are level-triggered where the OS is
+/// (epoll); the in-memory backend is notification-based, so callers that
+/// stop consuming before draining a source must re-poll it themselves.
+pub trait Poller: Send + 'static {
+    /// The stream type this poller understands.
+    type Stream: StreamIo;
+
+    /// Start watching a stream under `token`.
+    fn register(&mut self, token: u64, stream: &Self::Stream, interest: Interest)
+        -> io::Result<()>;
+
+    /// Change the interest set of an already-registered stream.
+    fn reregister(
+        &mut self,
+        token: u64,
+        stream: &Self::Stream,
+        interest: Interest,
+    ) -> io::Result<()>;
+
+    /// Stop watching a stream.
+    fn deregister(&mut self, token: u64, stream: &Self::Stream) -> io::Result<()>;
+
+    /// Block until a registered source is ready, the timeout elapses, or a
+    /// waker fires. Ready events are appended to `events` (cleared first).
+    /// `None` blocks indefinitely. May return with zero events (timeout or
+    /// spurious wake).
+    fn wait(&mut self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// A handle that interrupts `wait` from another thread.
+    fn waker(&self) -> Waker;
+}
+
 /// A non-blocking connection acceptor.
 pub trait Listener: Send + 'static {
     /// The stream type produced.
     type Stream: StreamIo;
+    /// The demultiplexer that watches this listener's streams.
+    type Poller: Poller<Stream = Self::Stream>;
     /// Accept one pending connection if available.
     fn try_accept(&mut self) -> io::Result<Option<Self::Stream>>;
     /// Human-readable local address.
     fn local_label(&self) -> String;
+    /// Create a poller compatible with this transport. Every dispatcher
+    /// gets one, whether or not it owns the listener.
+    fn new_poller() -> io::Result<Self::Poller>;
+    /// Register the listening endpoint itself with a poller under
+    /// [`LISTENER_TOKEN`]; accept-readiness then surfaces through `wait`.
+    fn register_listener(&self, poller: &mut Self::Poller) -> io::Result<()>;
+    /// Stop watching the listening endpoint (the dispatcher disarms the
+    /// acceptor while the overload controller pauses accepting).
+    fn deregister_listener(&self, poller: &mut Self::Poller) -> io::Result<()>;
 }
 
 // ---------------------------------------------------------------------------
@@ -70,6 +202,7 @@ impl TcpListenerNb {
 
 impl Listener for TcpListenerNb {
     type Stream = TcpStreamNb;
+    type Poller = TcpPoller;
 
     fn try_accept(&mut self) -> io::Result<Option<TcpStreamNb>> {
         match self.inner.accept() {
@@ -89,6 +222,18 @@ impl Listener for TcpListenerNb {
 
     fn local_label(&self) -> String {
         self.label.clone()
+    }
+
+    fn new_poller() -> io::Result<TcpPoller> {
+        TcpPoller::new()
+    }
+
+    fn register_listener(&self, poller: &mut TcpPoller) -> io::Result<()> {
+        poller.add_fd(LISTENER_TOKEN, raw_fd(&self.inner), Interest::READABLE)
+    }
+
+    fn deregister_listener(&self, poller: &mut TcpPoller) -> io::Result<()> {
+        poller.del_fd(LISTENER_TOKEN, raw_fd(&self.inner))
     }
 }
 
@@ -116,6 +261,16 @@ impl TcpStreamNb {
             open: true,
         })
     }
+
+    #[cfg(unix)]
+    fn fd(&self) -> i32 {
+        raw_fd(&self.inner)
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
 }
 
 impl StreamIo for TcpStreamNb {
@@ -165,20 +320,414 @@ impl StreamIo for TcpStreamNb {
 }
 
 // ---------------------------------------------------------------------------
+// epoll-backed poller (Linux)
+// ---------------------------------------------------------------------------
+
+/// The poller used for TCP transports on this platform.
+#[cfg(target_os = "linux")]
+pub type TcpPoller = EpollPoller;
+
+/// The poller used for TCP transports on this platform.
+#[cfg(all(unix, not(target_os = "linux")))]
+pub type TcpPoller = fallback::FallbackPoller;
+
+#[cfg(target_os = "linux")]
+pub use self::epoll::EpollPoller;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    //! Level-triggered epoll plus an eventfd waker, called straight
+    //! through the C library (no external crates).
+
+    use super::{Interest, PollEvent, Poller, TcpStreamNb, Waker};
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Reserved token for the internal eventfd; never surfaces to callers.
+    const WAKER_TOKEN: u64 = u64::MAX;
+
+    const MAX_EVENTS: usize = 64;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// An owned eventfd; shared between the poller and its wakers so the
+    /// fd stays valid for whichever side outlives the other.
+    struct EventFd(i32);
+
+    impl EventFd {
+        fn new() -> io::Result<Self> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::other("eventfd failed"));
+            }
+            Ok(Self(fd))
+        }
+
+        fn signal(&self) {
+            let one: u64 = 1;
+            unsafe {
+                let _ = write(self.0, one.to_ne_bytes().as_ptr(), 8);
+            }
+        }
+
+        fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe {
+                let _ = read(self.0, buf.as_mut_ptr(), 8);
+            }
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = close(self.0);
+            }
+        }
+    }
+
+    // The fd is used only via signal/drain, both thread-safe syscalls.
+    unsafe impl Send for EventFd {}
+    unsafe impl Sync for EventFd {}
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Level-triggered epoll demultiplexer for TCP streams.
+    pub struct EpollPoller {
+        epfd: i32,
+        wake_fd: Arc<EventFd>,
+    }
+
+    impl EpollPoller {
+        /// Create the epoll instance and its eventfd waker.
+        pub fn new() -> io::Result<Self> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::other("epoll_create1 failed"));
+            }
+            let wake_fd = Arc::new(EventFd::new()?);
+            let poller = Self { epfd, wake_fd };
+            poller.ctl(EPOLL_CTL_ADD, poller.wake_fd.0, EPOLLIN, WAKER_TOKEN)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::other(format!(
+                    "epoll_ctl op={op} fd={fd} failed"
+                )));
+            }
+            Ok(())
+        }
+
+        /// Register a raw fd (used for listeners, relay sockets and tests).
+        pub fn add_fd(&mut self, token: u64, fd: i32, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), token)
+        }
+
+        /// Change a raw fd's interest set.
+        pub fn mod_fd(&mut self, token: u64, fd: i32, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), token)
+        }
+
+        /// Remove a raw fd.
+        pub fn del_fd(&mut self, _token: u64, fd: i32) -> io::Result<()> {
+            // The event argument is ignored for DEL but must be non-null
+            // on pre-2.6.9 kernels; pass a dummy.
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = close(self.epfd);
+            }
+        }
+    }
+
+    impl Poller for EpollPoller {
+        type Stream = TcpStreamNb;
+
+        fn register(
+            &mut self,
+            token: u64,
+            stream: &TcpStreamNb,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.add_fd(token, stream.fd(), interest)
+        }
+
+        fn reregister(
+            &mut self,
+            token: u64,
+            stream: &TcpStreamNb,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.mod_fd(token, stream.fd(), interest)
+        }
+
+        fn deregister(&mut self, token: u64, stream: &TcpStreamNb) -> io::Result<()> {
+            self.del_fd(token, stream.fd())
+        }
+
+        fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) if d.is_zero() => 0,
+                // Round up so a 0.4 ms deadline does not busy-spin at 0.
+                Some(d) => d.as_millis().max(1).min(i32::MAX as u128) as i32,
+            };
+            let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = unsafe {
+                epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
+            };
+            if n < 0 {
+                // EINTR or transient failure: report a spurious wake and
+                // let the dispatcher loop re-enter the wait.
+                return Ok(());
+            }
+            for ev in raw.iter().take(n as usize) {
+                let (bits, token) = (ev.events, ev.data);
+                if token == WAKER_TOKEN {
+                    self.wake_fd.drain();
+                    continue;
+                }
+                events.push(PollEvent {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn waker(&self) -> Waker {
+            let fd = Arc::clone(&self.wake_fd);
+            Waker::new(move || fd.signal())
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback {
+    //! Portable degraded poller for non-Linux unix targets: no kernel
+    //! readiness source, so `wait` bounds its sleep and reports every
+    //! registered token per its interest. Functionally correct (callers
+    //! must tolerate spurious readiness), but not load-bearing for
+    //! performance the way [`super::EpollPoller`] is.
+
+    use super::{Interest, PollEvent, Poller, TcpStreamNb, Waker};
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct Shared {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    /// Sleep-bounded poll fallback.
+    pub struct FallbackPoller {
+        interests: HashMap<u64, Interest>,
+        shared: Arc<Shared>,
+    }
+
+    impl FallbackPoller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                interests: HashMap::new(),
+                shared: Arc::new(Shared {
+                    woken: Mutex::new(false),
+                    cv: Condvar::new(),
+                }),
+            })
+        }
+
+        pub fn add_fd(&mut self, token: u64, _fd: i32, interest: Interest) -> io::Result<()> {
+            self.interests.insert(token, interest);
+            Ok(())
+        }
+
+        pub fn mod_fd(&mut self, token: u64, _fd: i32, interest: Interest) -> io::Result<()> {
+            self.interests.insert(token, interest);
+            Ok(())
+        }
+
+        pub fn del_fd(&mut self, token: u64, _fd: i32) -> io::Result<()> {
+            self.interests.remove(&token);
+            Ok(())
+        }
+    }
+
+    impl Poller for FallbackPoller {
+        type Stream = TcpStreamNb;
+
+        fn register(
+            &mut self,
+            token: u64,
+            _stream: &TcpStreamNb,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.interests.insert(token, interest);
+            Ok(())
+        }
+
+        fn reregister(
+            &mut self,
+            token: u64,
+            _stream: &TcpStreamNb,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.interests.insert(token, interest);
+            Ok(())
+        }
+
+        fn deregister(&mut self, token: u64, _stream: &TcpStreamNb) -> io::Result<()> {
+            self.interests.remove(&token);
+            Ok(())
+        }
+
+        fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let cap = Duration::from_millis(1);
+            let nap = timeout.map_or(cap, |d| d.min(cap));
+            {
+                let mut woken = self.shared.woken.lock();
+                if !*woken && !nap.is_zero() {
+                    let _ = self.shared.cv.wait_for(&mut woken, nap);
+                }
+                *woken = false;
+            }
+            for (&token, &interest) in &self.interests {
+                if interest.readable || interest.writable {
+                    events.push(PollEvent {
+                        token,
+                        readable: interest.readable,
+                        writable: interest.writable,
+                    });
+                }
+            }
+            Ok(())
+        }
+
+        fn waker(&self) -> Waker {
+            let shared = Arc::clone(&self.shared);
+            Waker::new(move || {
+                *shared.woken.lock() = true;
+                shared.cv.notify_one();
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // In-memory implementation
 // ---------------------------------------------------------------------------
 
 /// In-memory loopback transport for deterministic tests.
 pub mod mem {
     use super::*;
-    use parking_lot::Mutex;
-    use std::collections::VecDeque;
-    use std::sync::Arc;
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::{HashSet, VecDeque};
+    use std::sync::{Arc, Weak};
+    use std::time::Instant;
+
+    /// A registration watching a pipe or listener inbox: when the source
+    /// gains data (or closes), the watcher's poller marks `token` ready.
+    type WatchEntry = (Weak<PollShared>, u64);
 
     #[derive(Default)]
     struct Pipe {
         buf: VecDeque<u8>,
         closed: bool,
+        watchers: Vec<WatchEntry>,
+    }
+
+    impl Pipe {
+        /// Notify every live watcher that this pipe became readable;
+        /// prunes watchers whose poller is gone.
+        fn notify(&mut self) {
+            self.watchers.retain(|(shared, token)| match shared.upgrade() {
+                Some(shared) => {
+                    shared.mark_ready(*token);
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
+    struct PollState {
+        ready: HashSet<u64>,
+        woken: bool,
+    }
+
+    struct PollShared {
+        state: Mutex<PollState>,
+        cv: Condvar,
+    }
+
+    impl PollShared {
+        fn mark_ready(&self, token: u64) {
+            let mut st = self.state.lock();
+            st.ready.insert(token);
+            self.cv.notify_one();
+        }
     }
 
     /// One end of an in-memory full-duplex connection.
@@ -233,12 +782,12 @@ pub mod mem {
         fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
             let mut pipe = self.write.lock();
             if pipe.closed {
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "peer closed",
-                ));
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
             }
             pipe.buf.extend(data.iter().copied());
+            if !data.is_empty() {
+                pipe.notify();
+            }
             Ok(data.len())
         }
 
@@ -247,14 +796,38 @@ pub mod mem {
         }
 
         fn shutdown(&mut self) {
-            self.read.lock().closed = true;
-            self.write.lock().closed = true;
+            let mut read = self.read.lock();
+            read.closed = true;
+            read.notify();
+            drop(read);
+            let mut write = self.write.lock();
+            write.closed = true;
+            write.notify();
+        }
+    }
+
+    /// The queue a [`MemListener`] accepts from, shared with its
+    /// [`MemConnector`]; watched the same way pipes are.
+    struct Inbox {
+        queue: VecDeque<MemStream>,
+        watchers: Vec<WatchEntry>,
+    }
+
+    impl Inbox {
+        fn notify(&mut self) {
+            self.watchers.retain(|(shared, token)| match shared.upgrade() {
+                Some(shared) => {
+                    shared.mark_ready(*token);
+                    true
+                }
+                None => false,
+            });
         }
     }
 
     /// An in-memory listener fed by a [`MemConnector`].
     pub struct MemListener {
-        incoming: Arc<Mutex<VecDeque<MemStream>>>,
+        incoming: Arc<Mutex<Inbox>>,
         label: String,
     }
 
@@ -262,13 +835,16 @@ pub mod mem {
     /// [`MemListener`].
     #[derive(Clone)]
     pub struct MemConnector {
-        incoming: Arc<Mutex<VecDeque<MemStream>>>,
+        incoming: Arc<Mutex<Inbox>>,
         counter: Arc<Mutex<u64>>,
     }
 
     /// Create a listener and its connector.
     pub fn listener(label: &str) -> (MemListener, MemConnector) {
-        let incoming = Arc::new(Mutex::new(VecDeque::new()));
+        let incoming = Arc::new(Mutex::new(Inbox {
+            queue: VecDeque::new(),
+            watchers: Vec::new(),
+        }));
         (
             MemListener {
                 incoming: Arc::clone(&incoming),
@@ -287,22 +863,182 @@ pub mod mem {
             let mut counter = self.counter.lock();
             *counter += 1;
             let id = *counter;
-            let (client, server) =
-                pair(&format!("client-{id}"), &format!("peer-{id}"));
-            self.incoming.lock().push_back(server);
+            drop(counter);
+            let (client, server) = pair(&format!("client-{id}"), &format!("peer-{id}"));
+            let mut inbox = self.incoming.lock();
+            inbox.queue.push_back(server);
+            inbox.notify();
             client
         }
     }
 
     impl Listener for MemListener {
         type Stream = MemStream;
+        type Poller = MemPoller;
 
         fn try_accept(&mut self) -> io::Result<Option<MemStream>> {
-            Ok(self.incoming.lock().pop_front())
+            Ok(self.incoming.lock().queue.pop_front())
         }
 
         fn local_label(&self) -> String {
             self.label.clone()
+        }
+
+        fn new_poller() -> io::Result<MemPoller> {
+            Ok(MemPoller::new())
+        }
+
+        fn register_listener(&self, poller: &mut MemPoller) -> io::Result<()> {
+            let mut inbox = self.incoming.lock();
+            inbox
+                .watchers
+                .retain(|(shared, token)| *token != LISTENER_TOKEN && shared.strong_count() > 0);
+            inbox
+                .watchers
+                .push((Arc::downgrade(&poller.shared), LISTENER_TOKEN));
+            if !inbox.queue.is_empty() {
+                poller.shared.mark_ready(LISTENER_TOKEN);
+            }
+            Ok(())
+        }
+
+        fn deregister_listener(&self, poller: &mut MemPoller) -> io::Result<()> {
+            self.incoming
+                .lock()
+                .watchers
+                .retain(|(_, token)| *token != LISTENER_TOKEN);
+            poller.shared.state.lock().ready.remove(&LISTENER_TOKEN);
+            Ok(())
+        }
+    }
+
+    /// Condvar/wake-list demultiplexer for the in-memory transport.
+    ///
+    /// Readable readiness is notification-based: writers and closers mark
+    /// the watching token ready. Writable readiness is unconditional (mem
+    /// pipes are unbounded), reported for every token whose interest
+    /// includes `writable`.
+    pub struct MemPoller {
+        shared: Arc<PollShared>,
+        write_armed: HashSet<u64>,
+    }
+
+    impl MemPoller {
+        /// Fresh poller with no registrations.
+        pub fn new() -> Self {
+            Self {
+                shared: Arc::new(PollShared {
+                    state: Mutex::new(PollState {
+                        ready: HashSet::new(),
+                        woken: false,
+                    }),
+                    cv: Condvar::new(),
+                }),
+                write_armed: HashSet::new(),
+            }
+        }
+    }
+
+    impl Default for MemPoller {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Poller for MemPoller {
+        type Stream = MemStream;
+
+        fn register(
+            &mut self,
+            token: u64,
+            stream: &MemStream,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut pipe = stream.read.lock();
+            pipe.watchers
+                .retain(|(shared, t)| *t != token && shared.strong_count() > 0);
+            if interest.readable {
+                pipe.watchers.push((Arc::downgrade(&self.shared), token));
+                // Data (or EOF) that arrived before registration would
+                // otherwise never notify.
+                if !pipe.buf.is_empty() || pipe.closed {
+                    self.shared.mark_ready(token);
+                }
+            }
+            drop(pipe);
+            if interest.writable {
+                self.write_armed.insert(token);
+            } else {
+                self.write_armed.remove(&token);
+            }
+            Ok(())
+        }
+
+        fn reregister(
+            &mut self,
+            token: u64,
+            stream: &MemStream,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.register(token, stream, interest)
+        }
+
+        fn deregister(&mut self, token: u64, stream: &MemStream) -> io::Result<()> {
+            stream.read.lock().watchers.retain(|(_, t)| *t != token);
+            self.write_armed.remove(&token);
+            self.shared.state.lock().ready.remove(&token);
+            Ok(())
+        }
+
+        fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let deadline = timeout.map(|d| Instant::now() + d);
+            let mut st = self.shared.state.lock();
+            loop {
+                if !st.ready.is_empty() || st.woken || !self.write_armed.is_empty() {
+                    st.woken = false;
+                    let ready: HashSet<u64> = st.ready.drain().collect();
+                    drop(st);
+                    for &token in &ready {
+                        events.push(PollEvent {
+                            token,
+                            readable: true,
+                            writable: self.write_armed.contains(&token),
+                        });
+                    }
+                    for &token in self.write_armed.iter() {
+                        if !ready.contains(&token) {
+                            events.push(PollEvent {
+                                token,
+                                readable: false,
+                                writable: true,
+                            });
+                        }
+                    }
+                    return Ok(());
+                }
+                match deadline {
+                    None => self.shared.cv.wait(&mut st),
+                    Some(d) => {
+                        if self.shared.cv.wait_until(&mut st, d).timed_out() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+
+        fn waker(&self) -> Waker {
+            let shared = Arc::clone(&self.shared);
+            Waker::new(move || {
+                let mut st = shared.state.lock();
+                st.woken = true;
+                shared.cv.notify_one();
+            })
         }
     }
 }
@@ -410,5 +1146,195 @@ mod tests {
             }
         }
         assert!(closed);
+    }
+
+    // --- Demultiplexer tests ---------------------------------------------
+
+    use super::mem::MemPoller;
+
+    fn wait_events(
+        poller: &mut MemPoller,
+        timeout: Option<Duration>,
+    ) -> Vec<PollEvent> {
+        let mut events = Vec::new();
+        poller.wait(&mut events, timeout).unwrap();
+        events
+    }
+
+    #[test]
+    fn mem_poller_blocks_until_data_arrives() {
+        let (a, b) = mem::pair("a", "b");
+        let mut poller = MemPoller::new();
+        poller.register(7, &b, Interest::READABLE).unwrap();
+
+        let writer = std::thread::spawn(move || {
+            let mut a = a;
+            a.try_write(b"hi").unwrap();
+            a // keep the pipe alive
+        });
+        // Blocks (no timeout) until the writer thread's bytes land.
+        let events = wait_events(&mut poller, None);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        let _a = writer.join().unwrap();
+        let mut b = b;
+        let mut buf = [0u8; 4];
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::Data(2));
+    }
+
+    #[test]
+    fn mem_poller_wakes_on_peer_close() {
+        let (a, b) = mem::pair("a", "b");
+        let mut poller = MemPoller::new();
+        poller.register(3, &b, Interest::READABLE).unwrap();
+        let closer = std::thread::spawn(move || {
+            let mut a = a;
+            a.shutdown();
+        });
+        let events = wait_events(&mut poller, None);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 3);
+        assert!(events[0].readable);
+        closer.join().unwrap();
+        let mut b = b;
+        let mut buf = [0u8; 4];
+        assert_eq!(b.try_read(&mut buf).unwrap(), ReadOutcome::Closed);
+    }
+
+    #[test]
+    fn mem_poller_sees_data_written_before_registration() {
+        let (mut a, b) = mem::pair("a", "b");
+        a.try_write(b"early").unwrap();
+        let mut poller = MemPoller::new();
+        poller.register(1, &b, Interest::READABLE).unwrap();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn mem_poller_tolerates_spurious_wakes() {
+        let (_a, b) = mem::pair("a", "b");
+        let mut poller = MemPoller::new();
+        poller.register(1, &b, Interest::READABLE).unwrap();
+        let waker = poller.waker();
+        waker.wake();
+        // Wake with no readiness: empty event set, no hang.
+        let events = wait_events(&mut poller, None);
+        assert!(events.is_empty());
+        // The wake flag is consumed: the next zero-timeout wait is empty.
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn mem_poller_waker_outlives_poller() {
+        let (_a, b) = mem::pair("a", "b");
+        let waker = {
+            let mut poller = MemPoller::new();
+            poller.register(1, &b, Interest::READABLE).unwrap();
+            poller.waker()
+        };
+        // Poller dropped; waking must be a harmless no-op.
+        waker.wake();
+        // Writing into a pipe whose watcher's poller died must not panic
+        // either (the dead watcher is pruned).
+        let mut a = _a;
+        a.try_write(b"x").unwrap();
+    }
+
+    #[test]
+    fn mem_poller_write_interest_reports_writable() {
+        let (_a, b) = mem::pair("a", "b");
+        let mut poller = MemPoller::new();
+        poller
+            .register(
+                5,
+                &b,
+                Interest {
+                    readable: true,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable, "mem pipes are always writable");
+        // Dropping write interest silences the poller again.
+        poller.reregister(5, &b, Interest::READABLE).unwrap();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn mem_poller_deregister_stops_events() {
+        let (mut a, b) = mem::pair("a", "b");
+        let mut poller = MemPoller::new();
+        poller.register(9, &b, Interest::READABLE).unwrap();
+        poller.deregister(9, &b).unwrap();
+        a.try_write(b"ignored").unwrap();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn mem_listener_registration_reports_pending_accepts() {
+        let (l, c) = mem::listener("srv");
+        let mut poller = MemPoller::new();
+        l.register_listener(&mut poller).unwrap();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert!(events.is_empty(), "no pending connection yet");
+        let _client = c.connect();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, LISTENER_TOKEN);
+        l.deregister_listener(&mut poller).unwrap();
+        let _client2 = c.connect();
+        let events = wait_events(&mut poller, Some(Duration::ZERO));
+        assert!(events.is_empty(), "deregistered listener stays silent");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_poller_reports_tcp_readiness_and_wakes() {
+        let mut l = TcpListenerNb::bind("127.0.0.1:0").unwrap();
+        let mut poller = TcpPoller::new().unwrap();
+        l.register_listener(&mut poller).unwrap();
+        let mut client = TcpStreamNb::connect(l.local_label()).unwrap();
+
+        // The pending connection must surface as LISTENER_TOKEN readable.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == LISTENER_TOKEN && e.readable));
+        let server = l.try_accept().unwrap().expect("accepted");
+        poller.register(42, &server, Interest::READABLE).unwrap();
+
+        // Data readiness.
+        client.try_write(b"abc").unwrap();
+        let mut saw_data = false;
+        for _ in 0..100 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                saw_data = true;
+                break;
+            }
+        }
+        assert!(saw_data, "epoll never reported the payload");
+
+        // Waker interrupts a blocking wait from another thread.
+        let waker = poller.waker();
+        let t = std::thread::spawn(move || waker.wake());
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        let _ = server.try_read(&mut buf); // drain so readable goes quiet
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        t.join().unwrap();
+        poller.deregister(42, &server).unwrap();
+        l.deregister_listener(&mut poller).unwrap();
     }
 }

@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn serves_file_via_deferred_read_then_cache_hit() {
-        let cache = SharedFileCache::new(FileCache::new(1 << 20, PolicyKind::Lru));
+        // The sharded handle is the production configuration; aggregate
+        // stats must look exactly like the single-lock cache's.
+        let cache =
+            SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
         let svc = StaticFileService::new(store(), Some(cache.clone()));
         // First access: miss -> Defer.
         let action = svc.handle(&ctx(), get("/index.html"));
