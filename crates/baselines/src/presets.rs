@@ -10,7 +10,7 @@
 
 use nserver_core::options::{
     CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
-    ServerOptions, ThreadAllocation,
+    ServerOptions, StageDeadlines, ThreadAllocation,
 };
 
 /// SPED: one process/thread does everything — a single dispatcher with
@@ -31,6 +31,7 @@ pub fn sped_options() -> ServerOptions {
         mode: Mode::Production,
         profiling: false,
         logging: false,
+        stage_deadlines: StageDeadlines::NONE,
     }
 }
 

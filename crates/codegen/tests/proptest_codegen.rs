@@ -7,7 +7,7 @@ use nserver_cache::PolicyKind;
 use nserver_codegen::{count_source, generate, registry};
 use nserver_core::options::{
     CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
-    ServerOptions, ThreadAllocation,
+    ServerOptions, StageDeadlines, ThreadAllocation,
 };
 use proptest::prelude::*;
 
@@ -47,6 +47,8 @@ prop_compose! {
         debug in any::<bool>(),
         profiling in any::<bool>(),
         logging in any::<bool>(),
+        header_deadline in prop_oneof![Just(None), (1u64..10_000).prop_map(Some)],
+        drain_deadline in prop_oneof![Just(None), (1u64..10_000).prop_map(Some)],
     ) -> ServerOptions {
         let separate = pool || quotas.is_some() || overload == 2 || dynamic;
         ServerOptions {
@@ -93,6 +95,10 @@ prop_compose! {
             mode: if debug { Mode::Debug } else { Mode::Production },
             profiling,
             logging,
+            stage_deadlines: StageDeadlines {
+                header_read_ms: header_deadline,
+                write_drain_ms: drain_deadline,
+            },
         }
     }
 }

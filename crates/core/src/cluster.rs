@@ -18,6 +18,7 @@ use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 
@@ -35,6 +36,26 @@ pub enum Balancing {
     LeastConnections,
 }
 
+/// Bounded retry-with-backoff for backend dials: a refused or reset dial
+/// parks the client and retries against the *next* backend candidate
+/// instead of failing the client on the first refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total dial attempts per client connection (≥ 1).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
 /// Relay statistics.
 #[derive(Debug, Default)]
 pub struct RelayStats {
@@ -42,10 +63,21 @@ pub struct RelayStats {
     pub connections: AtomicU64,
     /// Connections refused because no backend was dialable.
     pub backend_failures: AtomicU64,
+    /// Backend dials retried after a failure.
+    pub dial_retries: AtomicU64,
     /// Bytes moved client → backend.
     pub bytes_upstream: AtomicU64,
     /// Bytes moved backend → client.
     pub bytes_downstream: AtomicU64,
+}
+
+/// A client whose backend dial failed, waiting for its next attempt.
+struct PendingDial {
+    client: TcpStreamNb,
+    attempts_left: u32,
+    next_try: Instant,
+    backoff: Duration,
+    last_index: usize,
 }
 
 struct Session {
@@ -72,11 +104,23 @@ pub struct ClusterFrontEnd {
 
 impl ClusterFrontEnd {
     /// Start relaying connections arriving on `listener` to `backends`
-    /// (socket addresses of running N-Servers).
+    /// (socket addresses of running N-Servers), with the default
+    /// [`RetryPolicy`] for backend dials.
     pub fn start(
         listener: TcpListenerNb,
         backends: Vec<String>,
         balancing: Balancing,
+    ) -> io::Result<ClusterFrontEnd> {
+        Self::start_with_retry(listener, backends, balancing, RetryPolicy::default())
+    }
+
+    /// [`ClusterFrontEnd::start`] with an explicit backend-dial retry
+    /// policy.
+    pub fn start_with_retry(
+        listener: TcpListenerNb,
+        backends: Vec<String>,
+        balancing: Balancing,
+        retry: RetryPolicy,
     ) -> io::Result<ClusterFrontEnd> {
         if backends.is_empty() {
             return Err(io::Error::new(
@@ -97,7 +141,7 @@ impl ClusterFrontEnd {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("nserver-cluster-frontend".into())
-                .spawn(move || relay_loop(listener, poller, backends, balancing, stop, stats))
+                .spawn(move || relay_loop(listener, poller, backends, balancing, retry, stop, stats))
                 .expect("spawn relay thread")
         };
         Ok(ClusterFrontEnd {
@@ -146,15 +190,33 @@ fn session_key(token: u64) -> u64 {
     token >> 1
 }
 
+fn choose_index(balancing: Balancing, per_backend: &[usize], next_rr: &mut usize) -> usize {
+    match balancing {
+        Balancing::RoundRobin => {
+            let i = *next_rr % per_backend.len();
+            *next_rr += 1;
+            i
+        }
+        Balancing::LeastConnections => per_backend
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &n)| n)
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+    }
+}
+
 fn relay_loop(
     mut listener: TcpListenerNb,
     mut poller: TcpPoller,
     backends: Vec<String>,
     balancing: Balancing,
+    retry: RetryPolicy,
     stop: Arc<AtomicBool>,
     stats: Arc<RelayStats>,
 ) {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut parked: Vec<PendingDial> = Vec::new();
     let mut per_backend = vec![0usize; backends.len()];
     let mut next_rr = 0usize;
     let mut next_key: u64 = 1;
@@ -178,22 +240,11 @@ fn relay_loop(
         touched.sort_unstable();
         touched.dedup();
 
-        // Accept and dial.
+        // Accept and dial. A failed dial parks the client for a bounded
+        // retry against the next backend candidate instead of dropping it.
         if accept_ready {
             while let Ok(Some(client)) = listener.try_accept() {
-                let index = match balancing {
-                    Balancing::RoundRobin => {
-                        let i = next_rr % backends.len();
-                        next_rr += 1;
-                        i
-                    }
-                    Balancing::LeastConnections => per_backend
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &n)| n)
-                        .map(|(i, _)| i)
-                        .unwrap_or(0),
-                };
+                let index = choose_index(balancing, &per_backend, &mut next_rr);
                 match TcpStreamNb::connect(&backends[index]) {
                     Ok(backend) => {
                         per_backend[index] += 1;
@@ -219,10 +270,74 @@ fn relay_loop(
                         // Service once now: data may already be in flight.
                         touched.push(k);
                     }
+                    Err(_) if retry.attempts > 1 => {
+                        parked.push(PendingDial {
+                            client,
+                            attempts_left: retry.attempts - 1,
+                            next_try: Instant::now() + retry.backoff,
+                            backoff: retry.backoff,
+                            last_index: index,
+                        });
+                    }
                     Err(_) => {
                         stats.backend_failures.fetch_add(1, Ordering::Relaxed);
                         let mut client = client;
                         client.shutdown();
+                    }
+                }
+            }
+        }
+
+        // Retry parked dials whose backoff elapsed, rotating to the next
+        // backend so a single dead peer cannot absorb every attempt.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].next_try > now {
+                i += 1;
+                continue;
+            }
+            let mut pd = parked.swap_remove(i);
+            stats.dial_retries.fetch_add(1, Ordering::Relaxed);
+            let index = if backends.len() > 1 {
+                (pd.last_index + 1) % backends.len()
+            } else {
+                pd.last_index
+            };
+            match TcpStreamNb::connect(&backends[index]) {
+                Ok(backend) => {
+                    per_backend[index] += 1;
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let k = next_key;
+                    next_key += 1;
+                    let _ = poller.register(2 * k, &pd.client, Interest::READABLE);
+                    let _ = poller.register(2 * k + 1, &backend, Interest::READABLE);
+                    sessions.insert(
+                        k,
+                        Session {
+                            client: pd.client,
+                            backend,
+                            backend_index: index,
+                            up_buf: BytesMut::new(),
+                            down_buf: BytesMut::new(),
+                            client_eof: false,
+                            backend_eof: false,
+                            client_armed: Interest::READABLE,
+                            backend_armed: Interest::READABLE,
+                        },
+                    );
+                    touched.push(k);
+                }
+                Err(_) => {
+                    pd.attempts_left -= 1;
+                    if pd.attempts_left == 0 {
+                        stats.backend_failures.fetch_add(1, Ordering::Relaxed);
+                        pd.client.shutdown();
+                    } else {
+                        pd.backoff *= 2;
+                        pd.next_try = now + pd.backoff;
+                        pd.last_index = index;
+                        parked.push(pd);
                     }
                 }
             }
@@ -281,15 +396,23 @@ fn relay_loop(
             }
         }
 
-        // Block until a socket is ready or the shutdown waker fires — the
-        // relay performs no periodic work at all.
-        if poller.wait(&mut events, None).is_err() {
+        // Block until a socket is ready or the shutdown waker fires. Only
+        // parked dials need a timed wake-up; otherwise the relay performs
+        // no periodic work at all.
+        let timeout = parked
+            .iter()
+            .map(|p| p.next_try.saturating_duration_since(Instant::now()))
+            .min();
+        if poller.wait(&mut events, timeout).is_err() {
             events.clear();
         }
     }
     for (_, mut s) in sessions.drain() {
         s.client.shutdown();
         s.backend.shutdown();
+    }
+    for mut p in parked.drain(..) {
+        p.client.shutdown();
     }
 }
 
@@ -499,6 +622,57 @@ mod tests {
             }
         }
         assert!(saw_close);
+        assert!(front.stats().backend_failures.load(Ordering::Relaxed) >= 1);
+        front.shutdown();
+    }
+
+    #[test]
+    fn failed_dial_retries_against_the_next_backend() {
+        let live = backend("live");
+        let front = ClusterFrontEnd::start_with_retry(
+            TcpListenerNb::bind("127.0.0.1:0").unwrap(),
+            vec![
+                "127.0.0.1:1".to_string(), // dead: round-robin dials it first
+                live.local_label().to_string(),
+            ],
+            Balancing::RoundRobin,
+            RetryPolicy {
+                attempts: 3,
+                backoff: Duration::from_millis(10),
+            },
+        )
+        .unwrap();
+        let addr = front.local_label().to_string();
+
+        // The first dial fails; the retry rotates to the live backend and
+        // the client is served rather than dropped.
+        let reply = ask(&addr, "ping");
+        assert_eq!(reply, "live:ping");
+        assert!(front.stats().dial_retries.load(Ordering::Relaxed) >= 1);
+        assert_eq!(front.stats().backend_failures.load(Ordering::Relaxed), 0);
+        front.shutdown();
+        live.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_client() {
+        let front = ClusterFrontEnd::start_with_retry(
+            TcpListenerNb::bind("127.0.0.1:0").unwrap(),
+            vec!["127.0.0.1:1".to_string()],
+            Balancing::RoundRobin,
+            RetryPolicy {
+                attempts: 2,
+                backoff: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+        let addr = front.local_label().to_string();
+        let mut c = TcpStream::connect(&addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 8];
+        let closed = matches!(c.read(&mut buf), Ok(0) | Err(_));
+        assert!(closed, "client must be closed after retries exhaust");
+        assert_eq!(front.stats().dial_retries.load(Ordering::Relaxed), 1);
         assert!(front.stats().backend_failures.load(Ordering::Relaxed) >= 1);
         front.shutdown();
     }

@@ -68,6 +68,7 @@
 
 pub mod cluster;
 pub mod event;
+pub mod fault;
 pub mod options;
 pub mod overload;
 pub mod pipeline;
@@ -86,9 +87,10 @@ pub mod transport;
 /// The commonly needed surface, importable as `use nserver_core::prelude::*`.
 pub mod prelude {
     pub use crate::event::{CompletionToken, ConnId, Priority};
+    pub use crate::fault::{FaultPlan, FaultProfile, FaultyListener, FaultyStream};
     pub use crate::options::{
         CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode,
-        OverloadControl, ServerOptions, ThreadAllocation,
+        OverloadControl, ServerOptions, StageDeadlines, ThreadAllocation,
     };
     pub use crate::pipeline::{Action, Codec, ConnCtx, ProtocolError, RawCodec, Service};
     pub use crate::server::{ServerBuilder, ServerHandle};

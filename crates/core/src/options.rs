@@ -136,6 +136,41 @@ pub enum Mode {
     Debug,
 }
 
+/// Per-stage pipeline deadlines (a hardening refinement of O7).
+///
+/// The O7 idle sweep measures time since *any* activity, so a slow-loris
+/// peer that dribbles one byte per idle-limit keeps its connection pinned
+/// forever. These deadlines bound two specific pipeline stages instead:
+///
+/// * `header_read_ms` — time from accept (or from the previous completed
+///   reply) until the connection produces a complete request. Dribbled
+///   bytes do **not** refresh it, so slow-loris connections are reaped.
+/// * `write_drain_ms` — time a non-empty outbox may sit unflushed because
+///   the peer stopped reading.
+///
+/// Expired connections close and count as `connections_timed_out`. `None`
+/// disables the respective deadline (the default: both disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageDeadlines {
+    /// Header-read (request-completion) deadline in milliseconds.
+    pub header_read_ms: Option<u64>,
+    /// Write-drain deadline in milliseconds.
+    pub write_drain_ms: Option<u64>,
+}
+
+impl StageDeadlines {
+    /// Both deadlines disabled.
+    pub const NONE: StageDeadlines = StageDeadlines {
+        header_read_ms: None,
+        write_drain_ms: None,
+    };
+
+    /// True when at least one deadline is armed.
+    pub fn any(&self) -> bool {
+        self.header_read_ms.is_some() || self.write_drain_ms.is_some()
+    }
+}
+
 /// The complete N-Server template option set (Table 1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerOptions {
@@ -166,6 +201,9 @@ pub struct ServerOptions {
     pub profiling: bool,
     /// O12: access logging.
     pub logging: bool,
+    /// Per-stage pipeline deadlines (hardening refinement of O7; not a
+    /// Table 1 option of its own, so it has no `describe` row).
+    pub stage_deadlines: StageDeadlines,
 }
 
 impl Default for ServerOptions {
@@ -185,6 +223,7 @@ impl Default for ServerOptions {
             mode: Mode::Production,
             profiling: false,
             logging: false,
+            stage_deadlines: StageDeadlines::NONE,
         }
     }
 }
@@ -276,6 +315,13 @@ impl ServerOptions {
             if capacity_bytes == 0 {
                 return Err(OptionsError("O6: cache capacity must be ≥ 1 byte".into()));
             }
+        }
+        if self.stage_deadlines.header_read_ms == Some(0)
+            || self.stage_deadlines.write_drain_ms == Some(0)
+        {
+            return Err(OptionsError(
+                "stage deadlines must be ≥ 1 ms (use None to disable)".into(),
+            ));
         }
         Ok(())
     }
@@ -463,6 +509,28 @@ mod tests {
             ..ServerOptions::default()
         };
         assert_eq!(opts.priority_levels(), 3);
+    }
+
+    #[test]
+    fn zero_stage_deadline_is_rejected() {
+        let opts = ServerOptions {
+            stage_deadlines: StageDeadlines {
+                header_read_ms: Some(0),
+                write_drain_ms: None,
+            },
+            ..ServerOptions::default()
+        };
+        assert!(opts.validate().unwrap_err().0.contains("stage deadlines"));
+        let opts = ServerOptions {
+            stage_deadlines: StageDeadlines {
+                header_read_ms: Some(100),
+                write_drain_ms: Some(250),
+            },
+            ..ServerOptions::default()
+        };
+        assert!(opts.validate().is_ok());
+        assert!(opts.stage_deadlines.any());
+        assert!(!StageDeadlines::NONE.any());
     }
 
     #[test]

@@ -339,6 +339,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                         Ok(action) => self.apply_action(&conn, seq, action),
                         Err(_) => {
                             ServerStats::bump(&self.stats.protocol_errors);
+                            ServerStats::bump(&self.stats.handler_panics);
                             self.tracer.record(
                                 EventKind::Readable,
                                 Some(id),

@@ -39,6 +39,16 @@ pub struct ServerStats {
     pub accepts_deferred: AtomicU64,
     /// Protocol errors that closed a connection.
     pub protocol_errors: AtomicU64,
+    /// Connections torn down by an I/O error (peer reset, broken pipe).
+    pub connections_reset: AtomicU64,
+    /// Connections reaped by a per-stage deadline (header-read or
+    /// write-drain) — slow-loris peers and stalled readers.
+    pub connections_timed_out: AtomicU64,
+    /// Accept attempts that failed with an error (not overload gating).
+    pub accept_errors: AtomicU64,
+    /// Application-hook panics caught by the framework (the request fails
+    /// and its connection closes; the worker pool survives).
+    pub handler_panics: AtomicU64,
 }
 
 impl ServerStats {
@@ -62,6 +72,10 @@ impl ServerStats {
             blocking_ops: self.blocking_ops.load(Ordering::Relaxed),
             accepts_deferred: self.accepts_deferred.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_reset: self.connections_reset.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -92,6 +106,10 @@ pub struct StatsSnapshot {
     pub blocking_ops: u64,
     pub accepts_deferred: u64,
     pub protocol_errors: u64,
+    pub connections_reset: u64,
+    pub connections_timed_out: u64,
+    pub accept_errors: u64,
+    pub handler_panics: u64,
 }
 
 impl StatsSnapshot {
@@ -116,6 +134,10 @@ impl StatsSnapshot {
             ("blocking operations", self.blocking_ops),
             ("accepts deferred", self.accepts_deferred),
             ("protocol errors", self.protocol_errors),
+            ("connections reset", self.connections_reset),
+            ("connections timed out", self.connections_timed_out),
+            ("accept errors", self.accept_errors),
+            ("handler panics", self.handler_panics),
         ];
         let mut out = String::new();
         for (name, v) in rows {
@@ -173,9 +195,12 @@ mod tests {
     fn render_includes_every_counter() {
         let snap = StatsSnapshot::default();
         let text = snap.render();
-        assert_eq!(text.lines().count(), 12);
+        assert_eq!(text.lines().count(), 16);
         assert!(text.contains("bytes sent"));
         assert!(text.contains("accepts deferred"));
         assert!(text.contains("dispatcher wakeups"));
+        assert!(text.contains("connections reset"));
+        assert!(text.contains("connections timed out"));
+        assert!(text.contains("handler panics"));
     }
 }

@@ -34,11 +34,12 @@ use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::event::{CompletionToken, ConnId, EventKind, Priority};
+use crate::options::StageDeadlines;
 use crate::overload::OverloadController;
 use crate::pipeline::{Codec, ConnShared, Engine, Service, Work};
 use crate::processor::EventProcessor;
 use crate::profiling::ServerStats;
-use crate::timer::IdleTracker;
+use crate::timer::{IdleTracker, StageTracker};
 use crate::transport::{
     Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, Waker, LISTENER_TOKEN,
 };
@@ -173,8 +174,13 @@ pub struct Dispatcher<C: Codec, S: Service<C>, L: Listener> {
     pub priority_policy: PriorityPolicy,
     /// O7 idle limit.
     pub idle_limit: Option<Duration>,
+    /// Per-stage deadlines (header read, write drain).
+    pub stage_deadlines: StageDeadlines,
     /// Cooperative shutdown flag.
     pub stop: Arc<AtomicBool>,
+    /// Graceful-drain flag: stop accepting, finish in-flight work, close
+    /// each connection as it quiesces.
+    pub drain: Arc<AtomicBool>,
     /// Connection id allocator shared by all dispatchers.
     pub next_conn_id: Arc<AtomicU64>,
 }
@@ -198,6 +204,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
     pub fn run(mut self) {
         let mut conns: HashMap<ConnId, ConnLocal<L::Stream>> = HashMap::new();
         let mut idle = self.idle_limit.map(IdleTracker::new);
+        let mut stage = StageTracker::from_options(&self.stage_deadlines);
         let mut read_buf = vec![0u8; 16 * 1024];
         let mut events: Vec<PollEvent> = Vec::new();
         // Connections (or LISTENER_TOKEN) that hit a fairness cap with
@@ -221,6 +228,13 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     self.finalize(&mut c);
                 }
                 return;
+            }
+            let draining = self.drain.load(Ordering::Relaxed);
+            if draining && listener_armed {
+                if let Some(listener) = &self.listener {
+                    let _ = listener.deregister_listener(&mut self.poller);
+                }
+                listener_armed = false;
             }
 
             // 1. Gather this iteration's work set: carried-over backlog,
@@ -250,6 +264,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 if let Some(ref mut tracker) = idle {
                     tracker.touch(nc.id, Instant::now());
                 }
+                if let Some(ref mut st) = stage {
+                    st.arm_header(nc.id, Instant::now());
+                }
                 let want = Interest {
                     readable: true,
                     writable: !nc.shared.outbox.lock().is_empty(),
@@ -269,11 +286,13 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
             }
 
             // 3. Accept new connections (dispatcher 0) when the listener
-            //    reported readiness or a pause is being re-checked.
-            if self.listener.is_some() && (accept_signal || accept_gated) {
+            //    reported readiness or a pause is being re-checked. A
+            //    draining dispatcher stops accepting entirely.
+            if !draining && self.listener.is_some() && (accept_signal || accept_gated) {
                 let saturated = self.accept_pending(
                     &mut conns,
                     &mut idle,
+                    &mut stage,
                     &mut pend,
                     &mut accept_gated,
                     &mut listener_armed,
@@ -298,7 +317,12 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
             }
 
             // 5. Per-connection I/O on ready connections: Send Reply then
-            //    Read Request, then re-arm poller interest.
+            //    Read Request, then re-arm poller interest. While draining
+            //    every connection is revisited so close conditions are
+            //    evaluated as in-flight work completes.
+            if draining {
+                pend.extend(conns.keys().copied());
+            }
             let mut to_remove: Vec<ConnId> = Vec::new();
             for &id in pend.iter() {
                 let c = match conns.get_mut(&id) {
@@ -306,7 +330,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     // Stale event for a connection already closed.
                     None => continue,
                 };
-                Self::flush(&self.engine.stats, c);
+                let wrote_any = Self::flush(&self.engine.stats, c);
                 let (read, saturated) = self.read_into_inbox(c, &mut read_buf);
                 if saturated {
                     ready_backlog.push_back(id);
@@ -325,15 +349,33 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 // connection is kept until the inbox drains; a peer that
                 // half-closes mid-request therefore lingers until the O7
                 // idle sweep (or shutdown) reaps it — the conservative
-                // choice over dropping a decodable request.
+                // choice over dropping a decodable request. A draining
+                // dispatcher applies the same quiesce test to every
+                // connection, EOF or not.
                 if (closing && outbox_empty && !pending)
-                    || (c.peer_eof
+                    || ((c.peer_eof || draining)
                         && outbox_empty
                         && !pending
                         && c.shared.inbox.lock().is_empty())
                 {
                     to_remove.push(id);
                     continue;
+                }
+                // Stage deadlines: the write-drain window opens while reply
+                // bytes are queued (and is not extended by partial writes);
+                // once a reply fully drains, a fresh header-read window
+                // opens for the next request. A slow-loris peer that never
+                // completes a request exhausts the header window.
+                if let Some(ref mut st) = stage {
+                    let now = Instant::now();
+                    if outbox_empty {
+                        st.clear_drain(id);
+                        if wrote_any {
+                            st.arm_header(id, now);
+                        }
+                    } else {
+                        st.arm_drain(id, now);
+                    }
                 }
                 // Re-arm interest: stop read-polling a half-closed or
                 // closing peer (level-triggered EOF would re-report
@@ -353,6 +395,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     self.finalize(&mut c);
                     if let Some(ref mut tracker) = idle {
                         tracker.forget(id);
+                    }
+                    if let Some(ref mut st) = stage {
+                        st.forget(id);
                     }
                 }
             }
@@ -378,6 +423,29 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 }
             }
 
+            // 6b. Stage-deadline sweep: reap connections that exhausted a
+            //     header-read or write-drain window (slow-loris peers,
+            //     stalled readers). A reaped connection's outbox is
+            //     dropped — the peer has demonstrably stopped consuming.
+            if let Some(ref mut st) = stage {
+                let now = Instant::now();
+                if st.next_deadline().is_some_and(|d| d <= now) {
+                    for id in st.sweep(now) {
+                        if let Some(c) = conns.get_mut(&id) {
+                            c.shared.closing.store(true, Ordering::Relaxed);
+                            c.shared.outbox.lock().clear();
+                            ServerStats::bump(&self.engine.stats.connections_timed_out);
+                            self.engine.tracer.record(
+                                EventKind::Timer,
+                                Some(id),
+                                "stage deadline exceeded",
+                            );
+                            ready_backlog.push_back(id);
+                        }
+                    }
+                }
+            }
+
             // 7. Block until readiness, a waker, or the next deadline. No
             //    deadline and no backlog means a fully event-driven sleep.
             let timeout = if !ready_backlog.is_empty() {
@@ -392,6 +460,18 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         let d = deadline.saturating_duration_since(Instant::now());
                         t = Some(t.map_or(d, |cur| cur.min(d)));
                     }
+                }
+                if let Some(ref st) = stage {
+                    if let Some(deadline) = st.next_deadline() {
+                        let d = deadline.saturating_duration_since(Instant::now());
+                        t = Some(t.map_or(d, |cur| cur.min(d)));
+                    }
+                }
+                if draining && !conns.is_empty() {
+                    // No readiness event marks "in-flight work completed";
+                    // poll the quiesce conditions at a drain tick.
+                    let tick = Duration::from_millis(10);
+                    t = Some(t.map_or(tick, |cur| cur.min(tick)));
                 }
                 t
             };
@@ -412,6 +492,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         &mut self,
         conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
         idle: &mut Option<IdleTracker>,
+        stage: &mut Option<StageTracker>,
         pend: &mut HashSet<ConnId>,
         gated: &mut bool,
         armed: &mut bool,
@@ -439,16 +520,20 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
             let listener = self.listener.as_mut().expect("only dispatcher 0 accepts");
             match listener.try_accept() {
                 Ok(Some(stream)) => {
-                    self.register(stream, conns, idle, pend);
+                    self.register(stream, conns, idle, stage, pend);
                 }
                 Ok(None) => return false,
                 Err(e) => {
+                    // One failed accept must not wedge the acceptor: count
+                    // it and keep draining the backlog (the fairness cap
+                    // bounds how many errors one pass absorbs).
+                    ServerStats::bump(&self.engine.stats.accept_errors);
                     self.engine.tracer.record(
                         EventKind::Accepted,
                         None,
                         format!("accept error: {e}"),
                     );
-                    return false;
+                    continue;
                 }
             }
         }
@@ -460,6 +545,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         stream: L::Stream,
         conns: &mut HashMap<ConnId, ConnLocal<L::Stream>>,
         idle: &mut Option<IdleTracker>,
+        stage: &mut Option<StageTracker>,
         pend: &mut HashSet<ConnId>,
     ) {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
@@ -484,6 +570,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         if target == self.index {
             if let Some(ref mut tracker) = idle {
                 tracker.touch(id, Instant::now());
+            }
+            if let Some(ref mut st) = stage {
+                st.arm_header(id, Instant::now());
             }
             let want = Interest {
                 readable: true,
@@ -533,7 +622,11 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     wrote_any = true;
                 }
                 Err(_) => {
-                    c.shared.closing.store(true, Ordering::Relaxed);
+                    // swap() so a connection that errors on both the read
+                    // and write side still counts as one reset.
+                    if !c.shared.closing.swap(true, Ordering::Relaxed) {
+                        ServerStats::bump(&stats.connections_reset);
+                    }
                     out.clear();
                     break;
                 }
@@ -567,7 +660,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 }
                 Err(_) => {
                     c.peer_eof = true;
-                    c.shared.closing.store(true, Ordering::Relaxed);
+                    if !c.shared.closing.swap(true, Ordering::Relaxed) {
+                        ServerStats::bump(&self.engine.stats.connections_reset);
+                    }
                     return (got, false);
                 }
             }

@@ -193,6 +193,8 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
         };
 
         let idle_limit = opts.idle_shutdown_ms.map(Duration::from_millis);
+        let stage_deadlines = opts.stage_deadlines;
+        let drain = Arc::new(AtomicBool::new(false));
 
         let mut dispatchers = Vec::with_capacity(n_dispatchers);
         let mut listener_slot = Some(listener);
@@ -214,7 +216,9 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
                 completion_rx: if index == 0 { completion_rx.clone() } else { None },
                 priority_policy: Arc::clone(&self.priority_policy),
                 idle_limit,
+                stage_deadlines,
                 stop: Arc::clone(&stop),
+                drain: Arc::clone(&drain),
                 next_conn_id: Arc::clone(&next_conn_id),
             };
             dispatchers.push(
@@ -229,6 +233,7 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             engine,
             processor,
             stop,
+            drain,
             notifier,
             dispatchers,
             local_label,
@@ -243,6 +248,7 @@ pub struct ServerHandle<C: Codec, S: Service<C>> {
     engine: Arc<Engine<C, S>>,
     processor: Option<Arc<EventProcessor<Work<C::Response>>>>,
     stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     notifier: DispatchNotifier,
     dispatchers: Vec<JoinHandle<()>>,
     local_label: String,
@@ -250,9 +256,16 @@ pub struct ServerHandle<C: Codec, S: Service<C>> {
 }
 
 impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
-    /// Profiling snapshot (O11 counters are always maintained).
+    /// Profiling snapshot (O11 counters are always maintained). Handler
+    /// panics are the sum of two disjoint sources: panics the pipeline
+    /// caught around `Service::handle`, and panics that escaped a worker
+    /// entirely and were absorbed by the Event Processor loop.
     pub fn stats(&self) -> StatsSnapshot {
-        self.engine.stats.snapshot()
+        let mut snap = self.engine.stats.snapshot();
+        if let Some(p) = &self.processor {
+            snap.handler_panics += p.handler_panics() as u64;
+        }
+        snap
     }
 
     /// The debug tracer (records only in O10 = Debug mode).
@@ -278,6 +291,23 @@ impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
     /// Live Event Processor workers (0 when O2 = No).
     pub fn live_workers(&self) -> usize {
         self.processor.as_ref().map_or(0, |p| p.live_workers())
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight events finish and
+    /// replies drain, then stop. Connections that have not quiesced when
+    /// `deadline` expires are closed forcibly by the normal shutdown path.
+    /// Returns `true` when every connection drained within the deadline.
+    pub fn shutdown_graceful(self, deadline: Duration) -> bool {
+        self.drain.store(true, Ordering::Relaxed);
+        self.notifier.wake_all();
+        let start = std::time::Instant::now();
+        let mut drained = self.open_connections() == 0;
+        while !drained && start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            drained = self.open_connections() == 0;
+        }
+        self.shutdown();
+        drained
     }
 
     /// Stop accepting, close every connection, drain the event queue, and

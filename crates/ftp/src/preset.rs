@@ -2,7 +2,7 @@
 
 use nserver_core::options::{
     CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
-    ServerOptions, ThreadAllocation,
+    ServerOptions, StageDeadlines, ThreadAllocation,
 };
 
 /// Table 1's COPS-FTP column: one dispatcher, separate pool,
@@ -27,6 +27,7 @@ pub fn cops_ftp_options() -> ServerOptions {
         mode: Mode::Production,
         profiling: false,
         logging: false,
+        stage_deadlines: StageDeadlines::NONE,
     }
 }
 

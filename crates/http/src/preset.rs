@@ -10,7 +10,7 @@
 use nserver_cache::PolicyKind;
 use nserver_core::options::{
     CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
-    ServerOptions, ThreadAllocation,
+    ServerOptions, StageDeadlines, ThreadAllocation,
 };
 
 /// Cache capacity the paper configures: "The file cache of COPS-HTTP is
@@ -35,6 +35,7 @@ pub fn cops_http_options() -> ServerOptions {
         mode: Mode::Production,
         profiling: false,
         logging: false,
+        stage_deadlines: StageDeadlines::NONE,
     }
 }
 

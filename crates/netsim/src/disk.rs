@@ -103,6 +103,7 @@ pub struct Disk {
     bytes_per_sec: u64,
     busy_accum_us: u64,
     reads: u64,
+    stalls: u64,
 }
 
 impl Disk {
@@ -115,7 +116,20 @@ impl Disk {
             bytes_per_sec,
             busy_accum_us: 0,
             reads: 0,
+            stalls: 0,
         }
+    }
+
+    /// Inject a stall: from `at` (or from whenever the current queue
+    /// drains, if later) the head services nothing for `duration`. Queued
+    /// and subsequently issued reads all complete behind the stall — the
+    /// fault the chaos experiments use to saturate the disk queue. The
+    /// stall counts as busy time: a stalled head is indistinguishable from
+    /// a saturated one to the utilization probe.
+    pub fn inject_stall(&mut self, at: SimTime, duration: SimTime) {
+        self.free_at = self.free_at.max(at) + duration;
+        self.busy_accum_us += duration.as_micros();
+        self.stalls += 1;
     }
 
     /// Issue a read of `bytes` at `now`; returns its completion time.
@@ -146,6 +160,11 @@ impl Disk {
     /// Reads issued so far.
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// Stalls injected so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
     }
 }
 
@@ -208,6 +227,20 @@ mod tests {
         assert_eq!(b, SimTime::from_millis(110));
         assert_eq!(d.queue_delay(SimTime::ZERO), SimTime::from_millis(110));
         assert_eq!(d.reads(), 2);
+    }
+
+    #[test]
+    fn injected_stall_blocks_subsequent_reads() {
+        let mut d = Disk::new(SimTime::from_millis(5), 20_000_000);
+        d.inject_stall(SimTime::ZERO, SimTime::from_millis(100));
+        // 1 MB read: queues behind the stall, then 5 + 50 ms of service.
+        let done = d.read(SimTime::ZERO, 1_000_000);
+        assert_eq!(done, SimTime::from_millis(155));
+        assert_eq!(d.stalls(), 1);
+        // A stall injected mid-queue extends the backlog, not the past.
+        d.inject_stall(SimTime::from_millis(10), SimTime::from_millis(20));
+        let done2 = d.read(SimTime::from_millis(10), 0);
+        assert_eq!(done2, SimTime::from_millis(180));
     }
 
     #[test]

@@ -7,7 +7,20 @@
 //! forward pipe: each message is serialized at link rate behind everything
 //! queued before it, so saturation produces realistic queueing delay growth.
 
+use crate::rng::SimRng;
 use crate::time::SimTime;
+
+/// Seeded per-message fault injection on a link: drops (modelled as one
+/// lost copy recovered by a retransmission timeout) and transient extra
+/// delay. Deterministic — the same seed reproduces the same loss pattern.
+#[derive(Debug, Clone)]
+struct LinkFaults {
+    rng: SimRng,
+    drop_per_mille: u16,
+    delay_per_mille: u16,
+    extra_delay: SimTime,
+    retransmit_timeout: SimTime,
+}
 
 /// Shared FIFO link.
 #[derive(Debug, Clone)]
@@ -23,6 +36,9 @@ pub struct Link {
     busy_accum_us: u64,
     bytes_carried: u64,
     messages: u64,
+    faults: Option<LinkFaults>,
+    messages_dropped: u64,
+    messages_delayed: u64,
 }
 
 impl Link {
@@ -51,7 +67,34 @@ impl Link {
             busy_accum_us: 0,
             bytes_carried: 0,
             messages: 0,
+            faults: None,
+            messages_dropped: 0,
+            messages_delayed: 0,
         }
+    }
+
+    /// Enable seeded fault injection: each message is independently
+    /// dropped (losing one serialized copy and paying `retransmit_timeout`
+    /// before the retransmission) with probability `drop_per_mille`/1000,
+    /// or delayed by `extra_delay` with probability `delay_per_mille`/1000.
+    /// With both incidences zero the link behaves identically to a
+    /// fault-free one.
+    pub fn with_faults(
+        mut self,
+        seed: u64,
+        drop_per_mille: u16,
+        delay_per_mille: u16,
+        extra_delay: SimTime,
+        retransmit_timeout: SimTime,
+    ) -> Self {
+        self.faults = Some(LinkFaults {
+            rng: SimRng::new(seed),
+            drop_per_mille,
+            delay_per_mille,
+            extra_delay,
+            retransmit_timeout,
+        });
+        self
     }
 
     /// Bytes actually put on the wire for a payload of `payload` bytes,
@@ -70,15 +113,32 @@ impl Link {
     }
 
     /// Enqueue a message at `now`; returns its arrival time at the far end
-    /// (queueing + serialization + propagation).
+    /// (queueing + serialization + propagation, plus any injected fault
+    /// penalty: a dropped message serializes twice around a retransmission
+    /// timeout, a delayed one arrives `extra_delay` late).
     pub fn send(&mut self, now: SimTime, payload: u64) -> SimTime {
         let start = self.busy_until.max(now);
         let tx = self.tx_time(payload);
-        self.busy_until = start + tx;
+        let mut occupancy = tx;
+        let mut extra = SimTime::ZERO;
+        if let Some(f) = &mut self.faults {
+            let roll = f.rng.below(1000) as u16;
+            if roll < f.drop_per_mille {
+                // The lost copy occupied the wire too, and FIFO ordering
+                // holds subsequent messages behind the retransmission.
+                occupancy = occupancy + f.retransmit_timeout + tx;
+                self.busy_accum_us += tx.as_micros();
+                self.messages_dropped += 1;
+            } else if roll < f.drop_per_mille.saturating_add(f.delay_per_mille) {
+                extra = f.extra_delay;
+                self.messages_delayed += 1;
+            }
+        }
+        self.busy_until = start + occupancy;
         self.busy_accum_us += tx.as_micros();
         self.bytes_carried += payload;
         self.messages += 1;
-        self.busy_until + self.propagation
+        self.busy_until + self.propagation + extra
     }
 
     /// How long a message enqueued at `now` would wait before its first bit
@@ -104,6 +164,16 @@ impl Link {
     /// Total messages carried.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Messages that lost their first copy to injected faults.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Messages delivered late due to injected faults.
+    pub fn messages_delayed(&self) -> u64 {
+        self.messages_delayed
     }
 }
 
@@ -171,6 +241,70 @@ mod tests {
         assert_eq!(l.messages(), 2);
         let u = l.utilization(SimTime::from_micros(480));
         assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn injected_drops_delay_arrival_and_are_deterministic() {
+        let faulty = || {
+            Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO).with_faults(
+                11,
+                500,
+                0,
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+            )
+        };
+        let run = |mut l: Link| {
+            let mut arrivals = Vec::new();
+            for i in 0..50 {
+                arrivals.push(l.send(SimTime::from_micros(i * 500), 1460));
+            }
+            (arrivals, l.messages_dropped())
+        };
+        let (a1, d1) = run(faulty());
+        let (a2, d2) = run(faulty());
+        assert_eq!(a1, a2, "same seed must reproduce the same schedule");
+        assert_eq!(d1, d2);
+        assert!(d1 > 0, "50% drop incidence over 50 messages");
+
+        // The same offered load over a clean link finishes earlier.
+        let (clean, _) = run(Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO));
+        assert!(a1.last().unwrap() > clean.last().unwrap());
+    }
+
+    #[test]
+    fn injected_delay_postpones_arrival_without_occupancy() {
+        let mut l = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO).with_faults(
+            5,
+            0,
+            1000,
+            SimTime::from_millis(3),
+            SimTime::ZERO,
+        );
+        let t = l.send(SimTime::ZERO, 1460);
+        assert_eq!(t, SimTime::from_micros(120) + SimTime::from_millis(3));
+        assert_eq!(l.messages_delayed(), 1);
+        // Occupancy excludes the delay: the next message queues only
+        // behind serialization.
+        assert_eq!(l.queue_delay(SimTime::ZERO), SimTime::from_micros(120));
+    }
+
+    #[test]
+    fn zero_incidence_faults_match_clean_link_exactly() {
+        let mut clean = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO);
+        let mut quiet = Link::with_frame(mbit(100), 1500, 40, SimTime::ZERO).with_faults(
+            1,
+            0,
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        for i in 0..20 {
+            let now = SimTime::from_micros(i * 70);
+            assert_eq!(clean.send(now, 1200), quiet.send(now, 1200));
+        }
+        assert_eq!(quiet.messages_dropped(), 0);
+        assert_eq!(quiet.messages_delayed(), 0);
     }
 
     #[test]

@@ -97,6 +97,9 @@ fn panicking_hook_does_not_kill_the_worker_pool() {
     }
     assert_eq!(server.live_workers(), 2, "workers died on hook panic");
     assert_eq!(server.stats().protocol_errors, 6);
+    // The caught panics are also accounted separately from generic
+    // protocol errors in the stats snapshot.
+    assert_eq!(server.stats().handler_panics, 6);
 
     // And the server still answers normal requests afterwards.
     let mut fresh = connector.connect();
