@@ -17,13 +17,18 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use nserver_core::transport::{mem, Poller};
+use nserver_core::metrics::Stage;
+use nserver_core::options::ServerOptions;
+use nserver_core::server::ServerBuilder;
+use nserver_core::transport::{mem, Poller, ReadOutcome, StreamIo};
+use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
 
 /// Latency distribution summary in nanoseconds.
 struct Summary {
     mean_ns: f64,
     p50_ns: u64,
     p95_ns: u64,
+    p99_ns: u64,
     max_ns: u64,
 }
 
@@ -34,6 +39,7 @@ fn summarize(mut samples: Vec<u64>) -> Summary {
         mean_ns: samples.iter().sum::<u64>() as f64 / n as f64,
         p50_ns: samples[n / 2],
         p95_ns: samples[n * 95 / 100],
+        p99_ns: samples[n * 99 / 100],
         max_ns: samples[n - 1],
     }
 }
@@ -102,9 +108,70 @@ fn measure_poller_waker(iters: usize) -> Summary {
 
 fn json_block(name: &str, s: &Summary) -> String {
     format!(
-        "  \"{name}\": {{\n    \"mean_ns\": {:.0},\n    \"p50_ns\": {},\n    \"p95_ns\": {},\n    \"max_ns\": {}\n  }}",
-        s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+        "  \"{name}\": {{\n    \"mean_ns\": {:.0},\n    \"p50_ns\": {},\n    \"p95_ns\": {},\n    \"p99_ns\": {},\n    \"max_ns\": {}\n  }}",
+        s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns
     )
+}
+
+/// Per-stage request latency under the O11 histograms: drive a profiled
+/// COPS-HTTP instance over the mem transport and report each pipeline
+/// stage's sample count and p50/p99 from the server's own registry —
+/// the same numbers `/server-status` exposes.
+fn measure_stage_latency(requests: usize) -> Vec<(&'static str, u64, u64, u64)> {
+    let mut store = MemStore::new();
+    store.insert("/bench.txt", vec![b'b'; 512]);
+    let opts = ServerOptions {
+        profiling: true,
+        ..cops_http_options()
+    };
+    let (listener, connector) = mem::listener("dispatch-stage-bench");
+    let server = ServerBuilder::new(opts, HttpCodec::new(), StaticFileService::new(store, None))
+        .unwrap()
+        .serve(listener);
+
+    let request = b"GET /bench.txt HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+    let mut buf = [0u8; 8192];
+    for _ in 0..requests {
+        let mut conn = connector.connect();
+        let mut sent = 0;
+        while sent < request.len() {
+            match conn.try_write(&request[sent..]) {
+                Ok(0) => std::thread::sleep(Duration::from_micros(50)),
+                Ok(n) => sent += n,
+                Err(e) => panic!("bench write failed: {e}"),
+            }
+        }
+        loop {
+            match conn.try_read(&mut buf) {
+                Ok(ReadOutcome::Closed) | Err(_) => break,
+                Ok(ReadOutcome::WouldBlock) => std::thread::sleep(Duration::from_micros(50)),
+                Ok(ReadOutcome::Data(_)) => {}
+            }
+        }
+    }
+
+    let lat = server.latency();
+    let rows = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let h = lat.stage(stage);
+            (stage.name(), h.count, h.quantile_us(0.5), h.quantile_us(0.99))
+        })
+        .collect();
+    server.shutdown();
+    rows
+}
+
+fn stage_json(rows: &[(&'static str, u64, u64, u64)]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|(name, count, p50, p99)| {
+            format!(
+                "    \"{name}\": {{ \"count\": {count}, \"p50_us\": {p50}, \"p99_us\": {p99} }}"
+            )
+        })
+        .collect();
+    format!("  \"stage_latency_us\": {{\n{}\n  }}", body.join(",\n"))
 }
 
 fn main() {
@@ -120,20 +187,32 @@ fn main() {
     let poller = measure_poller_waker(iters);
     let speedup = sleep.mean_ns / poller.mean_ns;
 
-    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "mode", "mean ns", "p50 ns", "p95 ns", "max ns");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "mode", "mean ns", "p50 ns", "p95 ns", "p99 ns", "max ns"
+    );
     for (name, s) in [("sleep_poll", &sleep), ("poller_waker", &poller)] {
         println!(
-            "{name:<16} {:>12.0} {:>12} {:>12} {:>12}",
-            s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+            "{name:<16} {:>12.0} {:>12} {:>12} {:>12} {:>12}",
+            s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns
         );
     }
     println!("\nmean idle-wake latency improvement: {speedup:.1}x");
 
+    let stage_requests = if quick { 100 } else { 1000 };
+    println!("\nper-stage latency, profiled COPS-HTTP, {stage_requests} requests");
+    let stages = measure_stage_latency(stage_requests);
+    println!("{:<18} {:>8} {:>10} {:>10}", "stage", "count", "p50 us", "p99 us");
+    for (name, count, p50, p99) in &stages {
+        println!("{name:<18} {count:>8} {p50:>10} {p99:>10}");
+    }
+
     let json = format!(
-        "{{\n  \"benchmark\": \"idle_wake_latency\",\n  \"iters_per_mode\": {iters},\n{},\n{},\n  \"mean_speedup\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"idle_wake_latency\",\n  \"iters_per_mode\": {iters},\n{},\n{},\n  \"mean_speedup\": {:.2},\n  \"stage_requests\": {stage_requests},\n{}\n}}\n",
         json_block("sleep_poll", &sleep),
         json_block("poller_waker", &poller),
-        speedup
+        speedup,
+        stage_json(&stages)
     );
     let path = nserver_bench::crates_dir()
         .parent()

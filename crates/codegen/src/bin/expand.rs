@@ -1,0 +1,88 @@
+//! Regenerate the committed expansion under `generated/`.
+//!
+//! The repo tracks one expanded framework (`generated/cops-http`) so the
+//! generative path's output is reviewable in diffs. After changing the
+//! template, run:
+//!
+//! ```text
+//! cargo run -p nserver-codegen --bin expand
+//! ```
+//!
+//! Flags:
+//!
+//! * `--out DIR` — write somewhere else (default `generated/cops-http`
+//!   relative to the repo root);
+//! * `--debug` — generate with O10 = Debug;
+//! * `--profiling` — generate with O11 = Yes.
+
+use std::path::PathBuf;
+
+use nserver_cache::PolicyKind;
+use nserver_core::options::{
+    CompletionMode, FileCacheOption, Mode, ServerOptions, ThreadAllocation,
+};
+
+use nserver_codegen::template::generate;
+
+/// The COPS-HTTP configuration the committed expansion uses (the paper's
+/// Table 1 COPS-HTTP column).
+fn cops_http_options(debug: bool, profiling: bool) -> ServerOptions {
+    ServerOptions {
+        completion_mode: CompletionMode::Asynchronous,
+        thread_allocation: ThreadAllocation::Static { threads: 4 },
+        file_cache: FileCacheOption::Yes {
+            policy: PolicyKind::Lru,
+            capacity_bytes: 20 << 20,
+        },
+        mode: if debug { Mode::Debug } else { Mode::Production },
+        profiling,
+        ..ServerOptions::default()
+    }
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut debug = false;
+    let mut profiling = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            "--debug" => debug = true,
+            "--profiling" => profiling = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The generated manifest's path dependencies are relative to the crate
+    // it lands in; the committed location sits two levels below the repo
+    // root, so it keeps a relative path. A custom --out gets an absolute
+    // one so the crate builds from anywhere.
+    let (out, core_path) = match out {
+        Some(dir) => {
+            let crates = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+            (dir, crates.canonicalize().expect("crates dir").display().to_string())
+        }
+        None => (
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../generated/cops-http"),
+            "../../crates".to_string(),
+        ),
+    };
+    let fw = generate(
+        "cops-http-generated",
+        &cops_http_options(debug, profiling),
+        &core_path,
+    );
+    fw.write_to(&out).expect("write generated crate");
+    let stats = fw.generated_stats();
+    println!(
+        "wrote {} files to {} (classes={} methods={} ncss={})",
+        fw.files.len(),
+        out.display(),
+        stats.classes,
+        stats.methods,
+        stats.ncss,
+    );
+}

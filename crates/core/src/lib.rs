@@ -69,6 +69,7 @@
 pub mod cluster;
 pub mod event;
 pub mod fault;
+pub mod metrics;
 pub mod options;
 pub mod overload;
 pub mod pipeline;
@@ -88,13 +89,16 @@ pub mod transport;
 pub mod prelude {
     pub use crate::event::{CompletionToken, ConnId, Priority};
     pub use crate::fault::{FaultPlan, FaultProfile, FaultyListener, FaultyStream};
+    pub use crate::metrics::{
+        prometheus_text, trace_jsonl, HistogramSnapshot, LatencySnapshot, MetricsRegistry, Stage,
+    };
     pub use crate::options::{
         CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode,
         OverloadControl, ServerOptions, StageDeadlines, ThreadAllocation,
     };
     pub use crate::pipeline::{Action, Codec, ConnCtx, ProtocolError, RawCodec, Service};
     pub use crate::server::{ServerBuilder, ServerHandle};
-    pub use crate::trace::MemoryLogger;
+    pub use crate::trace::{DebugTracer, MemoryLogger, SpanEvent};
     pub use crate::transport::{Listener, StreamIo, TcpListenerNb, TcpStreamNb};
 }
 

@@ -1,0 +1,574 @@
+//! Per-stage latency histograms, queue-depth gauges and metrics
+//! exposition (template option O11).
+//!
+//! The paper's performance profiling option stops at lifetime counters
+//! ([`crate::profiling`]). This module adds the latency dimension: a
+//! logarithmic power-of-two histogram (promoted from
+//! `nserver-netsim::stats`, which now delegates its bucket math here) is
+//! kept per pipeline stage — accept→header-read, decode, handle, encode
+//! and write-drain — plus a queue-depth gauge with a decaying high-water
+//! mark for the Event Processor queue.
+//!
+//! Everything hangs off a [`MetricsRegistry`]. With O11 = No the registry
+//! is *disabled*: every record call returns before touching an atomic or
+//! reading a clock, so the profiling-off fast path costs nothing
+//! measurable. The internal `samples` counter pins that property in
+//! tests: a disabled registry must report zero samples after any run.
+//!
+//! Exposition is hand-rolled (the workspace carries no serde):
+//! [`prometheus_text`] renders counters + histograms in the Prometheus
+//! text format, [`trace_jsonl`] renders a [`DebugTracer`] dump as one
+//! JSON object per line.
+//!
+//! [`DebugTracer`]: crate::trace::DebugTracer
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::profiling::StatsSnapshot;
+use crate::trace::TraceRecord;
+
+/// Bucket index of a microsecond value: bucket `i` covers
+/// `[2^i, 2^(i+1))` with the first bucket absorbing 0 and 1.
+pub fn bucket_of(us: u64) -> usize {
+    if us < 2 {
+        0
+    } else {
+        63 - us.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in microseconds (the value a
+/// quantile query reports for samples landing in that bucket).
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// The five framework pipeline stages a request passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Accept to first request bytes readable (header read).
+    AcceptToHeader,
+    /// Decode Request hook.
+    Decode,
+    /// Handle Request hook.
+    Handle,
+    /// Encode Reply hook.
+    Encode,
+    /// Send Reply: outbox first non-empty until fully drained.
+    WriteDrain,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::AcceptToHeader,
+        Stage::Decode,
+        Stage::Handle,
+        Stage::Encode,
+        Stage::WriteDrain,
+    ];
+
+    /// Stable exposition name (Prometheus label value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::AcceptToHeader => "accept_to_header",
+            Stage::Decode => "decode",
+            Stage::Handle => "handle",
+            Stage::Encode => "encode",
+            Stage::WriteDrain => "write_drain",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Stage::AcceptToHeader => 0,
+            Stage::Decode => 1,
+            Stage::Handle => 2,
+            Stage::Encode => 3,
+            Stage::WriteDrain => 4,
+        }
+    }
+}
+
+/// A thread-safe logarithmic histogram of microsecond durations: 64
+/// power-of-two buckets, relaxed atomics (observability, not
+/// synchronization).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time plain copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; 64];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain, mergeable copy of a [`Histogram`] — what snapshots, shard
+/// merges and exposition work on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 64],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge two shards. Saturating adds keep the operation associative
+    /// and commutative even at the extremes, so per-thread shards can be
+    /// folded in any order.
+    pub fn merge(mut self, other: HistogramSnapshot) -> HistogramSnapshot {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self
+    }
+
+    /// Mean recorded value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// `q`-quantile sample (0 when empty). Same interpolation-free
+    /// estimator as the netsim twin, so the two agree bucket-for-bucket.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_us(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A gauge with a decaying high-water mark: `observe` tracks the current
+/// value and raises the mark; each snapshot reports the mark, then decays
+/// it a quarter of the way back toward the current value — old bursts
+/// fade instead of pinning the mark forever.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Record the current value.
+    pub fn observe(&self, v: u64) {
+        self.current.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Report the high-water mark and decay it toward the current value.
+    pub fn high_water_decaying(&self) -> u64 {
+        let cur = self.current.load(Ordering::Relaxed);
+        let high = self.high_water.load(Ordering::Relaxed);
+        let decayed = cur.max(high - high / 4);
+        self.high_water.store(decayed, Ordering::Relaxed);
+        high
+    }
+}
+
+/// The O11 registry: per-stage latency histograms plus the Event
+/// Processor queue-depth gauge. Disabled (`O11 = No`), every record path
+/// returns before touching a clock or an atomic.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    stages: [Histogram; 5],
+    samples: AtomicU64,
+    queue_depth: Gauge,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry (O11 = Yes).
+    pub fn enabled() -> Arc<Self> {
+        Arc::new(Self {
+            enabled: true,
+            stages: Default::default(),
+            samples: AtomicU64::new(0),
+            queue_depth: Gauge::default(),
+        })
+    }
+
+    /// A disabled registry: the profiling-off fast path (O11 = No).
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self {
+            enabled: false,
+            stages: Default::default(),
+            samples: AtomicU64::new(0),
+            queue_depth: Gauge::default(),
+        })
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a stage duration in microseconds. No-op when disabled.
+    pub fn record_stage(&self, stage: Stage, us: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.stages[stage.index()].record_us(us);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the Event Processor queue depth. No-op when disabled.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.queue_depth.observe(depth);
+    }
+
+    /// Total histogram samples recorded — the counter-registry pin for
+    /// the no-op fast path: a disabled registry must stay at zero.
+    pub fn samples_recorded(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot one stage's histogram.
+    pub fn stage(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[stage.index()].snapshot()
+    }
+
+    /// Snapshot every stage plus the queue gauge (decaying the high-water
+    /// mark as a side effect).
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            stages: [
+                self.stages[0].snapshot(),
+                self.stages[1].snapshot(),
+                self.stages[2].snapshot(),
+                self.stages[3].snapshot(),
+                self.stages[4].snapshot(),
+            ],
+            queue_depth: self.queue_depth.current(),
+            queue_depth_high_water: self.queue_depth.high_water_decaying(),
+        }
+    }
+}
+
+/// Point-in-time copy of every per-stage histogram and the queue gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySnapshot {
+    /// Per-stage histograms, indexed as [`Stage::ALL`].
+    pub stages: [HistogramSnapshot; 5],
+    /// Event Processor queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Decaying high-water mark of the queue depth.
+    pub queue_depth_high_water: u64,
+}
+
+impl LatencySnapshot {
+    /// One stage's histogram.
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage.index()]
+    }
+
+    /// Samples across every stage.
+    pub fn total_samples(&self) -> u64 {
+        self.stages.iter().map(|h| h.count).sum()
+    }
+}
+
+/// Render counters + per-stage latency histograms in the Prometheus text
+/// exposition format (hand-rolled; the workspace carries no serde). This
+/// is what the COPS-HTTP `/server-status` route and the COPS-FTP `STAT`
+/// command serve.
+pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in stats.rows() {
+        let metric = name.replace(' ', "_");
+        out.push_str(&format!("# TYPE nserver_{metric} counter\n"));
+        out.push_str(&format!("nserver_{metric} {v}\n"));
+    }
+    out.push_str("# TYPE nserver_stage_latency_us histogram\n");
+    for stage in Stage::ALL {
+        let h = lat.stage(stage);
+        let name = stage.name();
+        let last = h
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets.iter().take(last).enumerate() {
+            cum += n;
+            out.push_str(&format!(
+                "nserver_stage_latency_us_bucket{{stage=\"{name}\",le=\"{}\"}} {cum}\n",
+                bucket_upper_us(i)
+            ));
+        }
+        out.push_str(&format!(
+            "nserver_stage_latency_us_bucket{{stage=\"{name}\",le=\"+Inf\"}} {}\n",
+            h.count
+        ));
+        out.push_str(&format!(
+            "nserver_stage_latency_us_sum{{stage=\"{name}\"}} {}\n",
+            h.sum_us
+        ));
+        out.push_str(&format!(
+            "nserver_stage_latency_us_count{{stage=\"{name}\"}} {}\n",
+            h.count
+        ));
+        for (label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "nserver_stage_latency_us{{stage=\"{name}\",quantile=\"{label}\"}} {}\n",
+                h.quantile_us(q)
+            ));
+        }
+    }
+    out.push_str("# TYPE nserver_queue_depth gauge\n");
+    out.push_str(&format!("nserver_queue_depth {}\n", lat.queue_depth));
+    out.push_str(&format!(
+        "nserver_queue_depth_high_water {}\n",
+        lat.queue_depth_high_water
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a trace dump as JSONL: one object per record, span records
+/// carrying their typed event name and ACT sequence number.
+pub fn trace_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 64);
+    for r in records {
+        out.push_str(&format!("{{\"at_us\":{},\"kind\":\"{}\"", r.at_us, r.kind));
+        if let Some(c) = r.conn {
+            out.push_str(&format!(",\"conn\":{c}"));
+        }
+        if let Some(span) = r.span {
+            out.push_str(&format!(",\"span\":\"{}\"", span.name()));
+            if let Some(seq) = span.seq() {
+                out.push_str(&format!(",\"seq\":{seq}"));
+            }
+        }
+        if !r.detail.is_empty() {
+            out.push_str(&format!(",\"detail\":\"{}\"", json_escape(&r.detail)));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_matches_the_netsim_twin() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper_us(0), 1);
+        assert_eq!(bucket_upper_us(1), 3);
+        assert_eq!(bucket_upper_us(62), (2u64 << 62) - 1);
+        assert_eq!(bucket_upper_us(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_means() {
+        let h = Histogram::new();
+        for us in [1, 2, 4, 8] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_us, 15);
+        assert_eq!(s.mean_us(), 3);
+        assert_eq!(s.quantile_us(1.0), 15); // bucket of 8 spans 8..=15
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for us in 1..=1000 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        let q50 = s.quantile_us(0.5);
+        let q99 = s.quantile_us(0.99);
+        assert!(q50 <= q99);
+        assert!((500..=1023).contains(&q50), "q50 {q50}");
+    }
+
+    #[test]
+    fn merge_adds_shards() {
+        let a = {
+            let h = Histogram::new();
+            h.record_us(3);
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::new();
+            h.record_us(100);
+            h.record_us(200);
+            h.snapshot()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum_us, 303);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        m.record_stage(Stage::Decode, 42);
+        m.observe_queue_depth(7);
+        assert_eq!(m.samples_recorded(), 0);
+        assert_eq!(m.latency_snapshot().total_samples(), 0);
+        assert_eq!(m.latency_snapshot().queue_depth_high_water, 0);
+    }
+
+    #[test]
+    fn enabled_registry_records_per_stage() {
+        let m = MetricsRegistry::enabled();
+        m.record_stage(Stage::Decode, 10);
+        m.record_stage(Stage::Handle, 20);
+        m.record_stage(Stage::Handle, 30);
+        assert_eq!(m.samples_recorded(), 3);
+        let lat = m.latency_snapshot();
+        assert_eq!(lat.stage(Stage::Decode).count, 1);
+        assert_eq!(lat.stage(Stage::Handle).count, 2);
+        assert_eq!(lat.total_samples(), 3);
+    }
+
+    #[test]
+    fn gauge_high_water_decays_toward_current() {
+        let g = Gauge::default();
+        g.observe(100);
+        g.observe(4);
+        assert_eq!(g.current(), 4);
+        assert_eq!(g.high_water_decaying(), 100); // reports, then decays
+        assert_eq!(g.high_water_decaying(), 75);
+        for _ in 0..40 {
+            g.high_water_decaying();
+        }
+        assert_eq!(g.high_water_decaying(), 4); // floored at current
+    }
+
+    #[test]
+    fn prometheus_text_has_counters_and_quantiles() {
+        let m = MetricsRegistry::enabled();
+        m.record_stage(Stage::Decode, 5);
+        let stats = StatsSnapshot {
+            requests_decoded: 1,
+            ..Default::default()
+        };
+        let text = prometheus_text(&stats, &m.latency_snapshot());
+        assert!(text.contains("nserver_requests_decoded 1"));
+        assert!(text.contains("nserver_stage_latency_us_count{stage=\"decode\"} 1"));
+        assert!(text.contains("stage=\"decode\",quantile=\"0.99\""));
+        assert!(text.contains("nserver_queue_depth 0"));
+        // every stage appears even when empty
+        for stage in Stage::ALL {
+            assert!(text.contains(&format!("stage=\"{}\"", stage.name())));
+        }
+    }
+
+    #[test]
+    fn trace_jsonl_renders_one_object_per_record() {
+        use crate::event::EventKind;
+        use crate::trace::{DebugTracer, SpanEvent};
+        let t = DebugTracer::enabled(8);
+        t.span(SpanEvent::Decode { seq: 3 }, 7);
+        t.record(EventKind::Timer, None, "say \"hi\"");
+        let text = trace_jsonl(&t.dump());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"span\":\"decode\""));
+        assert!(lines[0].contains("\"seq\":3"));
+        assert!(lines[0].contains("\"conn\":7"));
+        assert!(lines[1].contains("\\\"hi\\\""));
+    }
+}

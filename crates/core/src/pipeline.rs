@@ -29,10 +29,11 @@ use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 
 use crate::event::{CompletionToken, ConnId, EventKind, Priority};
+use crate::metrics::{MetricsRegistry, Stage};
 use crate::proactor::HelperPool;
 use crate::profiling::ServerStats;
 use crate::reactor::DispatchNotifier;
-use crate::trace::{AccessLogger, DebugTracer};
+use crate::trace::{AccessLogger, DebugTracer, SpanEvent};
 
 /// A protocol error raised by a codec; the framework closes the offending
 /// connection and counts the error.
@@ -265,6 +266,9 @@ pub struct Engine<C: Codec, S: Service<C>> {
     pub registry: Registry,
     /// Profiling counters (O11; always maintained, cheaply).
     pub stats: Arc<ServerStats>,
+    /// Per-stage latency histograms and gauges (O11; disabled registry =
+    /// no-op fast path).
+    pub metrics: Arc<MetricsRegistry>,
     /// Debug tracer (O10).
     pub tracer: DebugTracer,
     /// Access logger (O12).
@@ -314,6 +318,10 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             if conn.closing.load(Ordering::Relaxed) {
                 return;
             }
+            // O11: clock reads happen only with profiling on — the
+            // disabled registry's fast path skips even `Instant::now`.
+            let profiled = self.metrics.is_enabled();
+            let decode_started = profiled.then(std::time::Instant::now);
             let decoded = {
                 let mut inbox = conn.inbox.lock();
                 self.codec.decode(&mut inbox)
@@ -321,22 +329,30 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             match decoded {
                 Ok(Some(req)) => {
                     ServerStats::bump(&self.stats.requests_decoded);
+                    if let Some(t0) = decode_started {
+                        self.metrics
+                            .record_stage(Stage::Decode, t0.elapsed().as_micros() as u64);
+                    }
                     let seq = conn.assign_seq();
                     let ctx = conn.ctx();
-                    self.tracer.record(
-                        EventKind::Readable,
-                        Some(id),
-                        format!("request seq={seq}"),
-                    );
+                    self.tracer.span(SpanEvent::Decode { seq }, id);
                     // Isolate application-hook panics: the request is
                     // failed and the connection closed, but the framework
                     // (and this connection's reply ordering) survives.
                     let service = &self.service;
+                    let handle_started = profiled.then(std::time::Instant::now);
                     let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                         || service.handle(&ctx, req),
                     ));
+                    if let Some(t0) = handle_started {
+                        self.metrics
+                            .record_stage(Stage::Handle, t0.elapsed().as_micros() as u64);
+                    }
                     match action {
-                        Ok(action) => self.apply_action(&conn, seq, action),
+                        Ok(action) => {
+                            self.tracer.span(SpanEvent::Handle { seq }, id);
+                            self.apply_action(&conn, seq, action);
+                        }
                         Err(_) => {
                             ServerStats::bump(&self.stats.protocol_errors);
                             ServerStats::bump(&self.stats.handler_panics);
@@ -354,8 +370,13 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                 Ok(None) => return,
                 Err(e) => {
                     ServerStats::bump(&self.stats.protocol_errors);
-                    self.tracer
-                        .record(EventKind::Readable, Some(id), format!("decode error: {e}"));
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            EventKind::Readable,
+                            Some(id),
+                            format!("decode error: {e}"),
+                        );
+                    }
                     conn.inbox.lock().clear();
                     conn.closing.store(true, Ordering::Relaxed);
                     return;
@@ -398,8 +419,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                 }
                 let tx = tx.clone();
                 let notifier = self.notifier.clone();
-                self.tracer
-                    .record(EventKind::Completion, Some(conn.id), format!("defer {token}"));
+                self.tracer.span(SpanEvent::Defer { seq }, conn.id);
                 helper.submit(move || {
                     let resp = job();
                     let _ = tx.send((token, resp));
@@ -420,11 +440,8 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
         let Some(conn) = self.conn(token.conn) else {
             return;
         };
-        self.tracer.record(
-            EventKind::Completion,
-            Some(token.conn),
-            format!("complete {token}"),
-        );
+        self.tracer
+            .span(SpanEvent::Complete { seq: token.seq }, token.conn);
         // DeferClose already set `closing`; `finish` must not clear it.
         let close_after = conn.closing.load(Ordering::Relaxed);
         self.finish(&conn, token.seq, resp, close_after);
@@ -432,9 +449,19 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
 
     fn finish(&self, conn: &Arc<ConnShared>, seq: u64, resp: C::Response, close_after: bool) {
         let mut out = BytesMut::new();
-        match self.codec.encode(&resp, &mut out) {
+        let encode_started = self
+            .metrics
+            .is_enabled()
+            .then(std::time::Instant::now);
+        let encoded = self.codec.encode(&resp, &mut out);
+        if let Some(t0) = encode_started {
+            self.metrics
+                .record_stage(Stage::Encode, t0.elapsed().as_micros() as u64);
+        }
+        match encoded {
             Ok(()) => {
                 let n = out.len();
+                self.tracer.span(SpanEvent::Encode { seq }, conn.id);
                 let emitted = conn.complete(seq, Some(out.to_vec()));
                 ServerStats::add(&self.stats.responses_sent, emitted as u64);
                 if let Some(log) = &self.logger {
@@ -443,8 +470,13 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             }
             Err(e) => {
                 ServerStats::bump(&self.stats.protocol_errors);
-                self.tracer
-                    .record(EventKind::Readable, Some(conn.id), format!("encode error: {e}"));
+                if self.tracer.is_enabled() {
+                    self.tracer.record(
+                        EventKind::Readable,
+                        Some(conn.id),
+                        format!("encode error: {e}"),
+                    );
+                }
                 conn.complete(seq, None);
                 conn.closing.store(true, Ordering::Relaxed);
             }
@@ -520,6 +552,7 @@ mod tests {
                 service: Arc::new(EchoService),
                 registry: Arc::new(RwLock::new(HashMap::new())),
                 stats: ServerStats::new_shared(),
+                metrics: MetricsRegistry::enabled(),
                 tracer: DebugTracer::enabled(64),
                 logger: Some(logger.as_hook()),
                 helper,

@@ -119,9 +119,11 @@ impl StatsSnapshot {
             .saturating_sub(self.connections_closed)
     }
 
-    /// Render as aligned `name value` lines (the profiling report).
-    pub fn render(&self) -> String {
-        let rows = [
+    /// Every counter as a `(name, value)` row — the single enumeration
+    /// behind both [`render`](Self::render) and the Prometheus exposition
+    /// in [`crate::metrics`].
+    pub fn rows(&self) -> [(&'static str, u64); 16] {
+        [
             ("connections accepted", self.connections_accepted),
             ("connections closed", self.connections_closed),
             ("idle connections closed", self.connections_idle_closed),
@@ -138,9 +140,13 @@ impl StatsSnapshot {
             ("connections timed out", self.connections_timed_out),
             ("accept errors", self.accept_errors),
             ("handler panics", self.handler_panics),
-        ];
+        ]
+    }
+
+    /// Render as aligned `name value` lines (the profiling report).
+    pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, v) in rows {
+        for (name, v) in self.rows() {
             out.push_str(&format!("{name:<26} {v}\n"));
         }
         out

@@ -34,12 +34,14 @@ use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::event::{CompletionToken, ConnId, EventKind, Priority};
+use crate::metrics::Stage;
 use crate::options::StageDeadlines;
 use crate::overload::OverloadController;
 use crate::pipeline::{Codec, ConnShared, Engine, Service, Work};
 use crate::processor::EventProcessor;
 use crate::profiling::ServerStats;
 use crate::timer::{IdleTracker, StageTracker};
+use crate::trace::SpanEvent;
 use crate::transport::{
     Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, Waker, LISTENER_TOKEN,
 };
@@ -71,6 +73,9 @@ pub struct NewConn<St> {
     id: ConnId,
     stream: St,
     shared: Arc<ConnShared>,
+    /// Accept timestamp — carried across the handoff so the O11
+    /// accept→header-read histogram includes the cross-thread latency.
+    accepted_at: Instant,
 }
 
 /// Routes off-wire events to the dispatcher that owns a connection.
@@ -191,6 +196,13 @@ struct ConnLocal<St> {
     peer_eof: bool,
     /// Interest currently registered with the poller.
     armed: Interest,
+    /// When the connection was accepted (O11 accept→header-read stage).
+    accepted_at: Instant,
+    /// Whether the first request bytes have been seen.
+    header_seen: bool,
+    /// When the outbox was first observed non-empty (O11 write-drain
+    /// stage); cleared when it drains.
+    drain_from: Option<Instant>,
 }
 
 /// How long a gated acceptor sleeps before re-checking the overload
@@ -279,6 +291,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         shared: nc.shared,
                         peer_eof: false,
                         armed: want,
+                        accepted_at: nc.accepted_at,
+                        header_seen: false,
+                        drain_from: None,
                     },
                 );
                 // Service immediately: flush any greeting, read early data.
@@ -330,12 +345,33 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     // Stale event for a connection already closed.
                     None => continue,
                 };
+                // O11 write-drain stage opens when reply bytes are observed
+                // queued — checked before the flush as well, so a reply that
+                // drains within one service pass still gets its window.
+                if c.drain_from.is_none()
+                    && (self.engine.metrics.is_enabled() || self.engine.tracer.is_enabled())
+                    && !c.shared.outbox.lock().is_empty()
+                {
+                    c.drain_from = Some(Instant::now());
+                }
                 let wrote_any = Self::flush(&self.engine.stats, c);
                 let (read, saturated) = self.read_into_inbox(c, &mut read_buf);
                 if saturated {
                     ready_backlog.push_back(id);
                 }
                 if read {
+                    if !c.header_seen {
+                        // First request bytes: close the accept→header
+                        // stage and mark the causal span.
+                        c.header_seen = true;
+                        if self.engine.metrics.is_enabled() {
+                            self.engine.metrics.record_stage(
+                                Stage::AcceptToHeader,
+                                c.accepted_at.elapsed().as_micros() as u64,
+                            );
+                        }
+                        self.engine.tracer.span(SpanEvent::HeaderRead, id);
+                    }
                     if let Some(ref mut tracker) = idle {
                         tracker.touch(id, Instant::now());
                     }
@@ -344,6 +380,22 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 let closing = c.shared.closing.load(Ordering::Relaxed);
                 let outbox_empty = c.shared.outbox.lock().is_empty();
                 let pending = c.shared.responses_pending();
+                // O11 write-drain stage: opens when reply bytes are first
+                // observed queued, closes when the outbox fully drains.
+                if outbox_empty {
+                    if let Some(t0) = c.drain_from.take() {
+                        if self.engine.metrics.is_enabled() {
+                            self.engine
+                                .metrics
+                                .record_stage(Stage::WriteDrain, t0.elapsed().as_micros() as u64);
+                        }
+                        self.engine.tracer.span(SpanEvent::WriteDrain, id);
+                    }
+                } else if c.drain_from.is_none()
+                    && (self.engine.metrics.is_enabled() || self.engine.tracer.is_enabled())
+                {
+                    c.drain_from = Some(Instant::now());
+                }
                 // After peer EOF, a non-empty inbox may still hold a
                 // complete request a worker has not decoded yet, so the
                 // connection is kept until the inbox drains; a peer that
@@ -528,11 +580,13 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     // it and keep draining the backlog (the fairness cap
                     // bounds how many errors one pass absorbs).
                     ServerStats::bump(&self.engine.stats.accept_errors);
-                    self.engine.tracer.record(
-                        EventKind::Accepted,
-                        None,
-                        format!("accept error: {e}"),
-                    );
+                    if self.engine.tracer.is_enabled() {
+                        self.engine.tracer.record(
+                            EventKind::Accepted,
+                            None,
+                            format!("accept error: {e}"),
+                        );
+                    }
                     continue;
                 }
             }
@@ -549,14 +603,13 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         pend: &mut HashSet<ConnId>,
     ) {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let accepted_at = Instant::now();
         let peer = stream.peer_label();
         let priority = (self.priority_policy)(&peer);
         let shared = ConnShared::new(id, peer, priority);
         self.engine.registry.write().insert(id, Arc::clone(&shared));
         ServerStats::bump(&self.engine.stats.connections_accepted);
-        self.engine
-            .tracer
-            .record(EventKind::Accepted, Some(id), shared.peer.clone());
+        self.engine.tracer.span(SpanEvent::Accept, id);
 
         // Server-speaks-first greeting (e.g. FTP 220).
         if let Some(greeting) = self.engine.service.on_open(&shared.ctx()) {
@@ -586,11 +639,19 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     shared,
                     peer_eof: false,
                     armed: want,
+                    accepted_at,
+                    header_seen: false,
+                    drain_from: None,
                 },
             );
             pend.insert(id);
         } else {
-            let _ = self.inj_txs[target].send(NewConn { id, stream, shared });
+            let _ = self.inj_txs[target].send(NewConn {
+                id,
+                stream,
+                shared,
+                accepted_at,
+            });
             self.notifier.wake(target);
         }
     }
@@ -677,9 +738,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         self.engine.registry.write().remove(&id);
         ServerStats::bump(&self.engine.stats.connections_closed);
         self.engine.service.on_close(&c.shared.ctx());
-        self.engine
-            .tracer
-            .record(EventKind::Shutdown, Some(id), "connection closed");
+        self.engine.tracer.span(SpanEvent::Close, id);
         // A closed connection may unblock a gated acceptor: let
         // dispatcher 0 re-check the overload controller now instead of on
         // its next re-check tick.

@@ -18,6 +18,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::event::Priority;
+use crate::metrics::{prometheus_text, LatencySnapshot, MetricsRegistry};
 use crate::options::{
     CompletionMode, EventScheduling, Mode, OptionsError, OverloadControl, ServerOptions,
 };
@@ -39,6 +40,8 @@ pub struct ServerBuilder<C: Codec, S: Service<C>> {
     priority_policy: PriorityPolicy,
     logger: Option<AccessLogger>,
     helper_threads: usize,
+    stats: Option<Arc<ServerStats>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
@@ -52,7 +55,26 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             priority_policy: Arc::new(|_| Priority::HIGHEST),
             logger: None,
             helper_threads: 4,
+            stats: None,
+            metrics: None,
         })
+    }
+
+    /// Inject a pre-made counter registry so application code created
+    /// before `serve` (a `/server-status` route, an FTP `STAT` handler)
+    /// can share the running server's counters. Defaults to a fresh
+    /// registry.
+    pub fn stats(mut self, stats: Arc<ServerStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Inject a pre-made latency-metrics registry (same sharing purpose
+    /// as [`stats`](Self::stats)). Defaults to an enabled registry when
+    /// O11 = Yes, a disabled (no-op) one otherwise.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Set the accept-time priority policy (O8): map a peer label to a
@@ -88,7 +110,14 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             Mode::Debug => DebugTracer::enabled(64 * 1024),
             Mode::Production => DebugTracer::disabled(),
         };
-        let stats = ServerStats::new_shared();
+        let stats = self.stats.clone().unwrap_or_else(ServerStats::new_shared);
+        let metrics = self.metrics.clone().unwrap_or_else(|| {
+            if opts.profiling {
+                MetricsRegistry::enabled()
+            } else {
+                MetricsRegistry::disabled()
+            }
+        });
         let logger = if opts.logging { self.logger.clone() } else { None };
 
         // --- Crosscut: O4 (Proactor helpers + completion channel). ---
@@ -129,6 +158,7 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             service: Arc::clone(&self.service),
             registry: Arc::clone(&registry),
             stats: Arc::clone(&stats),
+            metrics: Arc::clone(&metrics),
             tracer: tracer.clone(),
             logger,
             helper,
@@ -146,7 +176,15 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             };
             let handler = {
                 let engine = Arc::clone(&engine);
-                Arc::new(move |w: Work<C::Response>| engine.handle_work(w))
+                // O11: sample the queue depth as each work item is picked
+                // up — the gauge's decaying high-water mark tracks bursts.
+                let depth = queue.len_gauge();
+                Arc::new(move |w: Work<C::Response>| {
+                    engine
+                        .metrics
+                        .observe_queue_depth(depth.load(Ordering::Relaxed) as u64);
+                    engine.handle_work(w)
+                })
             };
             Some(EventProcessor::start(
                 opts.thread_allocation,
@@ -271,6 +309,23 @@ impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
     /// The debug tracer (records only in O10 = Debug mode).
     pub fn tracer(&self) -> &DebugTracer {
         &self.engine.tracer
+    }
+
+    /// The latency-metrics registry (a disabled no-op when O11 = No and
+    /// none was injected).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.engine.metrics)
+    }
+
+    /// Per-stage latency snapshot (empty histograms when O11 = No).
+    pub fn latency(&self) -> LatencySnapshot {
+        self.engine.metrics.latency_snapshot()
+    }
+
+    /// Counters + per-stage latencies in the Prometheus text exposition
+    /// format (what `/server-status` and FTP `STAT` serve).
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.stats(), &self.latency())
     }
 
     /// Currently open connections.

@@ -7,12 +7,98 @@
 //! demand — same diagnostic value, no unbounded disk growth.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::event::{ConnId, EventKind};
+
+/// A typed causal span event, keyed by the connection (and, for request
+/// stages, the request's Asynchronous Completion Token sequence number).
+/// A request's full path — dispatcher → queue → processor thread →
+/// proactor write — is reconstructable by filtering a trace dump for one
+/// connection and following these events in ring order.
+///
+/// Span events carry no heap data: emitting one allocates nothing, which
+/// is what lets the hot path keep its trace calls unguarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// Connection accepted — the root of the connection's span tree.
+    Accept,
+    /// First request bytes became readable on the connection.
+    HeaderRead,
+    /// A request was decoded; opens the request span `seq`.
+    Decode {
+        /// ACT sequence number of the request.
+        seq: u64,
+    },
+    /// The Handle Request hook ran for request `seq`.
+    Handle {
+        /// ACT sequence number of the request.
+        seq: u64,
+    },
+    /// A blocking operation for `seq` was submitted to the Proactor.
+    Defer {
+        /// ACT sequence number of the request.
+        seq: u64,
+    },
+    /// The Proactor completion for `seq` re-entered the framework.
+    Complete {
+        /// ACT sequence number of the request.
+        seq: u64,
+    },
+    /// The reply for `seq` was encoded; closes the request span.
+    Encode {
+        /// ACT sequence number of the request.
+        seq: u64,
+    },
+    /// The connection's outbox fully drained to the transport.
+    WriteDrain,
+    /// Connection closed — closes the connection's span tree.
+    Close,
+}
+
+impl SpanEvent {
+    /// Stable event name (JSONL exposition, assertions).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanEvent::Accept => "accept",
+            SpanEvent::HeaderRead => "header_read",
+            SpanEvent::Decode { .. } => "decode",
+            SpanEvent::Handle { .. } => "handle",
+            SpanEvent::Defer { .. } => "defer",
+            SpanEvent::Complete { .. } => "complete",
+            SpanEvent::Encode { .. } => "encode",
+            SpanEvent::WriteDrain => "write_drain",
+            SpanEvent::Close => "close",
+        }
+    }
+
+    /// The ACT sequence number, for request-scoped events.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            SpanEvent::Decode { seq }
+            | SpanEvent::Handle { seq }
+            | SpanEvent::Defer { seq }
+            | SpanEvent::Complete { seq }
+            | SpanEvent::Encode { seq } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    /// The [`EventKind`] a span renders under (keeps the O10 render
+    /// format identical to the free-form records it replaced).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            SpanEvent::Accept => EventKind::Accepted,
+            SpanEvent::Defer { .. } | SpanEvent::Complete { .. } => EventKind::Completion,
+            SpanEvent::Close => EventKind::Shutdown,
+            _ => EventKind::Readable,
+        }
+    }
+}
 
 /// One traced internal event.
 #[derive(Debug, Clone)]
@@ -23,8 +109,33 @@ pub struct TraceRecord {
     pub kind: EventKind,
     /// Connection involved, if any.
     pub conn: Option<ConnId>,
-    /// Free-form detail.
+    /// Typed span event (None for free-form records).
+    pub span: Option<SpanEvent>,
+    /// Free-form detail (empty for span records).
     pub detail: String,
+}
+
+impl TraceRecord {
+    /// The detail column rendered for this record: the free-form string,
+    /// or the span event formatted in the legacy detail style (`request
+    /// seq=3`, `defer act(conn=1, seq=3)`, …).
+    pub fn detail_text(&self) -> String {
+        let Some(span) = self.span else {
+            return self.detail.clone();
+        };
+        let conn = self.conn.unwrap_or(0);
+        match span {
+            SpanEvent::Accept => "accepted".to_string(),
+            SpanEvent::HeaderRead => "header read".to_string(),
+            SpanEvent::Decode { seq } => format!("request seq={seq}"),
+            SpanEvent::Handle { seq } => format!("handled seq={seq}"),
+            SpanEvent::Defer { seq } => format!("defer act(conn={conn}, seq={seq})"),
+            SpanEvent::Complete { seq } => format!("complete act(conn={conn}, seq={seq})"),
+            SpanEvent::Encode { seq } => format!("encoded seq={seq}"),
+            SpanEvent::WriteDrain => "write drained".to_string(),
+            SpanEvent::Close => "connection closed".to_string(),
+        }
+    }
 }
 
 /// Bounded in-memory event trace (debug mode, O10).
@@ -33,6 +144,10 @@ pub struct DebugTracer {
     inner: Arc<Mutex<TraceInner>>,
     epoch: Instant,
     enabled: bool,
+    /// Free-form detail strings stored so far — the counter the overhead
+    /// regression test pins: a production-mode run must keep this at zero
+    /// (every hot-path call site uses allocation-free [`SpanEvent`]s).
+    detail_strings: Arc<AtomicU64>,
 }
 
 struct TraceInner {
@@ -52,6 +167,7 @@ impl DebugTracer {
             })),
             epoch: Instant::now(),
             enabled: true,
+            detail_strings: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -65,6 +181,7 @@ impl DebugTracer {
             })),
             epoch: Instant::now(),
             enabled: false,
+            detail_strings: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -73,23 +190,64 @@ impl DebugTracer {
         self.enabled
     }
 
-    /// Record an internal event.
+    /// Record a free-form internal event. Slow-path diagnostics only
+    /// (errors, sweeps): the detail string is stored on the ring. Hot-path
+    /// call sites use [`span`](Self::span) instead, which allocates
+    /// nothing.
     pub fn record(&self, kind: EventKind, conn: Option<ConnId>, detail: impl Into<String>) {
         if !self.enabled {
             return;
         }
-        let rec = TraceRecord {
+        self.detail_strings.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceRecord {
             at_us: self.epoch.elapsed().as_micros() as u64,
             kind,
             conn,
+            span: None,
             detail: detail.into(),
-        };
+        });
+    }
+
+    /// Record a typed span event for a connection. Allocation-free: safe
+    /// to leave unguarded on the hot path (disabled tracers return before
+    /// reading the clock).
+    pub fn span(&self, event: SpanEvent, conn: ConnId) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceRecord {
+            at_us: self.epoch.elapsed().as_micros() as u64,
+            kind: event.kind(),
+            conn: Some(conn),
+            span: Some(event),
+            detail: String::new(),
+        });
+    }
+
+    fn push(&self, rec: TraceRecord) {
         let mut inner = self.inner.lock();
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;
         }
         inner.ring.push_back(rec);
+    }
+
+    /// Free-form detail strings stored so far (see the field docs — the
+    /// overhead regression pin).
+    pub fn detail_strings(&self) -> u64 {
+        self.detail_strings.load(Ordering::Relaxed)
+    }
+
+    /// The typed span events recorded for one connection, in ring order.
+    pub fn spans_for(&self, conn: ConnId) -> Vec<SpanEvent> {
+        self.inner
+            .lock()
+            .ring
+            .iter()
+            .filter(|r| r.conn == Some(conn))
+            .filter_map(|r| r.span)
+            .collect()
     }
 
     /// Copy out the retained records, oldest first.
@@ -110,7 +268,13 @@ impl DebugTracer {
                 .conn
                 .map(|c| format!(" conn={c}"))
                 .unwrap_or_default();
-            out.push_str(&format!("[{:>10}µs] {}{} {}\n", r.at_us, r.kind, conn, r.detail));
+            out.push_str(&format!(
+                "[{:>10}µs] {}{} {}\n",
+                r.at_us,
+                r.kind,
+                conn,
+                r.detail_text()
+            ));
         }
         out
     }
@@ -189,6 +353,57 @@ mod tests {
         assert!(text.contains("shutdown"));
         assert!(text.contains("conn=9"));
         assert!(text.contains("bye"));
+    }
+
+    #[test]
+    fn spans_allocate_no_detail_strings() {
+        let t = DebugTracer::enabled(16);
+        t.span(SpanEvent::Accept, 4);
+        t.span(SpanEvent::Decode { seq: 0 }, 4);
+        t.span(SpanEvent::Close, 4);
+        assert_eq!(t.detail_strings(), 0);
+        t.record(EventKind::Timer, None, "a real string");
+        assert_eq!(t.detail_strings(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_counts_no_strings() {
+        let t = DebugTracer::disabled();
+        t.record(EventKind::Timer, None, "dropped before storage");
+        t.span(SpanEvent::Accept, 1);
+        assert_eq!(t.detail_strings(), 0);
+        assert!(t.dump().is_empty());
+    }
+
+    #[test]
+    fn spans_for_reconstructs_one_connection_in_order() {
+        let t = DebugTracer::enabled(32);
+        t.span(SpanEvent::Accept, 1);
+        t.span(SpanEvent::Accept, 2);
+        t.span(SpanEvent::Decode { seq: 0 }, 1);
+        t.span(SpanEvent::Encode { seq: 0 }, 1);
+        t.span(SpanEvent::Close, 1);
+        assert_eq!(
+            t.spans_for(1),
+            vec![
+                SpanEvent::Accept,
+                SpanEvent::Decode { seq: 0 },
+                SpanEvent::Encode { seq: 0 },
+                SpanEvent::Close,
+            ]
+        );
+        assert_eq!(t.spans_for(2), vec![SpanEvent::Accept]);
+    }
+
+    #[test]
+    fn span_records_render_in_the_legacy_detail_style() {
+        let t = DebugTracer::enabled(8);
+        t.span(SpanEvent::Decode { seq: 3 }, 9);
+        t.span(SpanEvent::Defer { seq: 3 }, 9);
+        let text = t.render();
+        assert!(text.contains("request seq=3"), "{text}");
+        assert!(text.contains("defer act(conn=9, seq=3)"), "{text}");
+        assert!(text.contains("conn=9"));
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub enum Command {
     Dele(String),
     /// `SIZE <file>`
     Size(String),
+    /// `STAT [path]` (also accepted as `SITE STAT`) — server status.
+    Stat(Option<String>),
     /// A syntactically valid verb this server does not implement.
     Unknown(String),
 }
@@ -77,6 +79,11 @@ impl Command {
             "MKD" | "XMKD" => Command::Mkd(need(arg)?),
             "DELE" => Command::Dele(need(arg)?),
             "SIZE" => Command::Size(need(arg)?),
+            "STAT" => Command::Stat(arg.filter(|a| !a.is_empty())),
+            "SITE" => match arg.as_deref().map(str::trim) {
+                Some(a) if a.eq_ignore_ascii_case("STAT") => Command::Stat(None),
+                _ => Command::Unknown(verb_upper),
+            },
             _ => Command::Unknown(verb_upper),
         })
     }
@@ -128,6 +135,20 @@ mod tests {
     #[test]
     fn pass_allows_empty_password() {
         assert_eq!(Command::parse("PASS").unwrap(), Command::Pass(String::new()));
+    }
+
+    #[test]
+    fn stat_with_and_without_argument() {
+        assert_eq!(Command::parse("STAT").unwrap(), Command::Stat(None));
+        assert_eq!(
+            Command::parse("STAT /pub").unwrap(),
+            Command::Stat(Some("/pub".into()))
+        );
+        assert_eq!(Command::parse("SITE STAT").unwrap(), Command::Stat(None));
+        assert_eq!(
+            Command::parse("SITE CHMOD").unwrap(),
+            Command::Unknown("SITE".into())
+        );
     }
 
     #[test]

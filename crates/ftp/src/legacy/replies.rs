@@ -86,6 +86,17 @@ pub fn file_unavailable(path: &str) -> String {
     line(550, &format!("{path}: No such file or directory"))
 }
 
+/// 211 multi-line system status (RFC 959 §4.2 format: `211-` opens,
+/// each body line is indented, a bare `211 End` closes).
+pub fn status_lines(title: &str, body: &[String]) -> String {
+    let mut out = format!("211-{title}\r\n");
+    for l in body {
+        out.push_str(&format!(" {l}\r\n"));
+    }
+    out.push_str("211 End\r\n");
+    out
+}
+
 /// 500 syntax error.
 pub fn syntax_error(cmd: &str) -> String {
     line(500, &format!("Syntax error: {cmd}"))
@@ -117,6 +128,14 @@ mod tests {
     fn passive_mode_encodes_port() {
         let l = passive_mode([127, 0, 0, 1], 0x1234);
         assert!(l.contains("(127,0,0,1,18,52)"), "{l}");
+    }
+
+    #[test]
+    fn status_reply_is_multiline_211() {
+        let s = status_lines("COPS-FTP status", &["a 1".into(), "b 2".into()]);
+        assert!(s.starts_with("211-COPS-FTP status\r\n"));
+        assert!(s.contains(" a 1\r\n"));
+        assert!(s.ends_with("211 End\r\n"));
     }
 
     #[test]

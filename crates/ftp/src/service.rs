@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use nserver_core::event::ConnId;
+use nserver_core::metrics::{MetricsRegistry, Stage};
 use nserver_core::pipeline::{Action, ConnCtx, Service};
+use nserver_core::profiling::ServerStats;
 
 use crate::codec::{FtpCodec, FtpRequest};
 use crate::commands::Command;
@@ -37,6 +39,7 @@ pub struct FtpService {
     users: Arc<UserRegistry>,
     sessions: Mutex<HashMap<ConnId, Arc<Mutex<Session>>>>,
     server_name: String,
+    status_source: Mutex<Option<(Arc<ServerStats>, Arc<MetricsRegistry>)>>,
 }
 
 impl FtpService {
@@ -47,7 +50,38 @@ impl FtpService {
             users,
             sessions: Mutex::new(HashMap::new()),
             server_name: "COPS-FTP".to_string(),
+            status_source: Mutex::new(None),
         }
+    }
+
+    /// Attach the running server's counter and latency registries so the
+    /// `STAT` command can report them. Pass the same `Arc`s given to the
+    /// `ServerBuilder`; without an attachment `STAT` still answers, with
+    /// session counts only.
+    pub fn attach_stats(&self, stats: Arc<ServerStats>, metrics: Arc<MetricsRegistry>) {
+        *self.status_source.lock() = Some((stats, metrics));
+    }
+
+    /// The multi-line 211 body for argument-less `STAT`.
+    fn status_report(&self) -> String {
+        let mut body = vec![format!("Live sessions: {}", self.live_sessions())];
+        if let Some((stats, metrics)) = self.status_source.lock().clone() {
+            for (name, value) in stats.snapshot().rows() {
+                body.push(format!("{name}: {value}"));
+            }
+            let lat = metrics.latency_snapshot();
+            for stage in Stage::ALL {
+                let h = lat.stage(stage);
+                body.push(format!(
+                    "{}: count={} p50={}us p99={}us",
+                    stage.name(),
+                    h.count,
+                    h.quantile_us(0.5),
+                    h.quantile_us(0.99),
+                ));
+            }
+        }
+        replies::status_lines(&format!("{} status", self.server_name), &body)
     }
 
     /// The shared virtual filesystem.
@@ -191,6 +225,28 @@ impl Service<FtpCodec> for FtpService {
                     None => Action::Reply(replies::file_unavailable(&file)),
                 }
             }
+            Command::Stat(path) => match path {
+                None => Action::Reply(self.status_report()),
+                Some(p) => {
+                    let cwd = session.lock().cwd.clone();
+                    match normalize(&cwd, &p) {
+                        Some(t) if self.vfs.is_dir(&t) => {
+                            let listing = self.vfs.list(&t).unwrap_or_default();
+                            Action::Reply(replies::status_lines(
+                                &format!("Status of {t}"),
+                                &listing,
+                            ))
+                        }
+                        Some(t) if self.vfs.size(&t).is_some() => Action::Reply(
+                            replies::status_lines(
+                                &format!("Status of {t}"),
+                                std::slice::from_ref(&t),
+                            ),
+                        ),
+                        _ => Action::Reply(replies::file_unavailable(&p)),
+                    }
+                }
+            },
             Command::Pasv => {
                 let listener = match TcpListener::bind("127.0.0.1:0") {
                     Ok(l) => l,
@@ -506,6 +562,47 @@ mod tests {
         assert!(reply(&svc, 2, "PWD").starts_with("530"));
         login(&svc, 2);
         assert!(reply(&svc, 2, "PWD").contains("\"/\""));
+    }
+
+    #[test]
+    fn stat_reports_server_status_with_latency_quantiles() {
+        let svc = service();
+        login(&svc, 1);
+        // Without an attachment STAT still answers with session counts.
+        let bare = reply(&svc, 1, "STAT");
+        assert!(bare.starts_with("211-"), "{bare}");
+        assert!(bare.contains("Live sessions: 1"), "{bare}");
+        assert!(bare.ends_with("211 End\r\n"), "{bare}");
+
+        let stats = ServerStats::new_shared();
+        let metrics = MetricsRegistry::enabled();
+        stats
+            .connections_accepted
+            .fetch_add(7, std::sync::atomic::Ordering::Relaxed);
+        metrics.record_stage(Stage::Decode, 40);
+        svc.attach_stats(Arc::clone(&stats), Arc::clone(&metrics));
+        let full = reply(&svc, 1, "STAT");
+        assert!(full.contains("connections accepted: 7"), "{full}");
+        assert!(full.contains("decode: count=1 p50="), "{full}");
+        assert!(full.contains("p99="), "{full}");
+    }
+
+    #[test]
+    fn stat_with_path_lists_over_the_control_connection() {
+        let svc = service();
+        login(&svc, 1);
+        let r = reply(&svc, 1, "STAT /pub");
+        assert!(r.starts_with("211-Status of /pub"), "{r}");
+        assert!(r.contains(" hello.txt\r\n"), "{r}");
+        let r = reply(&svc, 1, "STAT /pub/hello.txt");
+        assert!(r.contains("/pub/hello.txt"), "{r}");
+        assert!(reply(&svc, 1, "STAT /nope").starts_with("550"));
+    }
+
+    #[test]
+    fn stat_requires_login() {
+        let svc = service();
+        assert!(reply(&svc, 1, "STAT").starts_with("530"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
+use nserver_core::metrics::{prometheus_text, MetricsRegistry};
 use nserver_core::pipeline::{Action, ConnCtx, Service};
+use nserver_core::profiling::ServerStats;
 
 use crate::codec::HttpCodec;
 use crate::service::{ContentStore, StaticFileService};
@@ -69,6 +71,20 @@ impl<St: ContentStore> RoutedService<St> {
             blocking: true,
         });
         self
+    }
+
+    /// Mount the built-in `/server-status` observability route: a
+    /// Prometheus-text rendition of the server's counters plus the O11
+    /// per-stage latency histograms (p50/p99 per stage). Pass the same
+    /// `Arc`s given to the [`ServerBuilder`](nserver_core::server::ServerBuilder)
+    /// so the page reflects the live server.
+    pub fn server_status(self, stats: Arc<ServerStats>, metrics: Arc<MetricsRegistry>) -> Self {
+        self.route(
+            "/server-status",
+            text_page(Status::Ok, move |_| {
+                prometheus_text(&stats.snapshot(), &metrics.latency_snapshot())
+            }),
+        )
     }
 
     fn find(&self, target: &str) -> Option<&Route> {
@@ -253,5 +269,21 @@ mod tests {
     #[test]
     fn routes_len_counts_mounts() {
         assert_eq!(service().routes_len(), 3);
+    }
+
+    #[test]
+    fn server_status_exposes_prometheus_text() {
+        let stats = ServerStats::new_shared();
+        let metrics = MetricsRegistry::enabled();
+        stats.connections_accepted.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        metrics.record_stage(nserver_core::metrics::Stage::Handle, 128);
+        let svc = RoutedService::new(StaticFileService::new(MemStore::new(), None))
+            .server_status(Arc::clone(&stats), Arc::clone(&metrics));
+        let r = run(svc.handle(&ctx(), get("/server-status")));
+        let body = String::from_utf8_lossy(&r.body).into_owned();
+        assert_eq!(r.status, Status::Ok);
+        assert!(body.contains("nserver_connections_accepted 3"));
+        assert!(body.contains("nserver_stage_latency_us_bucket{stage=\"handle\""));
+        assert!(body.contains("quantile=\"0.99\""));
     }
 }

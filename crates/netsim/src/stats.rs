@@ -153,12 +153,10 @@ impl Histogram {
         }
     }
 
+    /// Bucket index — delegated to the promoted core histogram so the
+    /// simulator and the O11 runtime agree bucket-for-bucket.
     fn bucket_of(us: u64) -> usize {
-        if us < 2 {
-            0
-        } else {
-            63 - us.leading_zeros() as usize
-        }
+        nserver_core::metrics::bucket_of(us)
     }
 
     /// Record a duration.
@@ -194,8 +192,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return SimTime::from_micros(upper);
+                return SimTime::from_micros(nserver_core::metrics::bucket_upper_us(i));
             }
         }
         SimTime::from_micros(u64::MAX)

@@ -7,7 +7,9 @@
 //! Processor Controller grows under load.
 //!
 //! The demo runs a full client session over loopback TCP: login, CWD,
-//! passive-mode LIST and RETR, then QUIT.
+//! passive-mode LIST and RETR, a `STAT` server report (live counters
+//! and per-stage latency quantiles over the control connection), then
+//! QUIT.
 //!
 //! Run: `cargo run -p nserver-examples --bin ftp_server`
 
@@ -16,7 +18,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use nserver_core::metrics::MetricsRegistry;
 use nserver_core::prelude::*;
+use nserver_core::profiling::ServerStats;
 use nserver_ftp::{cops_ftp_options, FtpCodec, FtpService, UserRegistry, Vfs};
 
 struct Ctl {
@@ -53,8 +57,20 @@ fn main() {
     let users = Arc::new(UserRegistry::new().with_anonymous());
     users.add_user("alice", "secret");
 
-    let server = ServerBuilder::new(cops_ftp_options(), FtpCodec, FtpService::new(vfs, users))
+    // O11 on, with the registries shared between the server and the
+    // service so the STAT report reflects the live counters.
+    let options = ServerOptions {
+        profiling: true,
+        ..cops_ftp_options()
+    };
+    let stats = ServerStats::new_shared();
+    let metrics = MetricsRegistry::enabled();
+    let service = FtpService::new(vfs, users);
+    service.attach_stats(stats.clone(), metrics.clone());
+    let server = ServerBuilder::new(options, FtpCodec, service)
         .expect("valid options")
+        .stats(stats)
+        .metrics(metrics)
         .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
     let addr = server.local_label().to_string();
     println!("COPS-FTP listening on {addr}");
@@ -101,6 +117,23 @@ fn main() {
     assert!(ctl.reply().starts_with("150"));
     assert!(ctl.reply().starts_with("226"));
     assert_eq!(content, b"welcome to COPS-FTP\n");
+
+    // Server status over the control connection: a multi-line 211 reply
+    // with live counters and the O11 per-stage latency quantiles.
+    ctl.send("STAT");
+    let mut report = String::new();
+    loop {
+        let line = ctl.reply();
+        let done = line.starts_with("211 ");
+        report.push_str(&line);
+        if done {
+            break;
+        }
+    }
+    assert!(report.starts_with("211-"), "multi-line status reply");
+    assert!(report.contains("connections accepted: 1"));
+    assert!(report.contains("decode: count="));
+    assert!(report.contains("p99="));
 
     ctl.send("QUIT");
     assert!(ctl.reply().starts_with("221"));

@@ -5,20 +5,24 @@
 //!
 //! The demo builds a small SpecWeb99-style site in memory, serves it over
 //! loopback TCP, fetches a handful of pages twice (so the second pass
-//! hits the cache), and prints the profiling counters and cache hit rate.
+//! hits the cache), scrapes the `/server-status` observability route,
+//! and prints the profiling counters and cache hit rate.
 //!
 //! Run: `cargo run -p nserver-examples --bin web_server` for the
-//! self-driving demo, or with `--serve` to keep serving until killed.
+//! self-driving demo, or with `--serve` to keep serving until killed
+//! (then `curl http://ADDR/server-status` to watch the live counters).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
+use nserver_core::metrics::MetricsRegistry;
 use nserver_core::prelude::*;
+use nserver_core::profiling::ServerStats;
 use nserver_core::server::ServerBuilder;
 use nserver_http::preset::COPS_HTTP_CACHE_BYTES;
-use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
+use nserver_http::{cops_http_options, HttpCodec, MemStore, RoutedService, StaticFileService};
 use nserver_specweb::FileSet;
 
 fn fetch(client: &mut TcpStream, path: &str) -> (u16, usize) {
@@ -55,6 +59,21 @@ fn fetch(client: &mut TcpStream, path: &str) -> (u16, usize) {
     (status, body_len)
 }
 
+/// Fetch `path` on a fresh connection and return the response body.
+fn scrape(addr: &str, path: &str) -> String {
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n");
+    client.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    client.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    body.to_string()
+}
+
 fn main() {
     // A one-directory SpecWeb99 site (36 files, ~5 MB), held in memory.
     let fileset = FileSet::with_dirs(1);
@@ -68,14 +87,24 @@ fn main() {
         fileset.total_bytes()
     );
 
-    // The template options of Table 1's COPS-HTTP column; the file cache
-    // object is the O6 machinery with LRU enforced.
-    let options = cops_http_options();
+    // The template options of Table 1's COPS-HTTP column with O11 on;
+    // the file cache object is the O6 machinery with LRU enforced.
+    let options = ServerOptions {
+        profiling: true,
+        ..cops_http_options()
+    };
     let cache = SharedFileCache::new(FileCache::new(COPS_HTTP_CACHE_BYTES, PolicyKind::Lru));
-    let service = StaticFileService::new(store, Some(cache.clone()));
+    // Share the stats/metrics registries between the server and the
+    // `/server-status` route so the page reflects the live counters.
+    let stats = ServerStats::new_shared();
+    let metrics = MetricsRegistry::enabled();
+    let service = RoutedService::new(StaticFileService::new(store, Some(cache.clone())))
+        .server_status(stats.clone(), metrics.clone());
     let server = ServerBuilder::new(options, HttpCodec::new(), service)
         .expect("valid options")
         .helper_threads(4)
+        .stats(stats)
+        .metrics(metrics)
         .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
     let addr = server.local_label().to_string();
     println!("COPS-HTTP listening on {addr}");
@@ -105,6 +134,21 @@ fn main() {
     let (status, _) = fetch(&mut client, "/no/such/file");
     println!("GET /no/such/file -> {status}");
     assert_eq!(status, 404);
+
+    // Scrape the observability route: Prometheus-text counters plus the
+    // O11 per-stage latency histograms, straight off the live server.
+    let page = scrape(&addr, "/server-status");
+    let quantiles: Vec<&str> = page
+        .lines()
+        .filter(|l| l.contains("quantile") && !l.starts_with('#'))
+        .collect();
+    println!("\n/server-status per-stage quantiles:");
+    for line in &quantiles {
+        println!("  {line}");
+    }
+    assert!(page.contains("nserver_connections_accepted"));
+    assert!(page.contains("nserver_stage_latency_us_count{stage=\"handle\"}"));
+    assert_eq!(quantiles.len(), 10, "p50+p99 for each of the five stages");
 
     let stats = server.stats();
     println!(

@@ -199,3 +199,64 @@ fn scheduling_and_overload_combined() {
     }
     server.shutdown();
 }
+
+/// The O10 × O11 observability matrix through the *generator*: each
+/// combination's emitted source must include the instrumentation code
+/// exactly when the option asks for it — `StageHistogram` recording
+/// only under O11 = Yes, typed `SpanEvent` emission only under
+/// O10 = Debug — and the generated-code metrics (the paper's Table 3/4
+/// counters) must not drift silently when the observability code
+/// changes shape.
+#[test]
+fn codegen_observability_matrix_gates_instrumentation() {
+    use nserver_cache::PolicyKind;
+    use nserver_codegen::template::generate;
+    use nserver_core::options::FileCacheOption;
+
+    // (O10 debug, O11 profiling) -> pinned Table 3/4 metrics for the
+    // COPS-HTTP configuration. Methods and NCSS grow monotonically as
+    // instrumentation is switched on; classes stay fixed (observability
+    // adds code to existing classes, never new ones).
+    let pinned = [
+        (false, false, (23usize, 24usize, 301usize)),
+        (false, true, (23, 27, 324)),
+        (true, false, (23, 32, 339)),
+        (true, true, (23, 35, 362)),
+    ];
+    for (debug, profiling, (classes, methods, ncss)) in pinned {
+        let opts = ServerOptions {
+            completion_mode: CompletionMode::Asynchronous,
+            thread_allocation: ThreadAllocation::Static { threads: 4 },
+            file_cache: FileCacheOption::Yes {
+                policy: PolicyKind::Lru,
+                capacity_bytes: 20 << 20,
+            },
+            mode: if debug { Mode::Debug } else { Mode::Production },
+            profiling,
+            ..ServerOptions::default()
+        };
+        let fw = generate("obs-matrix", &opts, "../../crates");
+        let source: String = fw
+            .files
+            .iter()
+            .filter(|f| f.path.ends_with(".rs"))
+            .map(|f| f.content.as_str())
+            .collect();
+        assert_eq!(
+            source.contains("StageHistogram"),
+            profiling,
+            "O11={profiling}: StageHistogram presence must track profiling"
+        );
+        assert_eq!(
+            source.contains("SpanEvent"),
+            debug,
+            "O10 debug={debug}: SpanEvent presence must track mode"
+        );
+        let stats = fw.generated_stats();
+        assert_eq!(
+            (stats.classes, stats.methods, stats.ncss),
+            (classes, methods, ncss),
+            "generated-code metrics drifted for debug={debug} profiling={profiling}"
+        );
+    }
+}
