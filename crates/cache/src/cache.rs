@@ -4,9 +4,10 @@
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::policy::{EntryId, EntryMeta, PolicyKind, ReplacementPolicy};
 
@@ -117,6 +118,26 @@ impl<K: Eq + Hash + Clone> FileCache<K> {
         }
     }
 
+    /// Look up a file without counting a hit or miss (recency and
+    /// frequency are still refreshed). Used by [`SharedFileCache`]'s
+    /// single-flight path, whose callers have already counted the miss
+    /// that brought them here.
+    pub fn get_quiet<Q>(&mut self, key: &Q) -> Option<Arc<Vec<u8>>>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let now = self.tick();
+        let &id = self.ids.get(key)?;
+        let entry = self.entries.get_mut(&id).expect("id map out of sync");
+        entry.meta.last_access = now;
+        entry.meta.access_count += 1;
+        let meta = entry.meta;
+        let data = Arc::clone(&entry.data);
+        self.policy.on_access(id, &meta);
+        Some(data)
+    }
+
     /// Check residency without perturbing statistics or recency.
     pub fn contains<Q>(&self, key: &Q) -> bool
     where
@@ -132,6 +153,13 @@ impl<K: Eq + Hash + Clone> FileCache<K> {
     pub fn insert(&mut self, key: K, data: Arc<Vec<u8>>) -> bool {
         let size = data.len() as u64;
         if !self.policy.admits(size, self.capacity) {
+            self.stats.rejected += 1;
+            return false;
+        }
+        // An object that cannot fit even in an empty cache must be
+        // refused up front: letting the eviction loop below discover it
+        // would flush every resident entry first and then fail anyway.
+        if size > self.capacity {
             self.stats.rejected += 1;
             return false;
         }
@@ -234,6 +262,29 @@ pub const DEFAULT_SHARDS: usize = 8;
 #[derive(Clone)]
 pub struct SharedFileCache<K: Eq + Hash + Clone> {
     shards: Arc<Vec<Mutex<FileCache<K>>>>,
+    /// Single-flight table: keys whose fetch is currently in progress.
+    /// The first missing worker (the *leader*) runs the fetch; everyone
+    /// else arriving before it finishes waits on the flight's condvar and
+    /// shares the leader's result `Arc` — a thundering herd of N misses
+    /// for one path issues exactly one store load.
+    inflight: Arc<Mutex<HashMap<K, Arc<Flight>>>>,
+    /// Lookups that were served by waiting on another worker's in-flight
+    /// fetch instead of issuing their own.
+    coalesced: Arc<AtomicU64>,
+}
+
+/// One in-progress fetch: waiters block on `cv` until the leader fills
+/// `result` and flips `done`.
+#[derive(Default)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct FlightState {
+    done: bool,
+    result: Option<Arc<Vec<u8>>>,
 }
 
 impl<K: Eq + Hash + Clone> SharedFileCache<K> {
@@ -243,6 +294,8 @@ impl<K: Eq + Hash + Clone> SharedFileCache<K> {
     pub fn new(cache: FileCache<K>) -> Self {
         Self {
             shards: Arc::new(vec![Mutex::new(cache)]),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            coalesced: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -261,6 +314,8 @@ impl<K: Eq + Hash + Clone> SharedFileCache<K> {
             .collect();
         Self {
             shards: Arc::new(shards),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            coalesced: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -291,6 +346,75 @@ impl<K: Eq + Hash + Clone> SharedFileCache<K> {
     /// See [`FileCache::insert`].
     pub fn insert(&self, key: K, data: Arc<Vec<u8>>) -> bool {
         self.shard_for(&key).lock().insert(key, data)
+    }
+
+    /// Single-flight lookup: return the cached bytes for `key`, running
+    /// `fetch` at most once across all workers missing concurrently.
+    ///
+    /// The first worker to miss becomes the leader: it runs `fetch`
+    /// (typically a blocking disk read on a Proactor helper thread),
+    /// inserts the result, and wakes every waiter. Workers that arrive
+    /// while the fetch is in flight block on the flight's condvar and
+    /// share the leader's `Arc` — counted in
+    /// [`SharedFileCache::coalesced_waits`]. A fetch that returns `None`
+    /// (file absent) propagates `None` to the whole herd; a fetch that
+    /// panics wakes the herd with `None` before the panic resumes on the
+    /// leader, so no waiter blocks forever.
+    pub fn get_or_load<F>(&self, key: K, fetch: F) -> Option<Arc<Vec<u8>>>
+    where
+        F: FnOnce() -> Option<Arc<Vec<u8>>>,
+    {
+        // Quiet re-check: the caller usually counted the miss that got it
+        // here, and the object may have landed since.
+        if let Some(data) = self.shard_for(&key).lock().get_quiet(&key) {
+            return Some(data);
+        }
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock();
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    inflight.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut st = flight.state.lock();
+            while !st.done {
+                flight.cv.wait(&mut st);
+            }
+            return st.result.clone();
+        }
+        // Leader: run the fetch outside every lock. A panic must still
+        // release the herd, so trap it, publish `None`, then resume.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(fetch));
+        let value = match &outcome {
+            Ok(v) => v.clone(),
+            Err(_) => None,
+        };
+        if let Some(data) = &value {
+            self.insert(key.clone(), Arc::clone(data));
+        }
+        {
+            let mut st = flight.state.lock();
+            st.done = true;
+            st.result = value.clone();
+        }
+        flight.cv.notify_all();
+        self.inflight.lock().remove(&key);
+        match outcome {
+            Ok(_) => value,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    /// Lookups served by joining another worker's in-flight fetch (see
+    /// [`SharedFileCache::get_or_load`]).
+    pub fn coalesced_waits(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// See [`FileCache::invalidate`].
@@ -407,6 +531,51 @@ mod tests {
         let mut c = FileCache::new(50, PolicyKind::Lru);
         assert!(!c.insert("huge", blob(51)));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversized_insert_leaves_hot_cache_untouched() {
+        // Regression: an object larger than the whole cache used to run
+        // the eviction loop dry — flushing every resident entry — before
+        // the insert failed anyway.
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(30));
+        c.insert("b", blob(30));
+        c.insert("c", blob(30));
+        assert!(!c.insert("huge", blob(101)));
+        let s = c.stats();
+        assert_eq!(s.evictions, 0, "oversized insert must not evict");
+        assert_eq!(s.rejected, 1, "oversized insert counts as rejected");
+        assert!(c.contains(&"a"));
+        assert!(c.contains(&"b"));
+        assert!(c.contains(&"c"));
+        assert_eq!(c.used_bytes(), 90);
+    }
+
+    #[test]
+    fn oversized_insert_does_not_displace_replaced_key() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(60));
+        // Replacing "a" with an impossible size must keep the old entry.
+        assert!(!c.insert("a", blob(200)));
+        assert!(c.contains(&"a"));
+        assert_eq!(c.used_bytes(), 60);
+    }
+
+    #[test]
+    fn get_quiet_refreshes_recency_without_stats() {
+        let mut c = FileCache::new(100, PolicyKind::Lru);
+        c.insert("a", blob(40));
+        c.insert("b", blob(40));
+        assert!(c.get_quiet(&"a").is_some());
+        assert!(c.get_quiet(&"zzz").is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+        // The quiet touch still made "a" most-recent, so "b" is evicted.
+        c.insert("c", blob(40));
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
     }
 
     #[test]
@@ -566,6 +735,78 @@ mod tests {
         assert!(!c.invalidate("victim"));
         assert!(c.get("victim").is_none());
         assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn single_flight_issues_one_fetch_for_a_racing_herd() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        use std::thread;
+
+        let cache: SharedFileCache<String> =
+            SharedFileCache::sharded(1 << 20, PolicyKind::Lru, DEFAULT_SHARDS);
+        let fetches = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let fetches = Arc::clone(&fetches);
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_load("/hot.bin".to_string(), || {
+                    fetches.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough for the rest of
+                    // the herd to pile up behind the leader.
+                    thread::sleep(std::time::Duration::from_millis(50));
+                    Some(Arc::new(vec![7u8; 1024]))
+                })
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            fetches.load(Ordering::SeqCst),
+            1,
+            "a herd of 8 misses must issue exactly one fetch"
+        );
+        for r in &results {
+            let data = r.as_ref().expect("every waiter shares the result");
+            assert_eq!(data.len(), 1024);
+            // All callers share the leader's allocation.
+            assert!(Arc::ptr_eq(data, results[0].as_ref().unwrap()));
+        }
+        assert!(cache.coalesced_waits() > 0, "waiters were coalesced");
+        assert!(cache.get("/hot.bin").is_some(), "result was cached");
+    }
+
+    #[test]
+    fn single_flight_propagates_absent_files_to_the_herd() {
+        let cache: SharedFileCache<String> =
+            SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
+        let got = cache.get_or_load("/missing".to_string(), || None);
+        assert!(got.is_none());
+        assert!(cache.get("/missing").is_none(), "absence is not cached");
+        // The flight is cleaned up: a later call fetches again.
+        let got = cache.get_or_load("/missing".to_string(), || Some(Arc::new(vec![1])));
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn single_flight_panicking_fetch_releases_waiters() {
+        use std::thread;
+        let cache: SharedFileCache<String> =
+            SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
+        let c2 = cache.clone();
+        let leader = thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_load("/boom".to_string(), || panic!("disk exploded"))
+            }));
+            assert!(r.is_err(), "the leader re-raises the fetch panic");
+        });
+        leader.join().unwrap();
+        // The flight must not be left dangling: a fresh call runs anew.
+        let got = cache.get_or_load("/boom".to_string(), || Some(Arc::new(vec![2])));
+        assert_eq!(got.unwrap().as_slice(), &[2]);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! order** even when blocking operations complete out of order — that is
 //! what the Asynchronous Completion Token sequence numbers are for.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -48,6 +48,194 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Per-connection decoder scratch, guarded by the same lock that
+/// serializes the decode loop. Codecs that scan the inbox for a frame
+/// delimiter record how far they have scanned so each newly arrived byte
+/// is examined once instead of rescanning the whole buffer (the O(n²)
+/// slow-loris pathology).
+#[derive(Debug, Default)]
+pub struct DecodeState {
+    /// Prefix of the inbox already scanned without finding a frame
+    /// boundary; the next scan resumes near here instead of at offset 0.
+    /// Codecs must reset this when they consume bytes or fail.
+    pub scanned: usize,
+}
+
+/// One contiguous piece of an encoded reply.
+///
+/// `Bytes` segments own their data (response heads, control replies);
+/// `Shared` segments reference a cached payload through its `Arc`, so
+/// queueing a response body never copies it — the dispatcher writes to
+/// the socket straight from the cache's allocation.
+pub enum OutSegment {
+    /// Owned bytes.
+    Bytes(BytesMut),
+    /// Zero-copy window into shared payload bytes; `offset` is how much
+    /// has already been written to the socket.
+    Shared {
+        /// The shared payload (typically a cached file body).
+        data: Arc<Vec<u8>>,
+        /// Bytes of `data` already transmitted.
+        offset: usize,
+    },
+}
+
+impl OutSegment {
+    fn remaining(&self) -> usize {
+        match self {
+            OutSegment::Bytes(b) => b.len(),
+            OutSegment::Shared { data, offset } => data.len() - offset,
+        }
+    }
+
+    fn chunk(&self) -> &[u8] {
+        match self {
+            OutSegment::Bytes(b) => &b[..],
+            OutSegment::Shared { data, offset } => &data[*offset..],
+        }
+    }
+
+    fn advance(&mut self, n: usize) {
+        match self {
+            OutSegment::Bytes(b) => {
+                let _ = b.split_to(n);
+            }
+            OutSegment::Shared { offset, .. } => *offset += n,
+        }
+    }
+}
+
+/// An encoded response: an ordered list of segments produced by
+/// [`Codec::encode_reply`] and queued whole into the [`Outbox`] once its
+/// sequence number becomes contiguous.
+#[derive(Default)]
+pub struct EncodedReply {
+    segments: Vec<OutSegment>,
+}
+
+impl EncodedReply {
+    /// Empty reply.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append owned bytes (empty buffers are dropped).
+    pub fn push_bytes(&mut self, bytes: BytesMut) {
+        if !bytes.is_empty() {
+            self.segments.push(OutSegment::Bytes(bytes));
+        }
+    }
+
+    /// Append a shared payload without copying it (empty payloads are
+    /// dropped).
+    pub fn push_shared(&mut self, data: Arc<Vec<u8>>) {
+        if !data.is_empty() {
+            self.segments.push(OutSegment::Shared { data, offset: 0 });
+        }
+    }
+
+    /// Total bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(OutSegment::remaining).sum()
+    }
+
+    /// Whether the reply carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// The per-connection transmit queue: a sequence of segments rather than
+/// one flat buffer, so cached bodies are written to the socket straight
+/// from their `Arc` allocation. Byte-for-byte the wire output is
+/// identical to the old flat `BytesMut` outbox; only the bookkeeping
+/// (chunked `front_chunk`/`advance` instead of `split_to`) differs.
+#[derive(Default)]
+pub struct Outbox {
+    segments: VecDeque<OutSegment>,
+    /// Total unsent bytes, maintained incrementally so `len` is O(1).
+    len: usize,
+}
+
+impl Outbox {
+    /// Empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total unsent bytes queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop everything queued (connection teardown paths).
+    pub fn clear(&mut self) {
+        self.segments.clear();
+        self.len = 0;
+    }
+
+    /// Append raw bytes, coalescing into a trailing owned segment.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        if let Some(OutSegment::Bytes(tail)) = self.segments.back_mut() {
+            tail.extend_from_slice(bytes);
+        } else {
+            self.segments
+                .push_back(OutSegment::Bytes(BytesMut::from(bytes)));
+        }
+    }
+
+    /// Queue an encoded reply's segments in order.
+    pub fn push_reply(&mut self, reply: EncodedReply) {
+        for seg in reply.segments {
+            self.len += seg.remaining();
+            self.segments.push_back(seg);
+        }
+    }
+
+    /// The first unsent contiguous chunk, if any. Exhausted segments are
+    /// popped by [`Outbox::advance`], so the front is always non-empty.
+    pub fn front_chunk(&self) -> Option<&[u8]> {
+        self.segments.front().map(OutSegment::chunk)
+    }
+
+    /// Record that `n` bytes from the front were written, popping
+    /// segments as they complete.
+    pub fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len, "advance past end of outbox");
+        self.len -= n.min(self.len);
+        while n > 0 {
+            let Some(front) = self.segments.front_mut() else {
+                return;
+            };
+            let take = n.min(front.remaining());
+            front.advance(take);
+            n -= take;
+            if front.remaining() == 0 {
+                self.segments.pop_front();
+            }
+        }
+    }
+
+    /// Copy out all unsent bytes (test and diagnostic helper — the hot
+    /// path never flattens the queue).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len);
+        for seg in &self.segments {
+            v.extend_from_slice(seg.chunk());
+        }
+        v
+    }
+}
+
 /// The Decode Request / Encode Reply hook pair (template option O3).
 pub trait Codec: Send + Sync + 'static {
     /// Decoded request type.
@@ -61,6 +249,33 @@ pub trait Codec: Send + Sync + 'static {
 
     /// Encode one response onto `out`.
     fn encode(&self, resp: &Self::Response, out: &mut BytesMut) -> Result<(), ProtocolError>;
+
+    /// Like [`Codec::decode`], but with per-connection [`DecodeState`]
+    /// scratch so delimiter scans can resume where the previous call
+    /// stopped. The framework always decodes through this method; the
+    /// default ignores the state and delegates to [`Codec::decode`].
+    fn decode_with(
+        &self,
+        buf: &mut BytesMut,
+        _state: &mut DecodeState,
+    ) -> Result<Option<Self::Request>, ProtocolError> {
+        self.decode(buf)
+    }
+
+    /// Encode one response as a segmented [`EncodedReply`]. The default
+    /// funnels through [`Codec::encode`] into one owned segment; codecs
+    /// whose responses carry a large shared payload (HTTP file bodies)
+    /// override this to push the payload `Arc` as a zero-copy segment.
+    fn encode_reply(
+        &self,
+        resp: &Self::Response,
+        out: &mut EncodedReply,
+    ) -> Result<(), ProtocolError> {
+        let mut buf = BytesMut::new();
+        self.encode(resp, &mut buf)?;
+        out.push_bytes(buf);
+        Ok(())
+    }
 }
 
 /// The Fig. 2 structural variation (O3 = No): no decoding or encoding —
@@ -162,13 +377,14 @@ pub struct ConnShared {
     pub priority: Priority,
     /// Bytes read from the socket, awaiting decode.
     pub inbox: Mutex<BytesMut>,
-    /// Encoded bytes awaiting transmission.
-    pub outbox: Mutex<BytesMut>,
+    /// Encoded reply segments awaiting transmission.
+    pub outbox: Mutex<Outbox>,
     /// Close once the outbox drains.
     pub closing: AtomicBool,
     /// Serializes decoding per connection (two Readable events for the
-    /// same connection must not interleave their decode loops).
-    decode_lock: Mutex<()>,
+    /// same connection must not interleave their decode loops) and holds
+    /// the codec's incremental-scan scratch.
+    decode_lock: Mutex<DecodeState>,
     send: Mutex<SendState>,
 }
 
@@ -177,8 +393,8 @@ struct SendState {
     next_assign: u64,
     /// Next sequence number eligible for transmission.
     next_emit: u64,
-    /// Out-of-order completions: seq → encoded bytes (`None` = no reply).
-    ready: BTreeMap<u64, Option<Vec<u8>>>,
+    /// Out-of-order completions: seq → encoded reply (`None` = no reply).
+    ready: BTreeMap<u64, Option<EncodedReply>>,
 }
 
 impl ConnShared {
@@ -189,9 +405,9 @@ impl ConnShared {
             peer,
             priority,
             inbox: Mutex::new(BytesMut::new()),
-            outbox: Mutex::new(BytesMut::new()),
+            outbox: Mutex::new(Outbox::new()),
             closing: AtomicBool::new(false),
-            decode_lock: Mutex::new(()),
+            decode_lock: Mutex::new(DecodeState::default()),
             send: Mutex::new(SendState {
                 next_assign: 0,
                 next_emit: 0,
@@ -225,17 +441,17 @@ impl ConnShared {
 
     /// Record the (possibly empty) reply for `seq` and move every
     /// contiguous ready reply into the outbox — in request order.
-    fn complete(&self, seq: u64, bytes: Option<Vec<u8>>) -> usize {
+    fn complete(&self, seq: u64, reply: Option<EncodedReply>) -> usize {
         let mut emitted = 0;
         let mut s = self.send.lock();
-        s.ready.insert(seq, bytes);
+        s.ready.insert(seq, reply);
         let mut out = self.outbox.lock();
         while let Some(entry) = {
             let key = s.next_emit;
             s.ready.remove(&key)
         } {
-            if let Some(b) = entry {
-                out.extend_from_slice(&b);
+            if let Some(r) = entry {
+                out.push_reply(r);
                 emitted += 1;
             }
             s.next_emit += 1;
@@ -313,7 +529,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
         let Some(conn) = self.conn(id) else {
             return; // connection already closed
         };
-        let _guard = conn.decode_lock.lock();
+        let mut decode_state = conn.decode_lock.lock();
         loop {
             if conn.closing.load(Ordering::Relaxed) {
                 return;
@@ -324,7 +540,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             let decode_started = profiled.then(std::time::Instant::now);
             let decoded = {
                 let mut inbox = conn.inbox.lock();
-                self.codec.decode(&mut inbox)
+                self.codec.decode_with(&mut inbox, &mut decode_state)
             };
             match decoded {
                 Ok(Some(req)) => {
@@ -378,6 +594,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                         );
                     }
                     conn.inbox.lock().clear();
+                    *decode_state = DecodeState::default();
                     conn.closing.store(true, Ordering::Relaxed);
                     return;
                 }
@@ -448,12 +665,12 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
     }
 
     fn finish(&self, conn: &Arc<ConnShared>, seq: u64, resp: C::Response, close_after: bool) {
-        let mut out = BytesMut::new();
+        let mut out = EncodedReply::new();
         let encode_started = self
             .metrics
             .is_enabled()
             .then(std::time::Instant::now);
-        let encoded = self.codec.encode(&resp, &mut out);
+        let encoded = self.codec.encode_reply(&resp, &mut out);
         if let Some(t0) = encode_started {
             self.metrics
                 .record_stage(Stage::Encode, t0.elapsed().as_micros() as u64);
@@ -462,7 +679,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             Ok(()) => {
                 let n = out.len();
                 self.tracer.span(SpanEvent::Encode { seq }, conn.id);
-                let emitted = conn.complete(seq, Some(out.to_vec()));
+                let emitted = conn.complete(seq, Some(out));
                 ServerStats::add(&self.stats.responses_sent, emitted as u64);
                 if let Some(log) = &self.logger {
                     log(&format!("{} seq={} bytes={}", conn.peer, seq, n));
@@ -703,6 +920,82 @@ mod tests {
         let mut out = BytesMut::new();
         c.encode(&b"xyz".to_vec(), &mut out).unwrap();
         assert_eq!(&out[..], b"xyz");
+    }
+
+    #[test]
+    fn outbox_interleaves_owned_and_shared_segments_in_order() {
+        let mut out = Outbox::new();
+        out.extend_from_slice(b"greeting|");
+        let body = Arc::new(b"SHARED-BODY".to_vec());
+        let mut reply = EncodedReply::new();
+        reply.push_bytes(BytesMut::from(&b"head|"[..]));
+        reply.push_shared(Arc::clone(&body));
+        assert_eq!(reply.len(), 16);
+        out.push_reply(reply);
+        out.extend_from_slice(b"|tail");
+        assert_eq!(out.len(), 9 + 16 + 5);
+        assert_eq!(out.to_vec(), b"greeting|head|SHARED-BODY|tail");
+        // The queued body is the cache's allocation, not a copy.
+        assert_eq!(Arc::strong_count(&body), 2);
+    }
+
+    #[test]
+    fn outbox_advance_crosses_segment_boundaries() {
+        let mut out = Outbox::new();
+        out.extend_from_slice(b"abc");
+        let mut reply = EncodedReply::new();
+        reply.push_shared(Arc::new(b"defgh".to_vec()));
+        out.push_reply(reply);
+        // Drain in chunk sizes that straddle the owned/shared boundary.
+        let mut drained = Vec::new();
+        while let Some(chunk) = out.front_chunk() {
+            let take = chunk.len().min(2);
+            drained.extend_from_slice(&chunk[..take]);
+            out.advance(take);
+        }
+        assert_eq!(drained, b"abcdefgh");
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn outbox_clear_drops_everything() {
+        let mut out = Outbox::new();
+        out.extend_from_slice(b"xyz");
+        let mut reply = EncodedReply::new();
+        reply.push_shared(Arc::new(vec![1, 2, 3]));
+        out.push_reply(reply);
+        assert!(!out.is_empty());
+        out.clear();
+        assert!(out.is_empty());
+        assert!(out.front_chunk().is_none());
+        assert!(out.to_vec().is_empty());
+    }
+
+    #[test]
+    fn empty_segments_are_never_queued() {
+        let mut reply = EncodedReply::new();
+        reply.push_bytes(BytesMut::new());
+        reply.push_shared(Arc::new(Vec::new()));
+        assert!(reply.is_empty());
+        let mut out = Outbox::new();
+        out.push_reply(reply);
+        out.extend_from_slice(b"");
+        assert!(out.is_empty());
+        assert!(out.front_chunk().is_none());
+    }
+
+    #[test]
+    fn default_encode_reply_matches_encode() {
+        let codec = LineCodec;
+        let resp = "hello".to_string();
+        let mut flat = BytesMut::new();
+        codec.encode(&resp, &mut flat).unwrap();
+        let mut reply = EncodedReply::new();
+        codec.encode_reply(&resp, &mut reply).unwrap();
+        let mut out = Outbox::new();
+        out.push_reply(reply);
+        assert_eq!(out.to_vec(), flat.to_vec());
     }
 
     #[test]

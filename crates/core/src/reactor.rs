@@ -613,9 +613,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
 
         // Server-speaks-first greeting (e.g. FTP 220).
         if let Some(greeting) = self.engine.service.on_open(&shared.ctx()) {
-            let mut out = bytes::BytesMut::new();
-            if self.engine.codec.encode(&greeting, &mut out).is_ok() {
-                shared.outbox.lock().extend_from_slice(&out);
+            let mut out = crate::pipeline::EncodedReply::new();
+            if self.engine.codec.encode_reply(&greeting, &mut out).is_ok() {
+                shared.outbox.lock().push_reply(out);
             }
         }
 
@@ -663,8 +663,10 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         }
     }
 
-    /// Send Reply: move outbox bytes to the wire. Returns true if any
-    /// bytes were written.
+    /// Send Reply: move outbox bytes to the wire, one segment chunk at a
+    /// time — shared body segments are written straight from their cache
+    /// `Arc`, never copied into the queue. Returns true if any bytes were
+    /// written.
     fn flush(stats: &ServerStats, c: &mut ConnLocal<L::Stream>) -> bool {
         let mut out = c.shared.outbox.lock();
         if out.is_empty() {
@@ -672,26 +674,27 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         }
         let mut wrote_any = false;
         loop {
-            if out.is_empty() {
-                break;
-            }
-            match c.stream.try_write(&out) {
-                Ok(0) => break,
-                Ok(n) => {
-                    let _ = out.split_to(n);
-                    ServerStats::add(&stats.bytes_sent, n as u64);
-                    wrote_any = true;
-                }
-                Err(_) => {
-                    // swap() so a connection that errors on both the read
-                    // and write side still counts as one reset.
-                    if !c.shared.closing.swap(true, Ordering::Relaxed) {
-                        ServerStats::bump(&stats.connections_reset);
-                    }
-                    out.clear();
+            let n = {
+                let Some(chunk) = out.front_chunk() else {
                     break;
+                };
+                match c.stream.try_write(chunk) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(_) => {
+                        // swap() so a connection that errors on both the
+                        // read and write side still counts as one reset.
+                        if !c.shared.closing.swap(true, Ordering::Relaxed) {
+                            ServerStats::bump(&stats.connections_reset);
+                        }
+                        out.clear();
+                        break;
+                    }
                 }
-            }
+            };
+            out.advance(n);
+            ServerStats::add(&stats.bytes_sent, n as u64);
+            wrote_any = true;
         }
         wrote_any
     }

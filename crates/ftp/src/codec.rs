@@ -107,4 +107,23 @@ mod tests {
             .unwrap();
         assert_eq!(&out[..], b"150 ok\r\n226 done\r\n");
     }
+
+    #[test]
+    fn segmented_encode_reply_matches_flat_encode() {
+        // FTP replies are small control lines, so the codec keeps the
+        // default (owned-segment) `encode_reply`; the wire image must be
+        // byte-identical to the flat `encode` path either way.
+        use nserver_core::pipeline::{EncodedReply, Outbox};
+        let c = FtpCodec;
+        let resp = "150 ok\r\n226 done\r\n".to_string();
+        let mut flat = BytesMut::new();
+        c.encode(&resp, &mut flat).unwrap();
+
+        let mut reply = EncodedReply::new();
+        c.encode_reply(&resp, &mut reply).unwrap();
+        assert_eq!(reply.len(), flat.len());
+        let mut outbox = Outbox::new();
+        outbox.push_reply(reply);
+        assert_eq!(outbox.to_vec(), flat.to_vec());
+    }
 }

@@ -1,10 +1,14 @@
 //! The Decode Request / Encode Reply hooks for COPS-HTTP: a thin adapter
 //! between the protocol library and the N-Server pipeline.
 
-use bytes::BytesMut;
-use nserver_core::pipeline::{Codec, ProtocolError};
+use std::sync::Arc;
 
-use crate::parse::{encode_response, parse_request, ParseOutcome};
+use bytes::BytesMut;
+use nserver_core::pipeline::{Codec, DecodeState, EncodedReply, ProtocolError};
+
+use crate::parse::{
+    encode_response, encode_response_head, parse_request_hinted, ParseOutcome,
+};
 use crate::types::{Request, Response};
 
 /// HTTP codec: one [`Request`] in, one [`Response`] out.
@@ -38,7 +42,24 @@ impl Codec for HttpCodec {
     type Response = Response;
 
     fn decode(&self, buf: &mut BytesMut) -> Result<Option<Request>, ProtocolError> {
-        match parse_request(buf) {
+        let mut state = DecodeState::default();
+        self.decode_with(buf, &mut state)
+    }
+
+    fn encode(&self, resp: &Response, out: &mut BytesMut) -> Result<(), ProtocolError> {
+        encode_response(resp, out);
+        Ok(())
+    }
+
+    /// Incremental decode: the per-connection [`DecodeState`] remembers
+    /// how far the blank-line scan got, so a sender dripping the head one
+    /// byte at a time (slow loris) costs O(n) total instead of O(n²).
+    fn decode_with(
+        &self,
+        buf: &mut BytesMut,
+        state: &mut DecodeState,
+    ) -> Result<Option<Request>, ProtocolError> {
+        match parse_request_hinted(buf, &mut state.scanned) {
             ParseOutcome::Complete(req) => {
                 if self.decode_delay_ms > 0 {
                     std::thread::sleep(std::time::Duration::from_millis(self.decode_delay_ms));
@@ -50,8 +71,16 @@ impl Codec for HttpCodec {
         }
     }
 
-    fn encode(&self, resp: &Response, out: &mut BytesMut) -> Result<(), ProtocolError> {
-        encode_response(resp, out);
+    /// Zero-copy encode: the head goes into an owned segment; the body —
+    /// shared with the file cache via its `Arc` — rides as a borrowed
+    /// segment, so a cached file is never memcpy'd per response.
+    fn encode_reply(&self, resp: &Response, out: &mut EncodedReply) -> Result<(), ProtocolError> {
+        let mut head = BytesMut::new();
+        encode_response_head(resp, &mut head);
+        out.push_bytes(head);
+        if !resp.head_only {
+            out.push_shared(Arc::clone(&resp.body));
+        }
         Ok(())
     }
 }

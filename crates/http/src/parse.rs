@@ -23,16 +23,41 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// success. Static servers accept no request bodies, so a request is
 /// complete at its blank line.
 pub fn parse_request(buf: &mut BytesMut) -> ParseOutcome {
-    let head_end = match find_head_end(buf) {
+    let mut scanned = 0;
+    parse_request_hinted(buf, &mut scanned)
+}
+
+/// [`parse_request`] with a resumable scan position.
+///
+/// `scanned` is the prefix of `buf` already examined by a previous call
+/// that returned [`ParseOutcome::Incomplete`]; the blank-line scan
+/// resumes just before it instead of at offset 0. Without the hint a
+/// sender dripping an N-byte head one byte at a time costs O(N²) total
+/// scan work (the slow-loris pathology); with it each byte is scanned
+/// once. The hint is updated in place: reset to 0 whenever bytes are
+/// consumed or the request is rejected, advanced on `Incomplete`.
+pub fn parse_request_hinted(buf: &mut BytesMut, scanned: &mut usize) -> ParseOutcome {
+    let from = (*scanned).min(buf.len());
+    let head_end = match find_head_end_from(buf, from) {
         Some(i) => i,
         None => {
+            // Everything present has been scanned; keep 3 bytes of slack
+            // so a "\r\n\r\n" straddling this call and the next is found.
+            *scanned = buf.len().saturating_sub(3);
             return if buf.len() > MAX_HEAD_BYTES {
+                *scanned = 0;
                 ParseOutcome::Invalid("request head too large".into())
             } else {
                 ParseOutcome::Incomplete
             };
         }
     };
+    *scanned = 0;
+    // The cap applies to complete heads too: a head over the limit is
+    // over the limit no matter how few reads delivered it.
+    if head_end.end > MAX_HEAD_BYTES {
+        return ParseOutcome::Invalid("request head too large".into());
+    }
     let head = buf.split_to(head_end.end);
     let text = match std::str::from_utf8(&head[..head_end.start]) {
         Ok(t) => t,
@@ -81,18 +106,20 @@ struct HeadEnd {
     end: usize,
 }
 
-fn find_head_end(buf: &BytesMut) -> Option<HeadEnd> {
-    buf.windows(4)
+fn find_head_end_from(buf: &BytesMut, from: usize) -> Option<HeadEnd> {
+    buf[from..]
+        .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .map(|i| HeadEnd {
-            start: i + 2, // keep the final header's CRLF for splitting
-            end: i + 4,
+            start: from + i + 2, // keep the final header's CRLF for splitting
+            end: from + i + 4,
         })
 }
 
-/// Encode a response onto `out`, adding Content-Length and Connection
-/// headers.
-pub fn encode_response(resp: &Response, out: &mut BytesMut) {
+/// Encode just the response head (status line, headers, blank line) onto
+/// `out`. The body travels separately — as a zero-copy shared segment on
+/// the server hot path ([`crate::HttpCodec`]'s `encode_reply`).
+pub fn encode_response_head(resp: &Response, out: &mut BytesMut) {
     let status_line = format!(
         "{} {} {}\r\n",
         resp.version,
@@ -115,6 +142,12 @@ pub fn encode_response(resp: &Response, out: &mut BytesMut) {
         },
     );
     out.extend_from_slice(b"\r\n");
+}
+
+/// Encode a response onto `out`, adding Content-Length and Connection
+/// headers.
+pub fn encode_response(resp: &Response, out: &mut BytesMut) {
+    encode_response_head(resp, out);
     if !resp.head_only {
         out.extend_from_slice(&resp.body);
     }
@@ -212,6 +245,63 @@ mod tests {
             buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
         }
         assert!(matches!(parse_request(&mut buf), ParseOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_even_when_complete() {
+        // Regression: the cap used to fire only while the head was still
+        // incomplete, so an arbitrarily large head delivered in one read
+        // (blank line included) sailed through.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        buf.extend_from_slice(b"\r\n");
+        assert!(
+            matches!(parse_request(&mut buf), ParseOutcome::Invalid(_)),
+            "complete head over MAX_HEAD_BYTES must be rejected"
+        );
+    }
+
+    #[test]
+    fn head_exactly_at_cap_is_accepted() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        let tail = b"\r\n";
+        let pad_line = b"X-Pad: ";
+        let fill = MAX_HEAD_BYTES - buf.len() - tail.len() - pad_line.len() - 2;
+        buf.extend_from_slice(pad_line);
+        buf.extend_from_slice(&vec![b'a'; fill]);
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(tail);
+        assert_eq!(buf.len(), MAX_HEAD_BYTES);
+        assert!(matches!(parse_request(&mut buf), ParseOutcome::Complete(_)));
+    }
+
+    #[test]
+    fn hinted_parse_resumes_without_rescanning() {
+        let wire = b"GET /dripped.html HTTP/1.1\r\nHost: slow\r\n\r\n";
+        let mut buf = BytesMut::new();
+        let mut scanned = 0;
+        for (i, b) in wire.iter().enumerate() {
+            buf.extend_from_slice(&[*b]);
+            match parse_request_hinted(&mut buf, &mut scanned) {
+                ParseOutcome::Incomplete => {
+                    assert!(i + 1 < wire.len(), "last byte completes the head");
+                    // The hint never runs past the buffer and trails it by
+                    // the 3-byte straddle slack.
+                    assert_eq!(scanned, buf.len().saturating_sub(3));
+                }
+                ParseOutcome::Complete(req) => {
+                    assert_eq!(i + 1, wire.len());
+                    assert_eq!(req.target, "/dripped.html");
+                    assert_eq!(scanned, 0, "hint resets once bytes are consumed");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct StaticFileService<St: ContentStore> {
     cache: Option<SharedFileCache<String>>,
     /// Artificial per-miss disk latency (emulates slow disk in tests).
     miss_latency_ms: u64,
+    /// Coalesce concurrent misses for one path into a single store load
+    /// (single flight). On by default; benchmarks disable it to measure
+    /// the thundering-herd baseline.
+    coalesce_misses: bool,
 }
 
 impl<St: ContentStore> StaticFileService<St> {
@@ -92,6 +96,7 @@ impl<St: ContentStore> StaticFileService<St> {
             store: Arc::new(store),
             cache,
             miss_latency_ms: 0,
+            coalesce_misses: true,
         }
     }
 
@@ -101,19 +106,72 @@ impl<St: ContentStore> StaticFileService<St> {
         self
     }
 
+    /// Disable single-flight miss coalescing: every concurrent miss does
+    /// its own store load (the pre-coalescing behavior, kept for
+    /// benchmark comparison).
+    pub fn without_miss_coalescing(mut self) -> Self {
+        self.coalesce_misses = false;
+        self
+    }
+
     /// The cache handle, if caching is enabled.
     pub fn cache(&self) -> Option<&SharedFileCache<String>> {
         self.cache.as_ref()
     }
 
-    fn sanitize(target: &str) -> Option<&str> {
-        // Strip a query string; refuse path traversal.
-        let path = target.split('?').next().unwrap_or(target);
-        if path.contains("..") || !path.starts_with('/') {
-            None
-        } else {
-            Some(path)
+    /// Validate and normalize a request target into a served path.
+    ///
+    /// Percent-escapes are decoded *before* any check, so `%2e%2e%2f`
+    /// cannot smuggle a traversal past a textual `..` scan. Rejected:
+    /// malformed escapes, embedded NUL, non-`/`-rooted targets, and any
+    /// path *segment* equal to `.` or `..` — but only whole segments, so
+    /// legitimate names like `/a..b.txt` are served.
+    fn sanitize(target: &str) -> Option<String> {
+        // Strip a query string before decoding: a `?` inside the path
+        // would otherwise need escaping anyway.
+        let raw = target.split('?').next().unwrap_or(target);
+        let path = percent_decode(raw)?;
+        if path.contains('\0') {
+            return None;
         }
+        if !path.starts_with('/') {
+            return None;
+        }
+        if path.split('/').any(|seg| seg == ".." || seg == ".") {
+            return None;
+        }
+        Some(path)
+    }
+}
+
+/// Decode `%XX` escapes; `None` on malformed or non-UTF-8 sequences.
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = hex_val(*bytes.get(i + 1)?)?;
+            let lo = hex_val(*bytes.get(i + 2)?)?;
+            out.push(hi << 4 | lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
     }
 }
 
@@ -133,7 +191,7 @@ impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
         };
 
         let path = match Self::sanitize(&req.target) {
-            Some(p) => p.to_string(),
+            Some(p) => p,
             None => return respond(Response::error(Status::Forbidden, version)),
         };
 
@@ -148,17 +206,32 @@ impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
         // defer it so the event loop never blocks (Proactor emulation).
         let store = Arc::clone(&self.store);
         let cache = self.cache.clone();
+        let coalesce = self.coalesce_misses;
         let miss_latency = self.miss_latency_ms;
         let path2 = path.clone();
         let job = move || {
-            if miss_latency > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(miss_latency));
-            }
-            match store.load(&path2) {
-                Some(data) => {
-                    if let Some(cache) = &cache {
-                        cache.insert(path2.clone(), Arc::clone(&data));
+            let fetch = || {
+                if miss_latency > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(miss_latency));
+                }
+                store.load(&path2)
+            };
+            // Single flight: when a thundering herd misses the same path,
+            // the first helper thread does the disk read; the rest wait
+            // on it and share the resulting `Arc`.
+            let data = match &cache {
+                Some(cache) if coalesce => cache.get_or_load(path2.clone(), fetch),
+                Some(cache) => {
+                    let data = fetch();
+                    if let Some(data) = &data {
+                        cache.insert(path2.clone(), Arc::clone(data));
                     }
+                    data
+                }
+                None => fetch(),
+            };
+            match data {
+                Some(data) => {
                     let resp = Response::ok(data, mime_for(&path2), version)
                         .with_keep_alive(true);
                     if head {
@@ -255,6 +328,144 @@ mod tests {
         let svc = StaticFileService::new(store(), None);
         let (resp, _) = run_action(svc.handle(&ctx(), get("/../etc/passwd")));
         assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn encoded_traversal_is_forbidden() {
+        // Regression: the traversal check used to run on the raw target,
+        // so percent-encoded dots and slashes sailed through to the store.
+        let svc = StaticFileService::new(store(), None);
+        for target in [
+            "/%2e%2e/etc/passwd",
+            "/%2E%2E/etc/passwd",
+            "/a/%2e%2e/%2e%2e/etc/passwd",
+            "/..%2fetc%2fpasswd",
+            "/%2e%2e%2fetc%2fpasswd",
+        ] {
+            let (resp, _) = run_action(svc.handle(&ctx(), get(target)));
+            assert_eq!(resp.status, Status::Forbidden, "accepted {target}");
+        }
+    }
+
+    #[test]
+    fn malformed_escapes_and_nul_are_forbidden() {
+        let svc = StaticFileService::new(store(), None);
+        for target in ["/%zz.html", "/%2", "/file%00.html", "/%ff%fe"] {
+            let (resp, _) = run_action(svc.handle(&ctx(), get(target)));
+            assert_eq!(resp.status, Status::Forbidden, "accepted {target}");
+        }
+    }
+
+    #[test]
+    fn dotted_filenames_are_served_not_forbidden() {
+        // Regression: the substring `..` check 403'd any name containing
+        // two dots; only whole `..` segments are traversal.
+        let mut s = MemStore::new();
+        s.insert("/a..b.txt", b"dots are fine".to_vec());
+        let svc = StaticFileService::new(s, None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/a..b.txt")));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(&**resp.body, b"dots are fine");
+    }
+
+    #[test]
+    fn encoded_benign_names_decode_before_lookup() {
+        let mut s = MemStore::new();
+        s.insert("/hello world.txt", b"spaced".to_vec());
+        let svc = StaticFileService::new(s, None);
+        let (resp, _) = run_action(svc.handle(&ctx(), get("/hello%20world.txt")));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(&**resp.body, b"spaced");
+    }
+
+    /// A store that counts every load (single-flight observability).
+    struct CountingStore {
+        inner: MemStore,
+        loads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ContentStore for Arc<CountingStore> {
+        fn load(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+            self.loads
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.load(path)
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_issue_exactly_one_store_load() {
+        use std::sync::Barrier;
+        use std::thread;
+
+        let counting = Arc::new(CountingStore {
+            inner: store(),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let cache =
+            SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
+        let svc = Arc::new(
+            StaticFileService::new(Arc::clone(&counting), Some(cache))
+                .with_miss_latency_ms(20),
+        );
+        // All 8 workers observe the miss before any deferred job runs —
+        // the thundering-herd shape the dispatcher produces.
+        let jobs: Vec<_> = (0..8)
+            .map(|_| match svc.handle(&ctx(), get("/big.bin")) {
+                Action::Defer(job) => job,
+                other => panic!("expected Defer, got {other:?}"),
+            })
+            .collect();
+        let barrier = Arc::new(Barrier::new(jobs.len()));
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    job()
+                })
+            })
+            .collect();
+        let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            counting.loads.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "8 racing misses must coalesce into one store load"
+        );
+        for resp in &responses {
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.body.len(), 4096);
+            assert!(
+                Arc::ptr_eq(&resp.body, &responses[0].body),
+                "the herd shares one body allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn without_coalescing_every_miss_loads() {
+        let counting = Arc::new(CountingStore {
+            inner: store(),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let cache =
+            SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
+        let svc = StaticFileService::new(Arc::clone(&counting), Some(cache))
+            .without_miss_coalescing();
+        let jobs: Vec<_> = (0..4)
+            .map(|_| match svc.handle(&ctx(), get("/big.bin")) {
+                Action::Defer(job) => job,
+                other => panic!("expected Defer, got {other:?}"),
+            })
+            .collect();
+        for job in jobs {
+            job();
+        }
+        assert_eq!(
+            counting.loads.load(std::sync::atomic::Ordering::SeqCst),
+            4,
+            "the opt-out path preserves one load per miss"
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! arbitrary input.
 
 use bytes::BytesMut;
+use nserver_core::pipeline::{Codec, DecodeState, EncodedReply, Outbox};
 use nserver_http::parse::encode_request;
 use nserver_http::{
-    encode_response, parse_request, Headers, Method, ParseOutcome, Request, Response, Version,
+    encode_response, parse_request, Headers, HttpCodec, Method, ParseOutcome, Request, Response,
+    Version,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -99,6 +101,105 @@ proptest! {
             ParseOutcome::Incomplete => prop_assert_eq!(buf.len(), before),
             ParseOutcome::Invalid(_) => {}
         }
+    }
+
+    /// Byte-at-a-time delivery through the codec's stateful decode path
+    /// (the one the framework drives) yields the identical request and
+    /// consumed length as one-shot delivery — the incremental-scan state
+    /// must never change what is parsed, only how often it is rescanned.
+    #[test]
+    fn codec_incremental_decode_equivalence(req in request()) {
+        let codec = HttpCodec::new();
+        let wire = encode_request(&req);
+
+        let mut oneshot = BytesMut::from(&wire[..]);
+        let expected = codec.decode(&mut oneshot).expect("valid").expect("complete");
+        let expected_consumed = wire.len() - oneshot.len();
+
+        let mut buf = BytesMut::new();
+        let mut state = DecodeState::default();
+        let mut got = None;
+        let mut fed = 0;
+        for &b in &wire {
+            buf.extend_from_slice(&[b]);
+            fed += 1;
+            if let Some(r) = codec.decode_with(&mut buf, &mut state).expect("valid") {
+                got = Some(r);
+                break;
+            }
+        }
+        let parsed = got.expect("drip-fed request completed");
+        let consumed = fed - buf.len();
+        prop_assert_eq!(parsed, expected);
+        prop_assert_eq!(consumed, expected_consumed);
+    }
+
+    /// Arbitrary chunked delivery (not just single bytes) through
+    /// `decode_with` also matches one-shot decode.
+    #[test]
+    fn codec_chunked_decode_equivalence(
+        req in request(),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let codec = HttpCodec::new();
+        let wire = encode_request(&req);
+        let mut oneshot = BytesMut::from(&wire[..]);
+        let expected = codec.decode(&mut oneshot).expect("valid").expect("complete");
+
+        let mut buf = BytesMut::new();
+        let mut state = DecodeState::default();
+        let mut pos = 0;
+        let mut parsed = None;
+        let mut cut_iter = cuts.into_iter();
+        while pos < wire.len() {
+            let step = cut_iter.next().unwrap_or(wire.len()).min(wire.len() - pos);
+            buf.extend_from_slice(&wire[pos..pos + step]);
+            pos += step;
+            if let Some(r) = codec.decode_with(&mut buf, &mut state).expect("valid") {
+                parsed = Some(r);
+                break;
+            }
+        }
+        prop_assert_eq!(parsed.expect("completed"), expected);
+    }
+
+    /// The segmented zero-copy encoding (`encode_reply` → outbox
+    /// drained chunk-by-chunk) is byte-identical to the flat
+    /// `encode_response` wire image, and the body segment aliases the
+    /// response's `Arc` rather than copying it.
+    #[test]
+    fn segmented_encoding_matches_flat_wire_image(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        keep_alive in any::<bool>(),
+        head_only in any::<bool>(),
+        drain in 1usize..512,
+    ) {
+        let codec = HttpCodec::new();
+        let mut resp = Response::ok(Arc::new(body), "text/plain", Version::Http11)
+            .with_keep_alive(keep_alive);
+        if head_only {
+            resp = resp.head();
+        }
+
+        let mut flat = BytesMut::new();
+        codec.encode(&resp, &mut flat).expect("flat encode");
+
+        let mut reply = EncodedReply::new();
+        codec.encode_reply(&resp, &mut reply).expect("segmented encode");
+        prop_assert_eq!(reply.len(), flat.len());
+
+        // Drain through the outbox in arbitrary chunk sizes, as the
+        // dispatcher's flush loop would under partial writes.
+        let mut outbox = Outbox::new();
+        outbox.push_reply(reply);
+        let mut wire = Vec::new();
+        while let Some(chunk) = outbox.front_chunk() {
+            let take = drain.min(chunk.len());
+            wire.extend_from_slice(&chunk[..take]);
+            outbox.advance(take);
+        }
+        prop_assert!(outbox.is_empty());
+        prop_assert_eq!(&wire[..], &flat[..]);
     }
 
     /// Responses always carry an accurate Content-Length and terminate
