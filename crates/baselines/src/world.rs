@@ -168,7 +168,11 @@ impl ExperimentParams {
         let cops = CopsParams {
             decode_extra_us: 50_000,
             app_cache_bytes: None,
-            watermark: if overload_control { Some((20, 5)) } else { None },
+            watermark: if overload_control {
+                Some((20, 5))
+            } else {
+                None
+            },
             ..CopsParams::default()
         };
         Self {
@@ -564,8 +568,7 @@ impl Model for World {
                                 + cp.dispatch_per_conn_ns * self.open_conns as u64 / 1000,
                         );
                         let disp_done = self.dispatch.run(now, disp);
-                        let mut demand =
-                            SimTime::from_micros(cp.base_cpu_us + cp.decode_extra_us);
+                        let mut demand = SimTime::from_micros(cp.base_cpu_us + cp.decode_extra_us);
                         if cp.blocking_file_io {
                             // SPED: the event thread itself waits out the
                             // file access, so its time is CPU occupancy.

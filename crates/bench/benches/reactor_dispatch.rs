@@ -78,12 +78,12 @@ fn bench_dispatch(c: &mut Criterion) {
             thread_allocation: ThreadAllocation::Static { threads: 1 },
             ..ServerOptions::default()
         };
-        let server = ServerBuilder::new(opts, LineCodec, Echo).unwrap().serve(listener);
+        let server = ServerBuilder::new(opts, LineCodec, Echo)
+            .unwrap()
+            .serve(listener);
         let mut stream = connector.connect();
         round_trip(&mut stream); // warm up
-        g.bench_function("inline_round_trip", |b| {
-            b.iter(|| round_trip(&mut stream))
-        });
+        g.bench_function("inline_round_trip", |b| b.iter(|| round_trip(&mut stream)));
         server.shutdown();
     }
 
@@ -95,12 +95,12 @@ fn bench_dispatch(c: &mut Criterion) {
             thread_allocation: ThreadAllocation::Static { threads: 2 },
             ..ServerOptions::default()
         };
-        let server = ServerBuilder::new(opts, LineCodec, Echo).unwrap().serve(listener);
+        let server = ServerBuilder::new(opts, LineCodec, Echo)
+            .unwrap()
+            .serve(listener);
         let mut stream = connector.connect();
         round_trip(&mut stream);
-        g.bench_function("pooled_round_trip", |b| {
-            b.iter(|| round_trip(&mut stream))
-        });
+        g.bench_function("pooled_round_trip", |b| b.iter(|| round_trip(&mut stream)));
         server.shutdown();
     }
 

@@ -155,7 +155,12 @@ fn measure_stage_latency(requests: usize) -> Vec<(&'static str, u64, u64, u64)> 
         .iter()
         .map(|&stage| {
             let h = lat.stage(stage);
-            (stage.name(), h.count, h.quantile_us(0.5), h.quantile_us(0.99))
+            (
+                stage.name(),
+                h.count,
+                h.quantile_us(0.5),
+                h.quantile_us(0.99),
+            )
         })
         .collect();
     server.shutdown();
@@ -202,7 +207,10 @@ fn main() {
     let stage_requests = if quick { 100 } else { 1000 };
     println!("\nper-stage latency, profiled COPS-HTTP, {stage_requests} requests");
     let stages = measure_stage_latency(stage_requests);
-    println!("{:<18} {:>8} {:>10} {:>10}", "stage", "count", "p50 us", "p99 us");
+    println!(
+        "{:<18} {:>8} {:>10} {:>10}",
+        "stage", "count", "p50 us", "p99 us"
+    );
     for (name, count, p50, p99) in &stages {
         println!("{name:<18} {count:>8} {p50:>10} {p99:>10}");
     }

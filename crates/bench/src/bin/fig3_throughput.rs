@@ -7,8 +7,8 @@
 //!
 //! `--quick` shortens the simulated warmup/measurement windows.
 
-use nserver_baselines::{ApacheParams, ExperimentParams, ServerKind, World};
 use nserver_baselines::world::CopsParams;
+use nserver_baselines::{ApacheParams, ExperimentParams, ServerKind, World};
 use nserver_bench::{quick_mode, render_table, write_csv, CLIENT_LADDER};
 use nserver_netsim::SimTime;
 

@@ -43,7 +43,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["clients", "Apache fairness", "COPS-HTTP fairness", "Apache SYN drops"],
+            &[
+                "clients",
+                "Apache fairness",
+                "COPS-HTTP fairness",
+                "Apache SYN drops"
+            ],
             &rows,
         )
     );

@@ -144,7 +144,9 @@ where
             let mut out = conn.outbox.lock();
             loop {
                 let n = {
-                    let Some(chunk) = out.front_chunk() else { break };
+                    let Some(chunk) = out.front_chunk() else {
+                        break;
+                    };
                     let n = chunk.len().min(WRITE_QUANTUM);
                     sink = sink.wrapping_add(chunk[..n.min(8)].iter().map(|&b| b as usize).sum());
                     n

@@ -43,7 +43,10 @@ fn main() {
     println!("TABLE 1 — N-SERVER OPTIONS AND THEIR VALUES");
     println!(
         "{}",
-        render_table(&["Option Name", "Legal Values", "COPS-FTP", "COPS-HTTP"], &rows)
+        render_table(
+            &["Option Name", "Legal Values", "COPS-FTP", "COPS-HTTP"],
+            &rows
+        )
     );
     println!("Notes (as in the paper):");
     println!("  O6: cache policies LRU, LFU, LRU-MIN, LRU-Threshold, Hyper-G or Custom.");
@@ -51,5 +54,9 @@ fn main() {
     println!("         (see cops_http_scheduling_options / cops_http_overload_options).");
     println!("  O10/O11: Debug and Profiling were used during development/tuning.");
 
-    write_csv("table1_options.csv", "option,legal,cops_ftp,cops_http", &csv);
+    write_csv(
+        "table1_options.csv",
+        "option,legal,cops_ftp,cops_http",
+        &csv,
+    );
 }

@@ -33,7 +33,14 @@ fn main() {
     );
     let added = stats_for(
         "ftp",
-        &["lib.rs", "codec.rs", "commands.rs", "service.rs", "session.rs", "preset.rs"],
+        &[
+            "lib.rs",
+            "codec.rs",
+            "commands.rs",
+            "service.rs",
+            "session.rs",
+            "preset.rs",
+        ],
     );
     let removed = CodeStats::default();
 

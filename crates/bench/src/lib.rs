@@ -41,7 +41,10 @@ pub fn results_dir() -> PathBuf {
 /// code-distribution tables).
 pub fn crates_dir() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().map(|p| p.to_path_buf()).unwrap_or_default()
+    manifest
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default()
 }
 
 /// Write a CSV file into `results/`; prints the path on success.

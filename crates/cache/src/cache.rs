@@ -603,7 +603,10 @@ mod tests {
     fn custom_policy_plugs_in() {
         // Evict the biggest file first.
         let policy = CustomPolicy::new(|entries, _| {
-            entries.iter().max_by_key(|(_, m)| m.size).map(|(id, _)| *id)
+            entries
+                .iter()
+                .max_by_key(|(_, m)| m.size)
+                .map(|(id, _)| *id)
         });
         let mut c = FileCache::with_policy(100, Box::new(policy));
         c.insert("small", blob(10));
@@ -674,7 +677,8 @@ mod tests {
         let c: SharedFileCache<u64> = SharedFileCache::sharded(1003, PolicyKind::Lru, 8);
         assert_eq!(c.shard_count(), 8);
         assert_eq!(c.capacity_bytes(), 1003);
-        let single: SharedFileCache<u64> = SharedFileCache::new(FileCache::new(100, PolicyKind::Lru));
+        let single: SharedFileCache<u64> =
+            SharedFileCache::new(FileCache::new(100, PolicyKind::Lru));
         assert_eq!(single.shard_count(), 1);
         let zero: SharedFileCache<u64> = SharedFileCache::sharded(100, PolicyKind::Lru, 0);
         assert_eq!(zero.shard_count(), 1);
@@ -781,8 +785,7 @@ mod tests {
 
     #[test]
     fn single_flight_propagates_absent_files_to_the_herd() {
-        let cache: SharedFileCache<String> =
-            SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
+        let cache: SharedFileCache<String> = SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
         let got = cache.get_or_load("/missing".to_string(), || None);
         assert!(got.is_none());
         assert!(cache.get("/missing").is_none(), "absence is not cached");
@@ -794,8 +797,7 @@ mod tests {
     #[test]
     fn single_flight_panicking_fetch_releases_waiters() {
         use std::thread;
-        let cache: SharedFileCache<String> =
-            SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
+        let cache: SharedFileCache<String> = SharedFileCache::sharded(4096, PolicyKind::Lru, 2);
         let c2 = cache.clone();
         let leader = thread::spawn(move || {
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

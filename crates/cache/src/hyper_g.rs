@@ -1,8 +1,8 @@
 //! Hyper-G replacement (Williams et al., "Removal Policies in Network
 //! Caches for World-Wide Web Documents", SIGCOMM '96 — reference [29]).
 
-use std::collections::{BTreeSet, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::policy::{EntryId, EntryMeta, ReplacementPolicy};
 

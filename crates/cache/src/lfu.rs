@@ -22,7 +22,10 @@ impl Lfu {
     }
 
     fn reindex(&mut self, id: EntryId, meta: &EntryMeta) {
-        if let Some((cnt, la)) = self.key_of.insert(id, (meta.access_count, meta.last_access)) {
+        if let Some((cnt, la)) = self
+            .key_of
+            .insert(id, (meta.access_count, meta.last_access))
+        {
             self.order.remove(&(cnt, la, id));
         }
         self.order.insert((meta.access_count, meta.last_access, id));

@@ -81,9 +81,9 @@ mod tests {
         p.on_insert(1, &meta(100, 0)); // big, oldest
         p.on_insert(2, &meta(10, 1)); // small
         p.on_insert(3, &meta(200, 2)); // big, newer
-        // Incoming 100-byte doc: candidates of size >= 100 are {1, 3};
-        // evict the LRU of those, i.e. 1 — even though 2 is overall LRU? No:
-        // 1 is oldest overall anyway. Make 2 the overall-LRU instead:
+                                       // Incoming 100-byte doc: candidates of size >= 100 are {1, 3};
+                                       // evict the LRU of those, i.e. 1 — even though 2 is overall LRU? No:
+                                       // 1 is oldest overall anyway. Make 2 the overall-LRU instead:
         p.on_access(1, &meta(100, 3));
         // Now overall LRU is 2 (t=1) but LRU-MIN must pick among {1,3}: 3 (t=2).
         assert_eq!(p.choose_victim(100), Some(3));

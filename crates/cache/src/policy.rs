@@ -133,8 +133,7 @@ pub struct CustomPolicy {
 
 /// The custom victim-selection hook: `(candidates, incoming_size) ->
 /// entry to evict`.
-pub type VictimSelector =
-    Box<dyn FnMut(&[(EntryId, EntryMeta)], u64) -> Option<EntryId> + Send>;
+pub type VictimSelector = Box<dyn FnMut(&[(EntryId, EntryMeta)], u64) -> Option<EntryId> + Send>;
 
 impl CustomPolicy {
     /// Create a custom policy from a victim-selection closure.
@@ -212,7 +211,10 @@ mod tests {
     fn custom_policy_uses_the_hook() {
         // Evict the largest entry regardless of recency.
         let mut p = CustomPolicy::new(|entries, _incoming| {
-            entries.iter().max_by_key(|(_, m)| m.size).map(|(id, _)| *id)
+            entries
+                .iter()
+                .max_by_key(|(_, m)| m.size)
+                .map(|(id, _)| *id)
         });
         p.on_insert(1, &meta(10, 0));
         p.on_insert(2, &meta(99, 1));

@@ -63,7 +63,14 @@ fn main() {
     let (out, core_path) = match out {
         Some(dir) => {
             let crates = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
-            (dir, crates.canonicalize().expect("crates dir").display().to_string())
+            (
+                dir,
+                crates
+                    .canonicalize()
+                    .expect("crates dir")
+                    .display()
+                    .to_string(),
+            )
         }
         None => (
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../generated/cops-http"),

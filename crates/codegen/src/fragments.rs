@@ -6,9 +6,7 @@
 //! matrix is rendered from it, and the template consults it to decide
 //! which modules to emit.
 
-use nserver_core::options::{
-    CompletionMode, FileCacheOption, ServerOptions, ThreadAllocation,
-};
+use nserver_core::options::{CompletionMode, FileCacheOption, ServerOptions, ThreadAllocation};
 
 /// The twelve template options, in Table 1 order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -301,8 +299,8 @@ pub fn registry() -> &'static [ClassSpec] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nserver_core::options::{EventScheduling, OverloadControl};
     use nserver_cache::PolicyKind;
+    use nserver_core::options::{EventScheduling, OverloadControl};
 
     #[test]
     fn registry_has_the_paper_row_count() {

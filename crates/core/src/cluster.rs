@@ -141,7 +141,9 @@ impl ClusterFrontEnd {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("nserver-cluster-frontend".into())
-                .spawn(move || relay_loop(listener, poller, backends, balancing, retry, stop, stats))
+                .spawn(move || {
+                    relay_loop(listener, poller, backends, balancing, retry, stop, stats)
+                })
                 .expect("spawn relay thread")
         };
         Ok(ClusterFrontEnd {
@@ -366,8 +368,7 @@ fn relay_loop(
                 &stats.bytes_downstream,
             );
             // Close once either side ended and its pending bytes drained.
-            if (s.client_eof && s.up_buf.is_empty()) || (s.backend_eof && s.down_buf.is_empty())
-            {
+            if (s.client_eof && s.up_buf.is_empty()) || (s.backend_eof && s.down_buf.is_empty()) {
                 let mut s = sessions.remove(&k).expect("present");
                 let _ = poller.deregister(2 * k, &s.client);
                 let _ = poller.deregister(2 * k + 1, &s.backend);
@@ -584,7 +585,10 @@ mod tests {
         }
         assert_eq!(front.stats().connections.load(Ordering::Relaxed), 1);
         let r1 = ask(&addr, "x");
-        assert!(r1.starts_with("two:"), "least-loaded backend expected: {r1}");
+        assert!(
+            r1.starts_with("two:"),
+            "least-loaded backend expected: {r1}"
+        );
         drop(held);
         front.shutdown();
         b1.shutdown();

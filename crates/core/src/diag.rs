@@ -1,0 +1,1257 @@
+//! Flight-recorder diagnostics: worker health, anomaly detection, and
+//! triggered snapshots.
+//!
+//! The paper's O10 debug crosscut keeps a bounded event trace "to get a
+//! snapshot of what happened during the time an error condition occurred"
+//! — but it cannot answer *what is each worker doing right now*, nor
+//! notice on its own that something is wrong. This module adds the three
+//! missing pieces:
+//!
+//! 1. A [`WorkerStateTable`]: every pool worker (and dispatcher) publishes
+//!    its current activity — idle, or running `{stage, conn, since}` —
+//!    through seqlock-style atomics. Writers never take a lock and never
+//!    allocate; a reader retries the handful of times a torn read is even
+//!    possible.
+//! 2. A [`Watchdog`] thread that evaluates cheap invariants every tick:
+//!    dispatcher liveness, a worker stuck-time ceiling, queue-depth
+//!    saturation, and a sliding-window p99 SLO burn-rate.
+//! 3. A [`DiagHub`] that aggregates every observability surface the
+//!    server has (counters, histograms, trace ring, worker table, queue
+//!    gauges, cache stats, overload state) and captures them as a JSON
+//!    [`DiagSnapshot`] — into an in-memory ring of the last K snapshots
+//!    plus an optional append-only file sink — whenever the watchdog
+//!    fires or an operator asks.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::ConnId;
+use crate::metrics::{
+    json_escape, prometheus_text_with, CacheSample, ExpositionExtras, HistogramSnapshot,
+    LatencySnapshot, MetricsRegistry, OverloadSample, Stage, WorkerGauges,
+};
+use crate::overload::OverloadController;
+use crate::profiling::{ServerStats, StatsSnapshot};
+use crate::trace::{DebugTracer, TraceRecord};
+
+// ---------------------------------------------------------------------------
+// Worker state table
+// ---------------------------------------------------------------------------
+
+const STATE_VACANT: u8 = 0;
+const STATE_IDLE: u8 = 1;
+const STATE_RUNNING: u8 = 2;
+
+/// What kind of framework thread owns a table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerRole {
+    /// An Event Processor pool worker.
+    Worker,
+    /// A dispatcher thread (also handles events inline when O2 = No).
+    Dispatcher,
+}
+
+impl WorkerRole {
+    /// Stable exposition name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkerRole::Worker => "worker",
+            WorkerRole::Dispatcher => "dispatcher",
+        }
+    }
+}
+
+/// What a slot's owner was doing at sample time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerActivity {
+    /// Between events.
+    Idle,
+    /// Executing a pipeline stage for a connection.
+    Running {
+        /// The stage being executed.
+        stage: Stage,
+        /// The connection being served.
+        conn: ConnId,
+        /// How long the stage has been running, in microseconds.
+        busy_us: u64,
+    },
+}
+
+/// One consistent row read out of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSample {
+    /// Slot index (stable for the thread's lifetime).
+    pub slot: usize,
+    /// Thread kind.
+    pub role: WorkerRole,
+    /// Activity at sample time.
+    pub activity: WorkerActivity,
+}
+
+/// One seqlock-protected slot. The owning thread is the only writer, so
+/// publication needs no compare-and-swap: bump the sequence odd, store
+/// the fields, bump it even. A reader that observes an odd or changed
+/// sequence retries.
+struct Slot {
+    seq: AtomicU64,
+    state: AtomicU8,
+    role: AtomicU8,
+    stage: AtomicU8,
+    conn: AtomicU64,
+    since_us: AtomicU64,
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            state: AtomicU8::new(STATE_VACANT),
+            role: AtomicU8::new(0),
+            stage: AtomicU8::new(0),
+            conn: AtomicU64::new(0),
+            since_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity table of per-thread activity slots. Framework threads
+/// register once, then stamp their activity through thread-local free
+/// functions ([`stamp_stage`], [`stamp_idle`]) that cost a few relaxed
+/// atomic stores — no locks, no allocation, so they are safe to leave on
+/// the hot path in every mode.
+pub struct WorkerStateTable {
+    slots: Vec<Slot>,
+    epoch: Instant,
+}
+
+impl WorkerStateTable {
+    /// A table with room for `capacity` concurrent threads. Registration
+    /// beyond capacity degrades gracefully: the extra threads simply do
+    /// not appear in samples.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            slots: (0..capacity.max(1)).map(|_| Slot::vacant()).collect(),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Microseconds since the table was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claim a vacant slot for the calling thread. `None` when full.
+    fn register(&self, role: WorkerRole) -> Option<usize> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .state
+                .compare_exchange(
+                    STATE_VACANT,
+                    STATE_IDLE,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                slot.role.store(
+                    match role {
+                        WorkerRole::Worker => 0,
+                        WorkerRole::Dispatcher => 1,
+                    },
+                    Ordering::Relaxed,
+                );
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Single-writer seqlock publication for slot `idx`.
+    fn publish(&self, idx: usize, state: u8, stage: u8, conn: ConnId, since_us: u64) {
+        let s = &self.slots[idx];
+        let seq = s.seq.load(Ordering::Relaxed);
+        s.seq.store(seq.wrapping_add(1), Ordering::Release); // odd: write in progress
+        s.state.store(state, Ordering::Relaxed);
+        s.stage.store(stage, Ordering::Relaxed);
+        s.conn.store(conn, Ordering::Relaxed);
+        s.since_us.store(since_us, Ordering::Relaxed);
+        s.seq.store(seq.wrapping_add(2), Ordering::Release); // even: consistent
+    }
+
+    fn release(&self, idx: usize) {
+        self.publish(idx, STATE_VACANT, 0, 0, 0);
+    }
+
+    /// Read every occupied slot consistently. Retries a torn row a few
+    /// times, then takes it anyway — this is diagnostics, and a row torn
+    /// four times in a microsecond-scale window is still approximately
+    /// right.
+    pub fn sample(&self) -> Vec<WorkerSample> {
+        let now = self.now_us();
+        let mut out = Vec::with_capacity(self.slots.len());
+        for (i, s) in self.slots.iter().enumerate() {
+            let mut row = (0u8, 0u8, 0u8, 0u64, 0u64);
+            for _attempt in 0..4 {
+                let s1 = s.seq.load(Ordering::Acquire);
+                row = (
+                    s.state.load(Ordering::Relaxed),
+                    s.role.load(Ordering::Relaxed),
+                    s.stage.load(Ordering::Relaxed),
+                    s.conn.load(Ordering::Relaxed),
+                    s.since_us.load(Ordering::Relaxed),
+                );
+                let s2 = s.seq.load(Ordering::Acquire);
+                if s1 == s2 && s1 % 2 == 0 {
+                    break;
+                }
+            }
+            let (state, role, stage, conn, since_us) = row;
+            if state == STATE_VACANT {
+                continue;
+            }
+            let role = if role == 1 {
+                WorkerRole::Dispatcher
+            } else {
+                WorkerRole::Worker
+            };
+            let activity = if state == STATE_RUNNING {
+                WorkerActivity::Running {
+                    stage: Stage::ALL[(stage as usize).min(Stage::ALL.len() - 1)],
+                    conn,
+                    busy_us: now.saturating_sub(since_us),
+                }
+            } else {
+                WorkerActivity::Idle
+            };
+            out.push(WorkerSample {
+                slot: i,
+                role,
+                activity,
+            });
+        }
+        out
+    }
+
+    /// Occupancy gauges for the Prometheus exposition.
+    pub fn gauges(&self) -> WorkerGauges {
+        let mut g = WorkerGauges::default();
+        for s in self.sample() {
+            match s.activity {
+                WorkerActivity::Running { .. } => g.running += 1,
+                WorkerActivity::Idle => g.idle += 1,
+            }
+        }
+        g
+    }
+}
+
+/// The calling thread's table attachment.
+struct Attachment {
+    table: Arc<WorkerStateTable>,
+    index: usize,
+}
+
+thread_local! {
+    static ATTACHED: RefCell<Option<Attachment>> = const { RefCell::new(None) };
+}
+
+/// Attach the calling thread to `table` in the given role. Subsequent
+/// [`stamp_stage`] / [`stamp_idle`] calls on this thread publish into its
+/// slot. Returns `false` (and leaves stamping a no-op) when the table is
+/// full or the thread is already attached.
+pub fn attach_worker(table: &Arc<WorkerStateTable>, role: WorkerRole) -> bool {
+    ATTACHED.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.is_some() {
+            return false;
+        }
+        match table.register(role) {
+            Some(index) => {
+                *a = Some(Attachment {
+                    table: Arc::clone(table),
+                    index,
+                });
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+/// Release the calling thread's slot (exiting workers; harmless when
+/// unattached).
+pub fn detach_worker() {
+    ATTACHED.with(|a| {
+        if let Some(at) = a.borrow_mut().take() {
+            at.table.release(at.index);
+        }
+    });
+}
+
+/// Publish "running `stage` for `conn` since now" for the calling
+/// thread. A no-op on unattached threads (application threads, tests,
+/// table-full overflow), which is what lets the pipeline call it
+/// unconditionally.
+pub fn stamp_stage(stage: Stage, conn: ConnId) {
+    ATTACHED.with(|a| {
+        if let Some(at) = a.borrow().as_ref() {
+            let now = at.table.now_us();
+            let idx = Stage::ALL.iter().position(|s| *s == stage).unwrap_or(0) as u8;
+            at.table.publish(at.index, STATE_RUNNING, idx, conn, now);
+        }
+    });
+}
+
+/// Publish "idle" for the calling thread. No-op when unattached.
+pub fn stamp_idle() {
+    ATTACHED.with(|a| {
+        if let Some(at) = a.borrow().as_ref() {
+            let now = at.table.now_us();
+            at.table.publish(at.index, STATE_IDLE, 0, 0, now);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic snapshots
+// ---------------------------------------------------------------------------
+
+/// Everything the server knows about itself at one instant, captured when
+/// the watchdog fires or an operator asks. Serializes to JSON via
+/// [`DiagSnapshot::to_json`].
+#[derive(Debug, Clone)]
+pub struct DiagSnapshot {
+    /// Monotonic capture sequence number (1-based).
+    pub seq: u64,
+    /// Why the capture happened (`"on_demand"`, `"worker_stuck …"`, …).
+    pub reason: String,
+    /// Microseconds since the hub was created.
+    pub at_us: u64,
+    /// Counter snapshot (includes escaped-panic counts when wired).
+    pub stats: StatsSnapshot,
+    /// Latency histograms + queue gauges.
+    pub latency: LatencySnapshot,
+    /// Worker table rows.
+    pub workers: Vec<WorkerSample>,
+    /// Event queue length at capture.
+    pub queue_len: usize,
+    /// Workers parked waiting for events at capture.
+    pub queue_waiters: usize,
+    /// File-cache stats, when a provider is wired.
+    pub cache: Option<CacheSample>,
+    /// Overload controller state, when wired.
+    pub overload: Option<OverloadSample>,
+    /// Trace-ring records lost to overflow.
+    pub trace_dropped: u64,
+    /// Tail of the trace ring (newest last).
+    pub recent_trace: Vec<TraceRecord>,
+    /// Watchdog triggers up to and including this capture.
+    pub watchdog_triggers: u64,
+}
+
+impl DiagSnapshot {
+    /// Serialize as a single JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        out.push_str(&format!("\"seq\":{},", self.seq));
+        out.push_str(&format!("\"reason\":\"{}\",", json_escape(&self.reason)));
+        out.push_str(&format!("\"at_us\":{},", self.at_us));
+        out.push_str("\"counters\":{");
+        let rows = self.stats.rows();
+        for (i, (name, v)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", name.replace(' ', "_")));
+        }
+        out.push_str("},\"stages\":{");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = self.latency.stage(*stage);
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                stage.name(),
+                h.count,
+                h.quantile_us(0.5),
+                h.quantile_us(0.99)
+            ));
+        }
+        let qw = &self.latency.queue_wait;
+        out.push_str(&format!(
+            "}},\"queue\":{{\"len\":{},\"waiters\":{},\"depth_gauge\":{},\"high_water\":{},\"wait\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}}},",
+            self.queue_len,
+            self.queue_waiters,
+            self.latency.queue_depth,
+            self.latency.queue_depth_high_water,
+            qw.count,
+            qw.quantile_us(0.5),
+            qw.quantile_us(0.99)
+        ));
+        out.push_str("\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match w.activity {
+                WorkerActivity::Idle => out.push_str(&format!(
+                    "{{\"slot\":{},\"role\":\"{}\",\"state\":\"idle\"}}",
+                    w.slot,
+                    w.role.name()
+                )),
+                WorkerActivity::Running {
+                    stage,
+                    conn,
+                    busy_us,
+                } => out.push_str(&format!(
+                    "{{\"slot\":{},\"role\":\"{}\",\"state\":\"running\",\"stage\":\"{}\",\"conn\":{conn},\"busy_us\":{busy_us}}}",
+                    w.slot,
+                    w.role.name(),
+                    stage.name()
+                )),
+            }
+        }
+        out.push_str("],");
+        match &self.cache {
+            Some(c) => out.push_str(&format!(
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"rejected\":{},\"coalesced_waits\":{},\"used_bytes\":{},\"capacity_bytes\":{}}},",
+                c.hits, c.misses, c.evictions, c.rejected, c.coalesced_waits, c.used_bytes, c.capacity_bytes
+            )),
+            None => out.push_str("\"cache\":null,"),
+        }
+        match &self.overload {
+            Some(o) => out.push_str(&format!(
+                "\"overload\":{{\"paused\":{},\"pauses\":{},\"resumes\":{}}},",
+                o.paused, o.pause_transitions, o.resume_transitions
+            )),
+            None => out.push_str("\"overload\":null,"),
+        }
+        out.push_str(&format!(
+            "\"trace\":{{\"dropped\":{},\"recent\":[",
+            self.trace_dropped
+        ));
+        for (i, r) in self.recent_trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let conn = r.conn.map_or("null".to_string(), |c| c.to_string());
+            let event = r
+                .span
+                .map_or_else(|| "record".to_string(), |s| s.name().to_string());
+            out.push_str(&format!(
+                "{{\"at_us\":{},\"conn\":{conn},\"event\":\"{event}\",\"detail\":\"{}\"}}",
+                r.at_us,
+                json_escape(&r.detail_text())
+            ));
+        }
+        out.push_str(&format!(
+            "]}},\"watchdog\":{{\"triggers\":{}}}}}",
+            self.watchdog_triggers
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics hub
+// ---------------------------------------------------------------------------
+
+/// A closure producing current file-cache stats; the cache crate sits
+/// above `nserver-core`, so applications plug a sampler in.
+pub type CacheStatsProvider = Arc<dyn Fn() -> CacheSample + Send + Sync>;
+
+/// How many trace records a snapshot carries.
+const SNAPSHOT_TRACE_TAIL: usize = 64;
+
+struct HubInner {
+    stats: Arc<ServerStats>,
+    metrics: Arc<MetricsRegistry>,
+    /// Handler panics that escaped workers entirely (the Event Processor
+    /// absorbs them outside the pipeline's own counter).
+    extra_panics: Mutex<Option<Arc<dyn Fn() -> u64 + Send + Sync>>>,
+    tracer: Mutex<Option<DebugTracer>>,
+    workers: Mutex<Option<Arc<WorkerStateTable>>>,
+    queue_len: Mutex<Option<Arc<AtomicUsize>>>,
+    queue_waiters: Mutex<Option<Arc<dyn Fn() -> usize + Send + Sync>>>,
+    overload: Mutex<Option<Arc<Mutex<OverloadController>>>>,
+    cache: Mutex<Option<CacheStatsProvider>>,
+    epoch: Instant,
+    ring: Mutex<VecDeque<DiagSnapshot>>,
+    ring_cap: AtomicUsize,
+    file: Mutex<Option<PathBuf>>,
+    snap_seq: AtomicU64,
+    triggers: AtomicU64,
+}
+
+/// The aggregation point for every observability surface the server has.
+/// Create one before `serve` (so HTTP routes / FTP services can hold it),
+/// hand it to the builder, and the server wires its internals in during
+/// assembly — the same injection idiom the stats and metrics registries
+/// already use.
+#[derive(Clone)]
+pub struct DiagHub {
+    inner: Arc<HubInner>,
+}
+
+impl DiagHub {
+    /// A hub over the given counter + latency registries. Everything else
+    /// is wired in later (by `serve`, or by tests).
+    pub fn new(stats: Arc<ServerStats>, metrics: Arc<MetricsRegistry>) -> Self {
+        Self {
+            inner: Arc::new(HubInner {
+                stats,
+                metrics,
+                extra_panics: Mutex::new(None),
+                tracer: Mutex::new(None),
+                workers: Mutex::new(None),
+                queue_len: Mutex::new(None),
+                queue_waiters: Mutex::new(None),
+                overload: Mutex::new(None),
+                cache: Mutex::new(None),
+                epoch: Instant::now(),
+                ring: Mutex::new(VecDeque::new()),
+                ring_cap: AtomicUsize::new(8),
+                file: Mutex::new(None),
+                snap_seq: AtomicU64::new(0),
+                triggers: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The counter registry the hub reads.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.inner.stats
+    }
+
+    /// The latency registry the hub reads.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.metrics
+    }
+
+    /// Wire the trace ring.
+    pub fn wire_tracer(&self, tracer: DebugTracer) {
+        *self.inner.tracer.lock() = Some(tracer);
+    }
+
+    /// Wire the worker state table.
+    pub fn wire_workers(&self, table: Arc<WorkerStateTable>) {
+        *self.inner.workers.lock() = Some(table);
+    }
+
+    /// The wired worker table, if any.
+    pub fn workers(&self) -> Option<Arc<WorkerStateTable>> {
+        self.inner.workers.lock().clone()
+    }
+
+    /// Wire the event-queue gauges: the shared length gauge plus a
+    /// parked-waiter count provider.
+    pub fn wire_queue(&self, len: Arc<AtomicUsize>, waiters: Arc<dyn Fn() -> usize + Send + Sync>) {
+        *self.inner.queue_len.lock() = Some(len);
+        *self.inner.queue_waiters.lock() = Some(waiters);
+    }
+
+    /// Wire the overload controller.
+    pub fn wire_overload(&self, ctl: Arc<Mutex<OverloadController>>) {
+        *self.inner.overload.lock() = Some(ctl);
+    }
+
+    /// Wire a supplement for handler panics that escaped the pipeline
+    /// (the Event Processor's own catch).
+    pub fn wire_extra_panics(&self, f: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        *self.inner.extra_panics.lock() = Some(f);
+    }
+
+    /// Plug in a file-cache stats provider (applications own the cache).
+    pub fn set_cache_provider(&self, f: CacheStatsProvider) {
+        *self.inner.cache.lock() = Some(f);
+    }
+
+    /// Keep the last `k` snapshots in memory (default 8).
+    pub fn set_ring_capacity(&self, k: usize) {
+        self.inner.ring_cap.store(k.max(1), Ordering::Relaxed);
+    }
+
+    /// Also append every captured snapshot (one JSON object per line) to
+    /// `path`.
+    pub fn set_snapshot_file(&self, path: PathBuf) {
+        *self.inner.file.lock() = Some(path);
+    }
+
+    /// Counter snapshot, including escaped-panic supplements.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.inner.stats.snapshot();
+        if let Some(f) = self.inner.extra_panics.lock().as_ref() {
+            snap.handler_panics += f();
+        }
+        snap
+    }
+
+    /// Total watchdog invariant violations so far.
+    pub fn watchdog_triggers(&self) -> u64 {
+        self.inner.triggers.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots captured so far (watchdog-triggered and on-demand).
+    pub fn snapshots_captured(&self) -> u64 {
+        self.inner.snap_seq.load(Ordering::Relaxed)
+    }
+
+    /// Record a watchdog trigger and capture a snapshot for it.
+    pub fn note_trigger(&self, reason: &str) -> DiagSnapshot {
+        self.inner.triggers.fetch_add(1, Ordering::Relaxed);
+        self.capture(reason)
+    }
+
+    /// Capture a snapshot now, store it in the ring (and file sink, when
+    /// set), and return it.
+    pub fn capture(&self, reason: &str) -> DiagSnapshot {
+        let seq = self.inner.snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (trace_dropped, recent_trace) = match self.inner.tracer.lock().as_ref() {
+            Some(t) => (t.dropped(), t.dump_tail(SNAPSHOT_TRACE_TAIL)),
+            None => (0, Vec::new()),
+        };
+        let snap = DiagSnapshot {
+            seq,
+            reason: reason.to_string(),
+            at_us: self.inner.epoch.elapsed().as_micros() as u64,
+            stats: self.stats_snapshot(),
+            latency: self.inner.metrics.latency_snapshot(),
+            workers: self
+                .inner
+                .workers
+                .lock()
+                .as_ref()
+                .map(|t| t.sample())
+                .unwrap_or_default(),
+            queue_len: self
+                .inner
+                .queue_len
+                .lock()
+                .as_ref()
+                .map_or(0, |g| g.load(Ordering::Relaxed)),
+            queue_waiters: self.inner.queue_waiters.lock().as_ref().map_or(0, |f| f()),
+            cache: self.inner.cache.lock().as_ref().map(|f| f()),
+            overload: self.inner.overload.lock().as_ref().map(|ctl| {
+                let ctl = ctl.lock();
+                OverloadSample {
+                    paused: ctl.is_paused(),
+                    pause_transitions: ctl.pause_transitions(),
+                    resume_transitions: ctl.resume_transitions(),
+                }
+            }),
+            trace_dropped,
+            recent_trace,
+            watchdog_triggers: self.inner.triggers.load(Ordering::Relaxed),
+        };
+        let mut ring = self.inner.ring.lock();
+        let cap = self.inner.ring_cap.load(Ordering::Relaxed);
+        while ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(snap.clone());
+        drop(ring);
+        if let Some(path) = self.inner.file.lock().as_ref() {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{}", snap.to_json());
+            }
+        }
+        snap
+    }
+
+    /// The most recent snapshot, if any was captured.
+    pub fn latest(&self) -> Option<DiagSnapshot> {
+        self.inner.ring.lock().back().cloned()
+    }
+
+    /// All retained snapshots, oldest first.
+    pub fn ring(&self) -> Vec<DiagSnapshot> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// The optional exposition families the hub can fill today.
+    pub fn extras(&self) -> ExpositionExtras {
+        ExpositionExtras {
+            cache: self.inner.cache.lock().as_ref().map(|f| f()),
+            overload: self.inner.overload.lock().as_ref().map(|ctl| {
+                let ctl = ctl.lock();
+                OverloadSample {
+                    paused: ctl.is_paused(),
+                    pause_transitions: ctl.pause_transitions(),
+                    resume_transitions: ctl.resume_transitions(),
+                }
+            }),
+            trace_dropped: self.inner.tracer.lock().as_ref().map_or(0, |t| t.dropped()),
+            workers: self.inner.workers.lock().as_ref().map(|t| t.gauges()),
+            watchdog_triggers: Some(self.watchdog_triggers()),
+            snapshots_captured: Some(self.snapshots_captured()),
+        }
+    }
+
+    /// Full Prometheus exposition: core counters + histograms + every
+    /// optional family the hub has wired.
+    pub fn prometheus(&self) -> String {
+        prometheus_text_with(
+            &self.stats_snapshot(),
+            &self.inner.metrics.latency_snapshot(),
+            &self.extras(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+/// Watchdog tuning. The defaults are deliberately conservative: no SLO
+/// (so no burn-rate triggers unless asked for), a multi-second stuck
+/// ceiling, saturation only when a threshold is configured.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Invariant evaluation period.
+    pub tick: Duration,
+    /// A worker running one stage longer than this is stuck.
+    pub stuck_ceiling: Duration,
+    /// Consecutive ticks the dispatcher-wakeup counter may sit still
+    /// (after an explicit ping) before the dispatcher counts as stalled.
+    pub liveness_grace_ticks: u32,
+    /// Queue length at or above which the queue counts as saturated.
+    /// `None` disables the invariant (the server wires the O12 high
+    /// watermark in when watermark overload control is on).
+    pub queue_saturation: Option<usize>,
+    /// Consecutive saturated ticks before firing.
+    pub saturation_ticks: u32,
+    /// Sliding-window p99 ceiling (µs) for `slo_stage`. `None` disables.
+    pub p99_slo_us: Option<u64>,
+    /// The stage the SLO applies to.
+    pub slo_stage: Stage,
+    /// Window length for the burn-rate diff, in ticks.
+    pub slo_window_ticks: u32,
+    /// Minimum new samples in the window before the SLO is judged.
+    pub slo_min_samples: u64,
+    /// Refractory period per invariant, in ticks: once fired, that
+    /// invariant stays quiet this long (the condition usually persists
+    /// across many ticks; one snapshot per episode is the useful rate).
+    pub debounce_ticks: u64,
+    /// In-memory snapshots to retain.
+    pub snapshot_ring: usize,
+    /// Optional JSON-lines snapshot sink.
+    pub snapshot_file: Option<PathBuf>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(100),
+            stuck_ceiling: Duration::from_secs(5),
+            liveness_grace_ticks: 10,
+            queue_saturation: None,
+            saturation_ticks: 5,
+            p99_slo_us: None,
+            slo_stage: Stage::Handle,
+            slo_window_ticks: 20,
+            slo_min_samples: 16,
+            debounce_ticks: 100,
+            snapshot_ring: 8,
+            snapshot_file: None,
+        }
+    }
+}
+
+/// Index of each invariant in the debounce table.
+const INV_LIVENESS: usize = 0;
+const INV_STUCK: usize = 1;
+const INV_SATURATION: usize = 2;
+const INV_SLO: usize = 3;
+const INV_COUNT: usize = 4;
+
+/// The running watchdog thread. Owned by the `ServerHandle`; stopped and
+/// joined on shutdown.
+pub struct Watchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+    fired: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    /// Start the watchdog over `hub`. `ping` (when given) is invoked to
+    /// wake a dispatcher whenever the wakeup counter has not advanced —
+    /// an idle server's counter legitimately sits still, so liveness is
+    /// judged only on the response to an explicit ping.
+    pub fn spawn(
+        cfg: WatchdogConfig,
+        hub: DiagHub,
+        ping: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> Self {
+        hub.set_ring_capacity(cfg.snapshot_ring);
+        if let Some(path) = cfg.snapshot_file.clone() {
+            hub.set_snapshot_file(path);
+        }
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let fired = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let fired = Arc::clone(&fired);
+            std::thread::Builder::new()
+                .name("nserver-watchdog".into())
+                .spawn(move || watchdog_loop(cfg, hub, ping, stop, fired))
+                .expect("spawn watchdog")
+        };
+        Self {
+            stop,
+            thread: Some(thread),
+            fired,
+        }
+    }
+
+    /// Whether any invariant has ever fired.
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join the watchdog thread.
+    pub fn stop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock() = true;
+        cvar.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn watchdog_loop(
+    cfg: WatchdogConfig,
+    hub: DiagHub,
+    ping: Option<Arc<dyn Fn() + Send + Sync>>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    fired: Arc<AtomicBool>,
+) {
+    let mut tick_no: u64 = 0;
+    let mut last_fired = [u64::MAX; INV_COUNT]; // MAX = never fired
+    let mut last_wakeups = hub.stats_snapshot().dispatcher_wakeups;
+    let mut pinged = false;
+    let mut liveness_misses: u32 = 0;
+    let mut saturated_ticks: u32 = 0;
+    let mut slo_window: VecDeque<HistogramSnapshot> = VecDeque::new();
+    loop {
+        {
+            let (lock, cvar) = &*stop;
+            let mut stopped = lock.lock();
+            if *stopped {
+                return;
+            }
+            cvar.wait_for(&mut stopped, cfg.tick);
+            if *stopped {
+                return;
+            }
+        }
+        tick_no += 1;
+        let fire = |inv: usize, reason: String, tick_no: u64, last_fired: &mut [u64; INV_COUNT]| {
+            let since = last_fired[inv];
+            if since != u64::MAX && tick_no.saturating_sub(since) < cfg.debounce_ticks {
+                return;
+            }
+            last_fired[inv] = tick_no;
+            fired.store(true, Ordering::Relaxed);
+            hub.note_trigger(&reason);
+        };
+
+        // 1. Dispatcher liveness: judge only the response to our ping.
+        if let Some(ping) = &ping {
+            let wakeups = hub.stats_snapshot().dispatcher_wakeups;
+            if wakeups != last_wakeups {
+                last_wakeups = wakeups;
+                liveness_misses = 0;
+                pinged = false;
+            } else if pinged {
+                liveness_misses += 1;
+                if liveness_misses >= cfg.liveness_grace_ticks {
+                    fire(
+                        INV_LIVENESS,
+                        format!(
+                            "dispatcher_stalled wakeups={wakeups} ticks_without_response={liveness_misses}"
+                        ),
+                        tick_no,
+                        &mut last_fired,
+                    );
+                    liveness_misses = 0;
+                }
+                ping();
+            } else {
+                ping();
+                pinged = true;
+            }
+        }
+
+        // 2. Worker stuck-time ceiling.
+        if let Some(table) = hub.workers() {
+            let ceiling_us = cfg.stuck_ceiling.as_micros() as u64;
+            for w in table.sample() {
+                if let WorkerActivity::Running {
+                    stage,
+                    conn,
+                    busy_us,
+                } = w.activity
+                {
+                    if busy_us > ceiling_us {
+                        fire(
+                            INV_STUCK,
+                            format!(
+                                "worker_stuck slot={} role={} stage={} conn={} busy_ms={}",
+                                w.slot,
+                                w.role.name(),
+                                stage.name(),
+                                conn,
+                                busy_us / 1000
+                            ),
+                            tick_no,
+                            &mut last_fired,
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Queue-depth saturation vs the configured watermark.
+        if let Some(threshold) = cfg.queue_saturation {
+            let len = hub
+                .inner
+                .queue_len
+                .lock()
+                .as_ref()
+                .map_or(0, |g| g.load(Ordering::Relaxed));
+            if len >= threshold {
+                saturated_ticks += 1;
+                if saturated_ticks >= cfg.saturation_ticks {
+                    fire(
+                        INV_SATURATION,
+                        format!(
+                            "queue_saturated len={len} threshold={threshold} ticks={saturated_ticks}"
+                        ),
+                        tick_no,
+                        &mut last_fired,
+                    );
+                    saturated_ticks = 0;
+                }
+            } else {
+                saturated_ticks = 0;
+            }
+        }
+
+        // 4. Sliding-window p99 SLO burn-rate.
+        if let Some(slo_us) = cfg.p99_slo_us {
+            let now = *hub.metrics().latency_snapshot().stage(cfg.slo_stage);
+            slo_window.push_back(now);
+            while slo_window.len() > cfg.slo_window_ticks.max(2) as usize {
+                slo_window.pop_front();
+            }
+            if slo_window.len() >= 2 {
+                let oldest = slo_window.front().expect("non-empty window");
+                let diff = now.saturating_sub(oldest);
+                if diff.count >= cfg.slo_min_samples {
+                    let p99 = diff.quantile_us(0.99);
+                    if p99 > slo_us {
+                        fire(
+                            INV_SLO,
+                            format!(
+                                "slo_burn stage={} window_p99_us={p99} slo_us={slo_us} samples={}",
+                                cfg.slo_stage.name(),
+                                diff.count
+                            ),
+                            tick_no,
+                            &mut last_fired,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_hub() -> DiagHub {
+        DiagHub::new(ServerStats::new_shared(), MetricsRegistry::enabled())
+    }
+
+    #[test]
+    fn table_register_stamp_sample_roundtrip() {
+        let table = WorkerStateTable::new(4);
+        assert!(attach_worker(&table, WorkerRole::Worker));
+        stamp_stage(Stage::Handle, 42);
+        let rows = table.sample();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].role, WorkerRole::Worker);
+        match rows[0].activity {
+            WorkerActivity::Running { stage, conn, .. } => {
+                assert_eq!(stage, Stage::Handle);
+                assert_eq!(conn, 42);
+            }
+            WorkerActivity::Idle => panic!("expected running"),
+        }
+        stamp_idle();
+        let rows = table.sample();
+        assert_eq!(rows[0].activity, WorkerActivity::Idle);
+        detach_worker();
+        assert!(table.sample().is_empty(), "detach releases the slot");
+    }
+
+    #[test]
+    fn unattached_stamping_is_a_noop() {
+        // No attach on this thread: must not panic, must publish nothing.
+        stamp_stage(Stage::Decode, 7);
+        stamp_idle();
+        detach_worker();
+    }
+
+    #[test]
+    fn full_table_rejects_registration() {
+        let table = WorkerStateTable::new(1);
+        let t2 = Arc::clone(&table);
+        let h = std::thread::spawn(move || {
+            assert!(attach_worker(&t2, WorkerRole::Worker));
+            // Hold the slot until told to release.
+            std::thread::sleep(Duration::from_millis(50));
+            detach_worker();
+        });
+        // Give the thread time to claim the only slot.
+        while table.sample().is_empty() {
+            std::thread::yield_now();
+        }
+        assert!(!attach_worker(&table, WorkerRole::Worker), "table is full");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn gauges_count_running_and_idle() {
+        let table = WorkerStateTable::new(4);
+        assert!(attach_worker(&table, WorkerRole::Dispatcher));
+        stamp_stage(Stage::Encode, 1);
+        let g = table.gauges();
+        assert_eq!((g.running, g.idle), (1, 0));
+        stamp_idle();
+        let g = table.gauges();
+        assert_eq!((g.running, g.idle), (0, 1));
+        detach_worker();
+    }
+
+    #[test]
+    fn concurrent_stampers_never_produce_torn_reads() {
+        let table = WorkerStateTable::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..4u64 {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                assert!(attach_worker(&table, WorkerRole::Worker));
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    stamp_stage(Stage::ALL[(i % 5) as usize], t * 1000 + i);
+                    stamp_idle();
+                    i += 1;
+                }
+                detach_worker();
+            }));
+        }
+        for _ in 0..2000 {
+            for row in table.sample() {
+                if let WorkerActivity::Running { conn, .. } = row.activity {
+                    // conn encodes the writer id in its thousands digit;
+                    // any value outside a writer's range would be a torn
+                    // cross-thread mix (each slot has exactly one writer).
+                    assert!(conn < 4000 + 2_000_000, "corrupt conn {conn}");
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn hub_capture_builds_parseable_snapshot() {
+        let hub = test_hub();
+        let table = WorkerStateTable::new(2);
+        hub.wire_workers(Arc::clone(&table));
+        hub.wire_tracer(DebugTracer::enabled(16));
+        let snap = hub.capture("on_demand");
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.reason, "on_demand");
+        let json = snap.to_json();
+        for key in [
+            "\"counters\"",
+            "\"stages\"",
+            "\"queue\"",
+            "\"workers\"",
+            "\"cache\":null",
+            "\"overload\":null",
+            "\"trace\"",
+            "\"watchdog\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(hub.latest().expect("stored").seq, 1);
+    }
+
+    #[test]
+    fn hub_ring_keeps_last_k() {
+        let hub = test_hub();
+        hub.set_ring_capacity(3);
+        for i in 0..5 {
+            hub.capture(&format!("r{i}"));
+        }
+        let ring = hub.ring();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring[0].reason, "r2");
+        assert_eq!(ring[2].reason, "r4");
+        assert_eq!(hub.snapshots_captured(), 5);
+    }
+
+    #[test]
+    fn watchdog_fires_on_stuck_worker_and_names_it() {
+        let hub = test_hub();
+        let table = WorkerStateTable::new(2);
+        hub.wire_workers(Arc::clone(&table));
+        let t2 = Arc::clone(&table);
+        let done = Arc::new(AtomicBool::new(false));
+        let d2 = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            assert!(attach_worker(&t2, WorkerRole::Worker));
+            stamp_stage(Stage::Handle, 99);
+            while !d2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            detach_worker();
+        });
+        let cfg = WatchdogConfig {
+            tick: Duration::from_millis(2),
+            stuck_ceiling: Duration::from_millis(5),
+            ..WatchdogConfig::default()
+        };
+        let mut wd = Watchdog::spawn(cfg, hub.clone(), None);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !wd.has_fired() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(wd.has_fired(), "watchdog never fired on a stuck worker");
+        let snap = hub.latest().expect("trigger captured a snapshot");
+        assert!(snap.reason.contains("worker_stuck"), "{}", snap.reason);
+        assert!(snap.reason.contains("stage=handle"), "{}", snap.reason);
+        assert!(snap.reason.contains("conn=99"), "{}", snap.reason);
+        done.store(true, Ordering::Relaxed);
+        wd.stop();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_idle_table() {
+        let hub = test_hub();
+        let table = WorkerStateTable::new(2);
+        hub.wire_workers(Arc::clone(&table));
+        let cfg = WatchdogConfig {
+            tick: Duration::from_millis(1),
+            stuck_ceiling: Duration::from_millis(5),
+            ..WatchdogConfig::default()
+        };
+        let mut wd = Watchdog::spawn(cfg, hub.clone(), None);
+        std::thread::sleep(Duration::from_millis(50));
+        wd.stop();
+        assert!(!wd.has_fired());
+        assert_eq!(hub.watchdog_triggers(), 0);
+    }
+
+    #[test]
+    fn watchdog_saturation_fires_after_sustained_backlog() {
+        let hub = test_hub();
+        let gauge = Arc::new(AtomicUsize::new(100));
+        hub.wire_queue(Arc::clone(&gauge), Arc::new(|| 0));
+        let cfg = WatchdogConfig {
+            tick: Duration::from_millis(1),
+            queue_saturation: Some(10),
+            saturation_ticks: 3,
+            ..WatchdogConfig::default()
+        };
+        let mut wd = Watchdog::spawn(cfg, hub.clone(), None);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !wd.has_fired() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        wd.stop();
+        assert!(wd.has_fired());
+        let snap = hub.latest().expect("snapshot");
+        assert!(snap.reason.contains("queue_saturated"), "{}", snap.reason);
+    }
+
+    #[test]
+    fn watchdog_slo_burn_fires_on_windowed_p99() {
+        let hub = test_hub();
+        let cfg = WatchdogConfig {
+            tick: Duration::from_millis(1),
+            p99_slo_us: Some(1_000),
+            slo_stage: Stage::Handle,
+            slo_min_samples: 8,
+            ..WatchdogConfig::default()
+        };
+        let mut wd = Watchdog::spawn(cfg, hub.clone(), None);
+        // Pour slow samples in while the watchdog windows them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !wd.has_fired() && Instant::now() < deadline {
+            for _ in 0..8 {
+                hub.metrics().record_stage(Stage::Handle, 50_000);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        wd.stop();
+        assert!(wd.has_fired(), "SLO burn never fired");
+        let snap = hub.latest().expect("snapshot");
+        assert!(snap.reason.contains("slo_burn"), "{}", snap.reason);
+    }
+
+    #[test]
+    fn hub_prometheus_includes_wired_families() {
+        let hub = test_hub();
+        let table = WorkerStateTable::new(2);
+        hub.wire_workers(table);
+        hub.set_cache_provider(Arc::new(|| CacheSample {
+            hits: 5,
+            misses: 2,
+            ..CacheSample::default()
+        }));
+        let text = hub.prometheus();
+        assert!(text.contains("nserver_cache_hits 5"));
+        assert!(text.contains("nserver_workers_idle"));
+        assert!(text.contains("nserver_watchdog_triggers 0"));
+        assert!(text.contains("nserver_trace_dropped_spans 0"));
+    }
+}

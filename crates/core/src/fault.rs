@@ -514,11 +514,21 @@ mod tests {
         assert_ne!(all_of(&plan, 200), all_of(&other, 200));
         // Every family is actually drawn at these incidences.
         let drawn = all_of(&plan, 200);
-        assert!(drawn.iter().any(|p| matches!(p, FaultProfile::Reset { .. })));
-        assert!(drawn.iter().any(|p| matches!(p, FaultProfile::Storm { .. })));
-        assert!(drawn.iter().any(|p| matches!(p, FaultProfile::ShortIo { .. })));
-        assert!(drawn.iter().any(|p| matches!(p, FaultProfile::Corrupt { .. })));
-        assert!(drawn.iter().any(|p| matches!(p, FaultProfile::Stall { .. })));
+        assert!(drawn
+            .iter()
+            .any(|p| matches!(p, FaultProfile::Reset { .. })));
+        assert!(drawn
+            .iter()
+            .any(|p| matches!(p, FaultProfile::Storm { .. })));
+        assert!(drawn
+            .iter()
+            .any(|p| matches!(p, FaultProfile::ShortIo { .. })));
+        assert!(drawn
+            .iter()
+            .any(|p| matches!(p, FaultProfile::Corrupt { .. })));
+        assert!(drawn
+            .iter()
+            .any(|p| matches!(p, FaultProfile::Stall { .. })));
     }
 
     #[test]
@@ -583,7 +593,10 @@ mod tests {
                 ReadOutcome::Closed => break,
             }
         }
-        assert_eq!(got, payload, "bytes dropped or duplicated across short writes");
+        assert_eq!(
+            got, payload,
+            "bytes dropped or duplicated across short writes"
+        );
     }
 
     #[test]
@@ -684,7 +697,10 @@ mod tests {
                 ReadOutcome::WouldBlock
             ));
         }
-        assert!(!faulty.state.lock().suppressed, "stalls are not redelivered");
+        assert!(
+            !faulty.state.lock().suppressed,
+            "stalls are not redelivered"
+        );
     }
 
     #[test]
@@ -726,8 +742,7 @@ mod tests {
                 ..FaultPlan::default()
             },
         );
-        let mut poller =
-            FaultyListener::<mem::MemListener>::new_poller().expect("poller");
+        let mut poller = FaultyListener::<mem::MemListener>::new_poller().expect("poller");
         let mut client = connector.connect();
         client.try_write(b"ping\n").unwrap();
         let mut server_stream = faulty_listener.try_accept().unwrap().unwrap();

@@ -67,6 +67,7 @@
 //! ```
 
 pub mod cluster;
+pub mod diag;
 pub mod event;
 pub mod fault;
 pub mod metrics;
@@ -87,14 +88,19 @@ pub mod transport;
 
 /// The commonly needed surface, importable as `use nserver_core::prelude::*`.
 pub mod prelude {
+    pub use crate::diag::{
+        DiagHub, DiagSnapshot, Watchdog, WatchdogConfig, WorkerActivity, WorkerRole, WorkerSample,
+        WorkerStateTable,
+    };
     pub use crate::event::{CompletionToken, ConnId, Priority};
     pub use crate::fault::{FaultPlan, FaultProfile, FaultyListener, FaultyStream};
     pub use crate::metrics::{
-        prometheus_text, trace_jsonl, HistogramSnapshot, LatencySnapshot, MetricsRegistry, Stage,
+        prometheus_text, prometheus_text_with, trace_jsonl, CacheSample, ExpositionExtras,
+        HistogramSnapshot, LatencySnapshot, MetricsRegistry, OverloadSample, Stage,
     };
     pub use crate::options::{
-        CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode,
-        OverloadControl, ServerOptions, StageDeadlines, ThreadAllocation,
+        CompletionMode, DispatcherThreads, EventScheduling, FileCacheOption, Mode, OverloadControl,
+        ServerOptions, StageDeadlines, ThreadAllocation,
     };
     pub use crate::pipeline::{Action, Codec, ConnCtx, ProtocolError, RawCodec, Service};
     pub use crate::server::{ServerBuilder, ServerHandle};

@@ -187,6 +187,20 @@ impl HistogramSnapshot {
         self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Per-bucket saturating difference `self - earlier`: the samples
+    /// recorded *between* two cumulative snapshots. The watchdog's
+    /// sliding-window p99 burn-rate check is built on this — it diffs the
+    /// stage histogram against the previous tick and asks the window for
+    /// its quantile.
+    pub fn saturating_sub(mut self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        for (a, b) in self.buckets.iter_mut().zip(&earlier.buckets) {
+            *a = a.saturating_sub(*b);
+        }
+        self.count = self.count.saturating_sub(earlier.count);
+        self.sum_us = self.sum_us.saturating_sub(earlier.sum_us);
+        self
+    }
+
     /// Quantile estimate: the upper bound of the bucket holding the
     /// `q`-quantile sample (0 when empty). Same interpolation-free
     /// estimator as the netsim twin, so the two agree bucket-for-bucket.
@@ -247,6 +261,7 @@ pub struct MetricsRegistry {
     stages: [Histogram; 5],
     samples: AtomicU64,
     queue_depth: Gauge,
+    queue_wait: Histogram,
 }
 
 impl MetricsRegistry {
@@ -257,6 +272,7 @@ impl MetricsRegistry {
             stages: Default::default(),
             samples: AtomicU64::new(0),
             queue_depth: Gauge::default(),
+            queue_wait: Histogram::new(),
         })
     }
 
@@ -267,6 +283,7 @@ impl MetricsRegistry {
             stages: Default::default(),
             samples: AtomicU64::new(0),
             queue_depth: Gauge::default(),
+            queue_wait: Histogram::new(),
         })
     }
 
@@ -290,6 +307,17 @@ impl MetricsRegistry {
             return;
         }
         self.queue_depth.observe(depth);
+    }
+
+    /// Record one enqueue→dequeue delay of the Event Processor queue in
+    /// microseconds. No-op when disabled (the queue does not even read
+    /// the clock then — see [`crate::queue::BlockingQueue`]).
+    pub fn record_queue_wait(&self, us: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.queue_wait.record_us(us);
+        self.samples.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total histogram samples recorded — the counter-registry pin for
@@ -316,6 +344,7 @@ impl MetricsRegistry {
             ],
             queue_depth: self.queue_depth.current(),
             queue_depth_high_water: self.queue_depth.high_water_decaying(),
+            queue_wait: self.queue_wait.snapshot(),
         }
     }
 }
@@ -329,6 +358,8 @@ pub struct LatencySnapshot {
     pub queue_depth: u64,
     /// Decaying high-water mark of the queue depth.
     pub queue_depth_high_water: u64,
+    /// Enqueue→dequeue delay histogram of the Event Processor queue.
+    pub queue_wait: HistogramSnapshot,
 }
 
 impl LatencySnapshot {
@@ -343,26 +374,102 @@ impl LatencySnapshot {
     }
 }
 
+/// File-cache statistics as the exposition layer sees them. The cache
+/// itself lives in `nserver-cache` (which depends on this crate), so the
+/// application plugs a sampled copy in rather than the cache handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct CacheSample {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub rejected: u64,
+    pub coalesced_waits: u64,
+    pub used_bytes: u64,
+    pub capacity_bytes: u64,
+}
+
+/// Overload-controller state for exposition: the paused flag plus the
+/// shed/pause/resume transition counters (O9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct OverloadSample {
+    pub paused: bool,
+    pub pause_transitions: u64,
+    pub resume_transitions: u64,
+}
+
+/// Worker-pool occupancy gauges sampled from the diagnostics worker
+/// table ([`crate::diag::WorkerStateTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct WorkerGauges {
+    pub running: u64,
+    pub idle: u64,
+}
+
+/// Optional metric families beyond the core counters + stage histograms.
+/// [`prometheus_text`] renders none of them; the diagnostics hub
+/// ([`crate::diag::DiagHub`]) fills in what the server actually has.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpositionExtras {
+    /// File-cache statistics (O6), when a cache is attached.
+    pub cache: Option<CacheSample>,
+    /// Overload controller state (O9), when overload control is on.
+    pub overload: Option<OverloadSample>,
+    /// Trace-ring records evicted so far (O10 ring overflow).
+    pub trace_dropped: u64,
+    /// Worker-table occupancy, when a worker table is wired.
+    pub workers: Option<WorkerGauges>,
+    /// Watchdog trigger count, when a watchdog is running.
+    pub watchdog_triggers: Option<u64>,
+    /// Diagnostic snapshots captured (watchdog + on-demand).
+    pub snapshots_captured: Option<u64>,
+}
+
+/// Render one `# HELP` + `# TYPE` family header.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
 /// Render counters + per-stage latency histograms in the Prometheus text
 /// exposition format (hand-rolled; the workspace carries no serde). This
 /// is what the COPS-HTTP `/server-status` route and the COPS-FTP `STAT`
-/// command serve.
+/// command serve. Servers with more to tell (cache, overload, worker
+/// table, watchdog) render through [`prometheus_text_with`].
 pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
-    let mut out = String::with_capacity(4096);
+    prometheus_text_with(stats, lat, &ExpositionExtras::default())
+}
+
+/// [`prometheus_text`] plus the optional families in `extras`. Every
+/// family carries `# HELP` and `# TYPE` headers and appears exactly once,
+/// so the output survives a strict text-format parser.
+pub fn prometheus_text_with(
+    stats: &StatsSnapshot,
+    lat: &LatencySnapshot,
+    extras: &ExpositionExtras,
+) -> String {
+    let mut out = String::with_capacity(8192);
     for (name, v) in stats.rows() {
         let metric = name.replace(' ', "_");
-        out.push_str(&format!("# TYPE nserver_{metric} counter\n"));
+        family(
+            &mut out,
+            &format!("nserver_{metric}"),
+            "counter",
+            &format!("Lifetime count of {name}."),
+        );
         out.push_str(&format!("nserver_{metric} {v}\n"));
     }
-    out.push_str("# TYPE nserver_stage_latency_us histogram\n");
+    family(
+        &mut out,
+        "nserver_stage_latency_us",
+        "histogram",
+        "Per-stage pipeline latency in microseconds.",
+    );
     for stage in Stage::ALL {
         let h = lat.stage(stage);
         let name = stage.name();
-        let last = h
-            .buckets
-            .iter()
-            .rposition(|&n| n > 0)
-            .map_or(0, |i| i + 1);
+        let last = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
         let mut cum = 0u64;
         for (i, &n) in h.buckets.iter().take(last).enumerate() {
             cum += n;
@@ -383,23 +490,198 @@ pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
             "nserver_stage_latency_us_count{{stage=\"{name}\"}} {}\n",
             h.count
         ));
+    }
+    family(
+        &mut out,
+        "nserver_stage_latency_quantile_us",
+        "gauge",
+        "Per-stage latency quantile estimates in microseconds.",
+    );
+    for stage in Stage::ALL {
+        let h = lat.stage(stage);
+        let name = stage.name();
         for (label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
             out.push_str(&format!(
-                "nserver_stage_latency_us{{stage=\"{name}\",quantile=\"{label}\"}} {}\n",
+                "nserver_stage_latency_quantile_us{{stage=\"{name}\",quantile=\"{label}\"}} {}\n",
                 h.quantile_us(q)
             ));
         }
     }
-    out.push_str("# TYPE nserver_queue_depth gauge\n");
+    family(
+        &mut out,
+        "nserver_queue_wait_us",
+        "histogram",
+        "Event Processor enqueue-to-dequeue delay in microseconds.",
+    );
+    {
+        let h = &lat.queue_wait;
+        let last = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets.iter().take(last).enumerate() {
+            cum += n;
+            out.push_str(&format!(
+                "nserver_queue_wait_us_bucket{{le=\"{}\"}} {cum}\n",
+                bucket_upper_us(i)
+            ));
+        }
+        out.push_str(&format!(
+            "nserver_queue_wait_us_bucket{{le=\"+Inf\"}} {}\n",
+            h.count
+        ));
+        out.push_str(&format!("nserver_queue_wait_us_sum {}\n", h.sum_us));
+        out.push_str(&format!("nserver_queue_wait_us_count {}\n", h.count));
+    }
+    family(
+        &mut out,
+        "nserver_queue_wait_quantile_us",
+        "gauge",
+        "Queue-wait quantile estimates in microseconds.",
+    );
+    for (label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
+        out.push_str(&format!(
+            "nserver_queue_wait_quantile_us{{quantile=\"{label}\"}} {}\n",
+            lat.queue_wait.quantile_us(q)
+        ));
+    }
+    family(
+        &mut out,
+        "nserver_queue_depth",
+        "gauge",
+        "Event Processor queue depth.",
+    );
     out.push_str(&format!("nserver_queue_depth {}\n", lat.queue_depth));
+    family(
+        &mut out,
+        "nserver_queue_depth_high_water",
+        "gauge",
+        "Decaying high-water mark of the queue depth.",
+    );
     out.push_str(&format!(
         "nserver_queue_depth_high_water {}\n",
         lat.queue_depth_high_water
     ));
+    family(
+        &mut out,
+        "nserver_trace_dropped_spans",
+        "counter",
+        "Trace-ring records evicted by overflow (lossy trace windows).",
+    );
+    out.push_str(&format!(
+        "nserver_trace_dropped_spans {}\n",
+        extras.trace_dropped
+    ));
+    if let Some(c) = &extras.cache {
+        for (name, v, help) in [
+            ("nserver_cache_hits", c.hits, "File-cache hits."),
+            ("nserver_cache_misses", c.misses, "File-cache misses."),
+            (
+                "nserver_cache_evictions",
+                c.evictions,
+                "File-cache evictions.",
+            ),
+            (
+                "nserver_cache_rejected",
+                c.rejected,
+                "Oversized inserts the file cache refused.",
+            ),
+            (
+                "nserver_cache_coalesced_waits",
+                c.coalesced_waits,
+                "Cache misses served by waiting on another loader (single-flight).",
+            ),
+        ] {
+            family(&mut out, name, "counter", help);
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        family(
+            &mut out,
+            "nserver_cache_used_bytes",
+            "gauge",
+            "Bytes currently cached.",
+        );
+        out.push_str(&format!("nserver_cache_used_bytes {}\n", c.used_bytes));
+        family(
+            &mut out,
+            "nserver_cache_capacity_bytes",
+            "gauge",
+            "Configured cache capacity in bytes.",
+        );
+        out.push_str(&format!(
+            "nserver_cache_capacity_bytes {}\n",
+            c.capacity_bytes
+        ));
+    }
+    if let Some(o) = &extras.overload {
+        family(
+            &mut out,
+            "nserver_overload_paused",
+            "gauge",
+            "1 while the overload controller is shedding accepts.",
+        );
+        out.push_str(&format!(
+            "nserver_overload_paused {}\n",
+            u64::from(o.paused)
+        ));
+        family(
+            &mut out,
+            "nserver_overload_pauses",
+            "counter",
+            "Transitions into the shedding state (high watermark crossed).",
+        );
+        out.push_str(&format!(
+            "nserver_overload_pauses {}\n",
+            o.pause_transitions
+        ));
+        family(
+            &mut out,
+            "nserver_overload_resumes",
+            "counter",
+            "Transitions back to accepting (low watermark crossed).",
+        );
+        out.push_str(&format!(
+            "nserver_overload_resumes {}\n",
+            o.resume_transitions
+        ));
+    }
+    if let Some(w) = &extras.workers {
+        family(
+            &mut out,
+            "nserver_workers_running",
+            "gauge",
+            "Worker-table slots currently executing a stage.",
+        );
+        out.push_str(&format!("nserver_workers_running {}\n", w.running));
+        family(
+            &mut out,
+            "nserver_workers_idle",
+            "gauge",
+            "Worker-table slots currently idle.",
+        );
+        out.push_str(&format!("nserver_workers_idle {}\n", w.idle));
+    }
+    if let Some(t) = extras.watchdog_triggers {
+        family(
+            &mut out,
+            "nserver_watchdog_triggers",
+            "counter",
+            "Watchdog invariant violations detected.",
+        );
+        out.push_str(&format!("nserver_watchdog_triggers {t}\n"));
+    }
+    if let Some(s) = extras.snapshots_captured {
+        family(
+            &mut out,
+            "nserver_diag_snapshots",
+            "counter",
+            "Diagnostic snapshots captured (watchdog-triggered and on-demand).",
+        );
+        out.push_str(&format!("nserver_diag_snapshots {s}\n"));
+    }
     out
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

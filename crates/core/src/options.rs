@@ -245,7 +245,9 @@ impl ServerOptions {
     pub fn validate(&self) -> Result<(), OptionsError> {
         if let DispatcherThreads::Multi(n) = self.dispatcher_threads {
             if n == 0 {
-                return Err(OptionsError("O1: dispatcher thread count must be ≥ 1".into()));
+                return Err(OptionsError(
+                    "O1: dispatcher thread count must be ≥ 1".into(),
+                ));
             }
         }
         match self.thread_allocation {
@@ -258,9 +260,7 @@ impl ServerOptions {
                 ));
             }
             ThreadAllocation::Dynamic { min, max, .. } if max < min => {
-                return Err(OptionsError(
-                    "O5: dynamic pool needs 1 ≤ min ≤ max".into(),
-                ));
+                return Err(OptionsError("O5: dynamic pool needs 1 ≤ min ≤ max".into()));
             }
             _ => {}
         }
@@ -396,7 +396,11 @@ impl ServerOptions {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "Yes".into() } else { "No".into() }
+    if b {
+        "Yes".into()
+    } else {
+        "No".into()
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ pub struct OverloadController {
     max_connections: Option<usize>,
     watched: Vec<(LenProbe, Watermark)>,
     pauses: u64,
+    resumes: u64,
 }
 
 impl OverloadController {
@@ -77,6 +78,7 @@ impl OverloadController {
             max_connections: None,
             watched: Vec::new(),
             pauses: 0,
+            resumes: 0,
         }
     }
 
@@ -86,6 +88,7 @@ impl OverloadController {
             max_connections: Some(limit),
             watched: Vec::new(),
             pauses: 0,
+            resumes: 0,
         }
     }
 
@@ -118,6 +121,9 @@ impl OverloadController {
             if now && !was {
                 self.pauses += 1;
             }
+            if was && !now {
+                self.resumes += 1;
+            }
             pause |= now;
         }
         !pause
@@ -126,6 +132,18 @@ impl OverloadController {
     /// Times any watermark transitioned into the paused state.
     pub fn pause_transitions(&self) -> u64 {
         self.pauses
+    }
+
+    /// Times any watermark transitioned back to accepting.
+    pub fn resume_transitions(&self) -> u64 {
+        self.resumes
+    }
+
+    /// Whether any watched watermark is currently paused. Does not
+    /// re-observe the probes: reflects the state as of the last
+    /// [`may_accept`](Self::may_accept) call.
+    pub fn is_paused(&self) -> bool {
+        self.watched.iter().any(|(_, wm)| wm.is_paused())
     }
 }
 
@@ -179,6 +197,23 @@ mod tests {
         probe.store(5, Ordering::Relaxed);
         assert!(c.may_accept(0));
         assert_eq!(c.pause_transitions(), 1);
+        assert_eq!(c.resume_transitions(), 1);
+        assert!(!c.is_paused());
+    }
+
+    #[test]
+    fn resume_counter_tracks_pause_counter() {
+        let probe: LenProbe = Arc::new(AtomicUsize::new(0));
+        let mut c = OverloadController::with_watermark(Arc::clone(&probe), 20, 5);
+        for _ in 0..3 {
+            probe.store(25, Ordering::Relaxed);
+            assert!(!c.may_accept(0));
+            assert!(c.is_paused());
+            probe.store(0, Ordering::Relaxed);
+            assert!(c.may_accept(0));
+        }
+        assert_eq!(c.pause_transitions(), 3);
+        assert_eq!(c.resume_transitions(), 3);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use bytes::BytesMut;
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 
+use crate::diag;
 use crate::event::{CompletionToken, ConnId, EventKind, Priority};
 use crate::metrics::{MetricsRegistry, Stage};
 use crate::proactor::HelperPool;
@@ -518,6 +519,9 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             Work::Process(id) => self.process_conn(id),
             Work::Completion(token, resp) => self.handle_completion(token, resp),
         }
+        // Diagnostics: the executing thread (pool worker or dispatcher)
+        // is between events again. No-op on unattached threads.
+        diag::stamp_idle();
         // Single choke point for dispatcher wake-ups: every outbox /
         // closing transition a work item can cause has happened by now
         // (including the panic path inside process_conn), so one
@@ -538,6 +542,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             // disabled registry's fast path skips even `Instant::now`.
             let profiled = self.metrics.is_enabled();
             let decode_started = profiled.then(std::time::Instant::now);
+            diag::stamp_stage(Stage::Decode, id);
             let decoded = {
                 let mut inbox = conn.inbox.lock();
                 self.codec.decode_with(&mut inbox, &mut decode_state)
@@ -557,9 +562,10 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                     // (and this connection's reply ordering) survives.
                     let service = &self.service;
                     let handle_started = profiled.then(std::time::Instant::now);
-                    let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || service.handle(&ctx, req),
-                    ));
+                    diag::stamp_stage(Stage::Handle, id);
+                    let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service.handle(&ctx, req)
+                    }));
                     if let Some(t0) = handle_started {
                         self.metrics
                             .record_stage(Stage::Handle, t0.elapsed().as_micros() as u64);
@@ -666,10 +672,8 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
 
     fn finish(&self, conn: &Arc<ConnShared>, seq: u64, resp: C::Response, close_after: bool) {
         let mut out = EncodedReply::new();
-        let encode_started = self
-            .metrics
-            .is_enabled()
-            .then(std::time::Instant::now);
+        let encode_started = self.metrics.is_enabled().then(std::time::Instant::now);
+        diag::stamp_stage(Stage::Encode, conn.id);
         let encoded = self.codec.encode_reply(&resp, &mut out);
         if let Some(t0) = encode_started {
             self.metrics

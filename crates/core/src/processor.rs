@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::diag::{WorkerRole, WorkerStateTable};
 use crate::event::Priority;
 use crate::options::ThreadAllocation;
 use crate::queue::BlockingQueue;
@@ -31,6 +32,10 @@ pub struct EventProcessor<T: Send + 'static> {
     idle_keepalive: Duration,
     workers: Mutex<Vec<JoinHandle<()>>>,
     controller: Mutex<Option<JoinHandle<()>>>,
+    /// Diagnostics: when present, every worker registers a slot and
+    /// stamps idle between events (stage stamps happen inside the
+    /// pipeline, which knows the stage and connection).
+    worker_table: Option<Arc<WorkerStateTable>>,
 }
 
 impl<T: Send + 'static> EventProcessor<T> {
@@ -40,6 +45,17 @@ impl<T: Send + 'static> EventProcessor<T> {
         alloc: ThreadAllocation,
         queue: Arc<BlockingQueue<T>>,
         handler: Arc<dyn Fn(T) + Send + Sync>,
+    ) -> Arc<Self> {
+        Self::start_with_diag(alloc, queue, handler, None)
+    }
+
+    /// [`start`](Self::start) with an optional worker state table for the
+    /// diagnostics subsystem.
+    pub fn start_with_diag(
+        alloc: ThreadAllocation,
+        queue: Arc<BlockingQueue<T>>,
+        handler: Arc<dyn Fn(T) + Send + Sync>,
+        worker_table: Option<Arc<WorkerStateTable>>,
     ) -> Arc<Self> {
         let (min, max, keepalive) = match alloc {
             ThreadAllocation::Static { threads } => {
@@ -68,6 +84,7 @@ impl<T: Send + 'static> EventProcessor<T> {
             idle_keepalive: keepalive,
             workers: Mutex::new(Vec::new()),
             controller: Mutex::new(None),
+            worker_table,
         });
         for _ in 0..min {
             proc.spawn_worker();
@@ -129,18 +146,22 @@ impl<T: Send + 'static> EventProcessor<T> {
     }
 
     fn worker_loop(self: Arc<Self>) {
+        if let Some(table) = &self.worker_table {
+            crate::diag::attach_worker(table, WorkerRole::Worker);
+        }
         let mut idle_since = Instant::now();
         loop {
             match self.queue.pop_wait(Duration::from_millis(20)) {
                 Some(item) => {
                     // A panicking hook must not kill the worker (the pool
                     // would silently shrink); isolate it to this event.
-                    let result = std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| (self.handler)(item)),
-                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        (self.handler)(item)
+                    }));
                     if result.is_err() {
                         self.panics.fetch_add(1, Ordering::Relaxed);
                     }
+                    crate::diag::stamp_idle();
                     idle_since = Instant::now();
                 }
                 None => {
@@ -163,12 +184,14 @@ impl<T: Send + 'static> EventProcessor<T> {
                                 )
                                 .is_ok()
                         {
+                            crate::diag::detach_worker();
                             return; // retire without decrementing again
                         }
                     }
                 }
             }
         }
+        crate::diag::detach_worker();
         self.live.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -209,11 +232,7 @@ mod tests {
         let handler = Arc::new(move |i: u32| {
             tx.send(i).unwrap();
         });
-        let proc = EventProcessor::start(
-            ThreadAllocation::Static { threads: 3 },
-            fifo(),
-            handler,
-        );
+        let proc = EventProcessor::start(ThreadAllocation::Static { threads: 3 }, fifo(), handler);
         assert_eq!(proc.live_workers(), 3);
         for i in 0..100 {
             proc.submit(i, Priority(0));
@@ -234,11 +253,7 @@ mod tests {
             std::thread::sleep(Duration::from_micros(200));
             tx.send(i).unwrap();
         });
-        let proc = EventProcessor::start(
-            ThreadAllocation::Static { threads: 1 },
-            fifo(),
-            handler,
-        );
+        let proc = EventProcessor::start(ThreadAllocation::Static { threads: 1 }, fifo(), handler);
         for i in 0..50 {
             proc.submit(i, Priority(0));
         }
@@ -309,11 +324,7 @@ mod tests {
         let handler = Arc::new(move |s: &'static str| {
             tx.send(s).unwrap();
         });
-        let proc = EventProcessor::start(
-            ThreadAllocation::Static { threads: 1 },
-            q,
-            handler,
-        );
+        let proc = EventProcessor::start(ThreadAllocation::Static { threads: 1 }, q, handler);
         let first = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         let second = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!((first, second), ("high", "low"));

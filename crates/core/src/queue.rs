@@ -8,12 +8,13 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::event::Priority;
+use crate::metrics::MetricsRegistry;
 
 /// An in-memory event queue. Implementations decide the service order;
 /// callers supply a priority that FIFO queues simply ignore.
@@ -66,15 +67,32 @@ impl<T: Send> EventQueue<T> for FifoQueue<T> {
 /// Low-watermark value paired with the callback it triggers.
 type DrainHook = (usize, Box<dyn Fn() + Send + Sync>);
 
+/// Envelope pairing an item with its enqueue instant. The stamp travels
+/// with the item through whatever discipline the inner queue applies
+/// (FIFO or priority-quota reordering), so the dequeue side can attribute
+/// the exact per-item wait. The clock is only read when a metrics
+/// registry is attached *and* enabled — the O11 = No hot path stays
+/// clock-free and allocation-free. Only [`BlockingQueue`] constructs
+/// these; the type is public solely because it names the inner queue's
+/// item type in [`BlockingQueue::new`].
+pub struct Stamped<T> {
+    item: T,
+    enqueued_at: Option<Instant>,
+}
+
 /// A thread-safe blocking façade over any [`EventQueue`]: workers block on
 /// `pop_wait`, the dispatcher pushes, and the overload controller (O9)
 /// observes the exact queue length through a shared gauge without taking
 /// the lock.
 pub struct BlockingQueue<T> {
-    inner: Mutex<Box<dyn EventQueue<T>>>,
+    inner: Mutex<Box<dyn EventQueue<Stamped<T>>>>,
     available: Condvar,
     len_gauge: Arc<AtomicUsize>,
     closed: Mutex<bool>,
+    /// Queue-wait accounting (O11): when attached, every push stamps the
+    /// enqueue instant and every pop records the enqueue→dequeue delay
+    /// into the registry's queue-wait histogram.
+    wait_metrics: OnceLock<Arc<MetricsRegistry>>,
     /// Workers currently parked in `pop_wait`. Maintained under the inner
     /// lock so an observer that sees a waiter knows its `notify` cannot be
     /// lost — test synchronization without sleeps.
@@ -87,17 +105,40 @@ pub struct BlockingQueue<T> {
 }
 
 impl<T: Send + 'static> BlockingQueue<T> {
-    /// Wrap a queue discipline.
-    pub fn new(queue: Box<dyn EventQueue<T>>) -> Arc<Self> {
+    /// Wrap a queue discipline. The discipline stores [`Stamped`]
+    /// envelopes, but generic inference keeps call sites unchanged:
+    /// `BlockingQueue::new(Box::new(FifoQueue::new()))` still compiles.
+    pub fn new(queue: Box<dyn EventQueue<Stamped<T>>>) -> Arc<Self> {
         Arc::new(Self {
             inner: Mutex::new(queue),
             available: Condvar::new(),
             len_gauge: Arc::new(AtomicUsize::new(0)),
             closed: Mutex::new(false),
+            wait_metrics: OnceLock::new(),
             waiters: AtomicUsize::new(0),
             drain_hook: Mutex::new(None),
             drain_armed: AtomicBool::new(false),
         })
+    }
+
+    /// Attach the registry whose queue-wait histogram pops record into.
+    /// One-shot; later calls are ignored. A disabled registry keeps the
+    /// stamping off entirely (no clock reads on push or pop).
+    pub fn set_wait_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        let _ = self.wait_metrics.set(metrics);
+    }
+
+    fn stamp(&self) -> Option<Instant> {
+        match self.wait_metrics.get() {
+            Some(m) if m.is_enabled() => Some(Instant::now()),
+            _ => None,
+        }
+    }
+
+    fn record_wait(&self, enqueued_at: Option<Instant>) {
+        if let (Some(at), Some(m)) = (enqueued_at, self.wait_metrics.get()) {
+            m.record_queue_wait(at.elapsed().as_micros() as u64);
+        }
     }
 
     /// Shared gauge mirroring the queue length (for watermark probes).
@@ -143,8 +184,12 @@ impl<T: Send + 'static> BlockingQueue<T> {
 
     /// Enqueue an item; wakes one waiting worker.
     pub fn push(&self, item: T, prio: Priority) {
+        let stamped = Stamped {
+            item,
+            enqueued_at: self.stamp(),
+        };
         let mut q = self.inner.lock();
-        q.push(item, prio);
+        q.push(stamped, prio);
         self.len_gauge.store(q.len(), Ordering::Relaxed);
         drop(q);
         self.available.notify_one();
@@ -157,10 +202,11 @@ impl<T: Send + 'static> BlockingQueue<T> {
         let len = q.len();
         self.len_gauge.store(len, Ordering::Relaxed);
         drop(q);
-        if item.is_some() {
+        item.map(|s| {
             self.maybe_fire_drain(len);
-        }
-        item
+            self.record_wait(s.enqueued_at);
+            s.item
+        })
     }
 
     /// Block up to `timeout` for an item. Returns `None` on timeout or when
@@ -169,12 +215,13 @@ impl<T: Send + 'static> BlockingQueue<T> {
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.inner.lock();
         loop {
-            if let Some(item) = q.pop() {
+            if let Some(s) = q.pop() {
                 let len = q.len();
                 self.len_gauge.store(len, Ordering::Relaxed);
                 drop(q);
                 self.maybe_fire_drain(len);
-                return Some(item);
+                self.record_wait(s.enqueued_at);
+                return Some(s.item);
             }
             if *self.closed.lock() {
                 return None;
@@ -192,10 +239,11 @@ impl<T: Send + 'static> BlockingQueue<T> {
                 let len = q.len();
                 self.len_gauge.store(len, Ordering::Relaxed);
                 drop(q);
-                if item.is_some() {
+                return item.map(|s| {
                     self.maybe_fire_drain(len);
-                }
-                return item;
+                    self.record_wait(s.enqueued_at);
+                    s.item
+                });
             }
         }
     }
@@ -324,6 +372,30 @@ mod tests {
         assert_eq!(gauge.load(Ordering::Relaxed), 2);
         q.try_pop();
         assert_eq!(gauge.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn attached_metrics_record_queue_wait() {
+        let q = BlockingQueue::new(Box::new(FifoQueue::new()));
+        let m = MetricsRegistry::enabled();
+        q.set_wait_metrics(Arc::clone(&m));
+        q.push(1, Priority(0));
+        q.push(2, Priority(0));
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.pop_wait(Duration::from_millis(5)), Some(2));
+        let lat = m.latency_snapshot();
+        assert_eq!(lat.queue_wait.count, 2, "both pops must record a wait");
+    }
+
+    #[test]
+    fn disabled_metrics_record_no_queue_wait() {
+        let q = BlockingQueue::new(Box::new(FifoQueue::new()));
+        let m = MetricsRegistry::disabled();
+        q.set_wait_metrics(Arc::clone(&m));
+        q.push(1, Priority(0));
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(m.latency_snapshot().queue_wait.count, 0);
+        assert_eq!(m.samples_recorded(), 0, "O11=No pin: zero samples");
     }
 
     #[test]

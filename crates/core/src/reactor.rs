@@ -188,6 +188,8 @@ pub struct Dispatcher<C: Codec, S: Service<C>, L: Listener> {
     pub drain: Arc<AtomicBool>,
     /// Connection id allocator shared by all dispatchers.
     pub next_conn_id: Arc<AtomicU64>,
+    /// Diagnostics worker table (None when diagnostics are not wired).
+    pub worker_table: Option<Arc<crate::diag::WorkerStateTable>>,
 }
 
 struct ConnLocal<St> {
@@ -214,6 +216,12 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
     /// (or the listener, or a waker) is ready; runs until the stop flag is
     /// raised, then closes every connection it owns.
     pub fn run(mut self) {
+        // Diagnostics: publish this dispatcher's activity in the worker
+        // state table (it handles events inline when O2 = No, and its
+        // liveness matters in every mode). No-op when no table is wired.
+        if let Some(table) = &self.worker_table {
+            crate::diag::attach_worker(table, crate::diag::WorkerRole::Dispatcher);
+        }
         let mut conns: HashMap<ConnId, ConnLocal<L::Stream>> = HashMap::new();
         let mut idle = self.idle_limit.map(IdleTracker::new);
         let mut stage = StageTracker::from_options(&self.stage_deadlines);
@@ -239,6 +247,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 for (_, mut c) in conns.drain() {
                     self.finalize(&mut c);
                 }
+                crate::diag::detach_worker();
                 return;
             }
             let draining = self.drain.load(Ordering::Relaxed);
@@ -463,11 +472,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         if let Some(c) = conns.get(&id) {
                             c.shared.closing.store(true, Ordering::Relaxed);
                             ServerStats::bump(&self.engine.stats.connections_idle_closed);
-                            self.engine.tracer.record(
-                                EventKind::Timer,
-                                Some(id),
-                                "idle shutdown",
-                            );
+                            self.engine
+                                .tracer
+                                .record(EventKind::Timer, Some(id), "idle shutdown");
                             // Reap on the next (immediate) pass.
                             ready_backlog.push_back(id);
                         }

@@ -17,10 +17,12 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::diag::{DiagHub, DiagSnapshot, Watchdog, WatchdogConfig, WorkerStateTable};
 use crate::event::Priority;
-use crate::metrics::{prometheus_text, LatencySnapshot, MetricsRegistry};
+use crate::metrics::{prometheus_text_with, LatencySnapshot, MetricsRegistry};
 use crate::options::{
     CompletionMode, EventScheduling, Mode, OptionsError, OverloadControl, ServerOptions,
+    ThreadAllocation,
 };
 use crate::overload::OverloadController;
 use crate::pipeline::{Codec, Engine, Registry, Service, Work};
@@ -42,6 +44,8 @@ pub struct ServerBuilder<C: Codec, S: Service<C>> {
     helper_threads: usize,
     stats: Option<Arc<ServerStats>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    diag: Option<DiagHub>,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
@@ -57,6 +61,8 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             helper_threads: 4,
             stats: None,
             metrics: None,
+            diag: None,
+            watchdog: None,
         })
     }
 
@@ -99,6 +105,28 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
         self
     }
 
+    /// Inject a pre-made diagnostics hub so application code created
+    /// before `serve` (a `/debug/snapshot` route, an FTP `SITE DUMP`
+    /// handler) can share the running server's flight recorder. `serve`
+    /// wires the tracer, worker table, queue gauges and overload
+    /// controller into it. Defaults to a fresh hub, reachable through
+    /// [`ServerHandle::diag`]. When a hub is injected and no explicit
+    /// stats/metrics registries are, the hub's registries become the
+    /// server's.
+    pub fn diag(mut self, hub: DiagHub) -> Self {
+        self.diag = Some(hub);
+        self
+    }
+
+    /// Spawn a watchdog thread over the diagnostics hub with this
+    /// configuration. When `queue_saturation` is left `None` and O12
+    /// watermark overload control is configured, the high watermark is
+    /// used as the saturation threshold.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
     /// Start serving on the given listener. Returns a handle owning the
     /// framework threads.
     pub fn serve<L: Listener>(self, listener: L) -> ServerHandle<C, S> {
@@ -110,15 +138,43 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             Mode::Debug => DebugTracer::enabled(64 * 1024),
             Mode::Production => DebugTracer::disabled(),
         };
-        let stats = self.stats.clone().unwrap_or_else(ServerStats::new_shared);
-        let metrics = self.metrics.clone().unwrap_or_else(|| {
-            if opts.profiling {
-                MetricsRegistry::enabled()
-            } else {
-                MetricsRegistry::disabled()
+        let stats = self
+            .stats
+            .clone()
+            .or_else(|| self.diag.as_ref().map(|d| Arc::clone(d.stats())))
+            .unwrap_or_else(ServerStats::new_shared);
+        let metrics = self
+            .metrics
+            .clone()
+            .or_else(|| self.diag.as_ref().map(|d| Arc::clone(d.metrics())))
+            .unwrap_or_else(|| {
+                if opts.profiling {
+                    MetricsRegistry::enabled()
+                } else {
+                    MetricsRegistry::disabled()
+                }
+            });
+        let logger = if opts.logging {
+            self.logger.clone()
+        } else {
+            None
+        };
+
+        // --- Diagnostics: flight-recorder hub + worker state table. The
+        // table is sized for every thread that can hold a slot: all
+        // dispatchers plus the Event Processor's worst-case pool.
+        let max_workers = if opts.separate_handler_pool {
+            match opts.thread_allocation {
+                ThreadAllocation::Static { threads } => threads.max(1),
+                ThreadAllocation::Dynamic { min, max, .. } => max.max(min.max(1)),
             }
-        });
-        let logger = if opts.logging { self.logger.clone() } else { None };
+        } else {
+            0
+        };
+        let diag = self
+            .diag
+            .clone()
+            .unwrap_or_else(|| DiagHub::new(Arc::clone(&stats), Arc::clone(&metrics)));
 
         // --- Crosscut: O4 (Proactor helpers + completion channel). ---
         let (helper, completion_tx, completion_rx) = match opts.completion_mode {
@@ -152,6 +208,10 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
         }
         let notifier = DispatchNotifier::new(notify_targets);
 
+        let worker_table = WorkerStateTable::new(n_dispatchers + max_workers + 2);
+        diag.wire_tracer(tracer.clone());
+        diag.wire_workers(Arc::clone(&worker_table));
+
         let registry: Registry = Arc::new(parking_lot::RwLock::new(Default::default()));
         let engine = Arc::new(Engine {
             codec: Arc::clone(&self.codec),
@@ -174,6 +234,9 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
                     BlockingQueue::new(Box::new(PriorityQuotaQueue::new(quotas.clone())))
                 }
             };
+            // O11: stamp each item at enqueue so the dequeue side can
+            // account queue-wait time (no-op while metrics are disabled).
+            queue.set_wait_metrics(Arc::clone(&metrics));
             let handler = {
                 let engine = Arc::clone(&engine);
                 // O11: sample the queue depth as each work item is picked
@@ -186,14 +249,24 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
                     engine.handle_work(w)
                 })
             };
-            Some(EventProcessor::start(
+            Some(EventProcessor::start_with_diag(
                 opts.thread_allocation,
                 queue,
                 handler,
+                Some(Arc::clone(&worker_table)),
             ))
         } else {
             None
         };
+        if let Some(p) = &processor {
+            let waiters_src = Arc::clone(p.queue());
+            diag.wire_queue(
+                p.queue().len_gauge(),
+                Arc::new(move || waiters_src.waiters()),
+            );
+            let panics_src = Arc::clone(p);
+            diag.wire_extra_panics(Arc::new(move || panics_src.handler_panics() as u64));
+        }
 
         // --- Crosscut: O9 (overload controller). ---
         let overload = match opts.overload_control {
@@ -215,6 +288,23 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             }
         };
         let overload = Arc::new(Mutex::new(overload));
+        diag.wire_overload(Arc::clone(&overload));
+
+        // --- Watchdog: periodic invariant checks over the wired hub. The
+        // ping closure pulls dispatchers out of their poller waits so a
+        // still wakeup counter can be told apart from a genuine stall.
+        let watchdog = self.watchdog.clone().map(|mut cfg| {
+            if cfg.queue_saturation.is_none() {
+                if let OverloadControl::Watermark { high, .. } = opts.overload_control {
+                    cfg.queue_saturation = Some(high);
+                }
+            }
+            let ping = {
+                let n = notifier.clone();
+                Arc::new(move || n.wake_all()) as Arc<dyn Fn() + Send + Sync>
+            };
+            Watchdog::spawn(cfg, diag.clone(), Some(ping))
+        });
 
         // --- O1: dispatcher threads. ---
         let stop = Arc::new(AtomicBool::new(false));
@@ -243,7 +333,11 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             let d = Dispatcher::<C, S, L> {
                 index,
                 engine: Arc::clone(&engine),
-                listener: if index == 0 { listener_slot.take() } else { None },
+                listener: if index == 0 {
+                    listener_slot.take()
+                } else {
+                    None
+                },
                 poller,
                 inj_rx: rx,
                 inj_txs: inj_txs.clone(),
@@ -251,13 +345,18 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
                 notifier: notifier.clone(),
                 submit: submit.clone(),
                 overload: Arc::clone(&overload),
-                completion_rx: if index == 0 { completion_rx.clone() } else { None },
+                completion_rx: if index == 0 {
+                    completion_rx.clone()
+                } else {
+                    None
+                },
                 priority_policy: Arc::clone(&self.priority_policy),
                 idle_limit,
                 stage_deadlines,
                 stop: Arc::clone(&stop),
                 drain: Arc::clone(&drain),
                 next_conn_id: Arc::clone(&next_conn_id),
+                worker_table: Some(Arc::clone(&worker_table)),
             };
             dispatchers.push(
                 std::thread::Builder::new()
@@ -276,6 +375,8 @@ impl<C: Codec, S: Service<C>> ServerBuilder<C, S> {
             dispatchers,
             local_label,
             options: self.options,
+            diag,
+            watchdog,
         }
     }
 }
@@ -291,6 +392,8 @@ pub struct ServerHandle<C: Codec, S: Service<C>> {
     dispatchers: Vec<JoinHandle<()>>,
     local_label: String,
     options: ServerOptions,
+    diag: DiagHub,
+    watchdog: Option<Watchdog>,
 }
 
 impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
@@ -323,9 +426,27 @@ impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
     }
 
     /// Counters + per-stage latencies in the Prometheus text exposition
-    /// format (what `/server-status` and FTP `STAT` serve).
+    /// format (what `/server-status` and FTP `STAT` serve), extended
+    /// with every optional family the diagnostics hub has wired.
     pub fn prometheus(&self) -> String {
-        prometheus_text(&self.stats(), &self.latency())
+        prometheus_text_with(&self.stats(), &self.latency(), &self.diag.extras())
+    }
+
+    /// The diagnostics hub: the flight recorder `serve` wired to this
+    /// server's tracer, worker table, queue gauges and overload state.
+    pub fn diag(&self) -> &DiagHub {
+        &self.diag
+    }
+
+    /// Capture an on-demand diagnostic snapshot (what `/debug/snapshot`
+    /// and FTP `SITE DUMP` serve).
+    pub fn snapshot(&self, reason: &str) -> DiagSnapshot {
+        self.diag.capture(reason)
+    }
+
+    /// Whether the watchdog (when one was configured) has ever fired.
+    pub fn watchdog_fired(&self) -> bool {
+        self.watchdog.as_ref().is_some_and(|w| w.has_fired())
     }
 
     /// Currently open connections.
@@ -368,6 +489,11 @@ impl<C: Codec, S: Service<C>> ServerHandle<C, S> {
     /// Stop accepting, close every connection, drain the event queue, and
     /// join all framework threads.
     pub fn shutdown(mut self) {
+        // Quiet the watchdog first so teardown (a deliberately stalled
+        // world from its point of view) cannot fire spurious snapshots.
+        if let Some(mut w) = self.watchdog.take() {
+            w.stop();
+        }
         self.stop.store(true, Ordering::Relaxed);
         // Dispatchers block in their pollers; pull each one out so it
         // sees the stop flag immediately.

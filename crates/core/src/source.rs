@@ -57,14 +57,7 @@ impl<T: Send> ChannelSource<T> {
     /// Create the source plus the sender handle producers use.
     pub fn new(name: &'static str, priority: Priority) -> (Self, Sender<T>) {
         let (tx, rx) = unbounded();
-        (
-            Self {
-                name,
-                priority,
-                rx,
-            },
-            tx,
-        )
+        (Self { name, priority, rx }, tx)
     }
 }
 

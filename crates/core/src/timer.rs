@@ -143,10 +143,7 @@ impl IdleTracker {
     /// uses this as its poll timeout so it sleeps exactly until the next
     /// sweep is due instead of waking on a fixed cadence.
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.last_activity
-            .values()
-            .min()
-            .map(|&t| t + self.limit)
+        self.last_activity.values().min().map(|&t| t + self.limit)
     }
 
     /// Number of tracked connections.
@@ -270,7 +267,12 @@ impl StageTracker {
 
     /// Number of connections with at least one armed stage window.
     pub fn len(&self) -> usize {
-        let mut ids: Vec<u64> = self.header.keys().chain(self.drain.keys()).copied().collect();
+        let mut ids: Vec<u64> = self
+            .header
+            .keys()
+            .chain(self.drain.keys())
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -408,8 +410,10 @@ mod tests {
     #[test]
     fn stage_tracker_next_deadline_spans_both_stages() {
         let t0 = Instant::now();
-        let mut st =
-            StageTracker::new(Some(Duration::from_millis(100)), Some(Duration::from_millis(30)));
+        let mut st = StageTracker::new(
+            Some(Duration::from_millis(100)),
+            Some(Duration::from_millis(30)),
+        );
         st.arm_header(1, t0);
         st.arm_drain(2, t0);
         assert_eq!(st.next_deadline(), Some(t0 + Duration::from_millis(30)));
@@ -424,8 +428,10 @@ mod tests {
     #[test]
     fn stage_tracker_sweep_reports_a_connection_once() {
         let t0 = Instant::now();
-        let mut st =
-            StageTracker::new(Some(Duration::from_millis(10)), Some(Duration::from_millis(10)));
+        let mut st = StageTracker::new(
+            Some(Duration::from_millis(10)),
+            Some(Duration::from_millis(10)),
+        );
         st.arm_header(3, t0);
         st.arm_drain(3, t0);
         assert_eq!(st.sweep(t0 + Duration::from_millis(20)), vec![3]);

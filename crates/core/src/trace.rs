@@ -148,12 +148,16 @@ pub struct DebugTracer {
     /// regression test pins: a production-mode run must keep this at zero
     /// (every hot-path call site uses allocation-free [`SpanEvent`]s).
     detail_strings: Arc<AtomicU64>,
+    /// Records evicted by ring overflow. Kept outside the ring mutex so
+    /// the exposition layer can read it lock-free; the diagnostics
+    /// snapshot and Prometheus output both surface it, making lossy
+    /// trace windows detectable instead of silent.
+    dropped: Arc<AtomicU64>,
 }
 
 struct TraceInner {
     ring: VecDeque<TraceRecord>,
     capacity: usize,
-    dropped: u64,
 }
 
 impl DebugTracer {
@@ -163,11 +167,11 @@ impl DebugTracer {
             inner: Arc::new(Mutex::new(TraceInner {
                 ring: VecDeque::with_capacity(capacity.min(4096)),
                 capacity: capacity.max(1),
-                dropped: 0,
             })),
             epoch: Instant::now(),
             enabled: true,
             detail_strings: Arc::new(AtomicU64::new(0)),
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -177,11 +181,11 @@ impl DebugTracer {
             inner: Arc::new(Mutex::new(TraceInner {
                 ring: VecDeque::new(),
                 capacity: 1,
-                dropped: 0,
             })),
             epoch: Instant::now(),
             enabled: false,
             detail_strings: Arc::new(AtomicU64::new(0)),
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -228,7 +232,7 @@ impl DebugTracer {
         let mut inner = self.inner.lock();
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
-            inner.dropped += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         inner.ring.push_back(rec);
     }
@@ -255,19 +259,25 @@ impl DebugTracer {
         self.inner.lock().ring.iter().cloned().collect()
     }
 
-    /// Records evicted from the ring so far.
+    /// Copy out the newest `n` retained records, oldest-of-the-tail
+    /// first. Diagnostic snapshots use this to bound their span section
+    /// without copying the whole ring under the lock.
+    pub fn dump_tail(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.inner.lock();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Records evicted from the ring so far (lock-free read).
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().dropped
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Render the trace as text lines (what debug mode writes to its file).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in self.dump() {
-            let conn = r
-                .conn
-                .map(|c| format!(" conn={c}"))
-                .unwrap_or_default();
+            let conn = r.conn.map(|c| format!(" conn={c}")).unwrap_or_default();
             out.push_str(&format!(
                 "[{:>10}µs] {}{} {}\n",
                 r.at_us,
@@ -343,6 +353,19 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0].detail, "t2");
         assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn dump_tail_returns_newest_records_in_order() {
+        let t = DebugTracer::enabled(8);
+        for i in 0..6 {
+            t.record(EventKind::Timer, None, format!("t{i}"));
+        }
+        let tail = t.dump_tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].detail, "t4");
+        assert_eq!(tail[1].detail, "t5");
+        assert_eq!(t.dump_tail(100).len(), 6);
     }
 
     #[test]

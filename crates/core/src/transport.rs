@@ -527,9 +527,8 @@ mod epoll {
                 Some(d) => d.as_millis().max(1).min(i32::MAX as u128) as i32,
             };
             let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
-            let n = unsafe {
-                epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
-            };
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
             if n < 0 {
                 // EINTR or transient failure: report a spurious wake and
                 // let the dispatcher loop re-enter the wait.
@@ -702,13 +701,14 @@ pub mod mem {
         /// Notify every live watcher that this pipe became readable;
         /// prunes watchers whose poller is gone.
         fn notify(&mut self) {
-            self.watchers.retain(|(shared, token)| match shared.upgrade() {
-                Some(shared) => {
-                    shared.mark_ready(*token);
-                    true
-                }
-                None => false,
-            });
+            self.watchers
+                .retain(|(shared, token)| match shared.upgrade() {
+                    Some(shared) => {
+                        shared.mark_ready(*token);
+                        true
+                    }
+                    None => false,
+                });
         }
     }
 
@@ -815,13 +815,14 @@ pub mod mem {
 
     impl Inbox {
         fn notify(&mut self) {
-            self.watchers.retain(|(shared, token)| match shared.upgrade() {
-                Some(shared) => {
-                    shared.mark_ready(*token);
-                    true
-                }
-                None => false,
-            });
+            self.watchers
+                .retain(|(shared, token)| match shared.upgrade() {
+                    Some(shared) => {
+                        shared.mark_ready(*token);
+                        true
+                    }
+                    None => false,
+                });
         }
     }
 
@@ -1126,9 +1127,7 @@ mod tests {
                         break;
                     }
                 }
-                ReadOutcome::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(1))
-                }
+                ReadOutcome::WouldBlock => std::thread::sleep(std::time::Duration::from_millis(1)),
                 ReadOutcome::Closed => panic!("unexpected close"),
             }
         }
@@ -1152,10 +1151,7 @@ mod tests {
 
     use super::mem::MemPoller;
 
-    fn wait_events(
-        poller: &mut MemPoller,
-        timeout: Option<Duration>,
-    ) -> Vec<PollEvent> {
+    fn wait_events(poller: &mut MemPoller, timeout: Option<Duration>) -> Vec<PollEvent> {
         let mut events = Vec::new();
         poller.wait(&mut events, timeout).unwrap();
         events
@@ -1308,7 +1304,9 @@ mod tests {
         poller
             .wait(&mut events, Some(Duration::from_secs(5)))
             .unwrap();
-        assert!(events.iter().any(|e| e.token == LISTENER_TOKEN && e.readable));
+        assert!(events
+            .iter()
+            .any(|e| e.token == LISTENER_TOKEN && e.readable));
         let server = l.try_accept().unwrap().expect("accepted");
         poller.register(42, &server, Interest::READABLE).unwrap();
 
@@ -1332,7 +1330,9 @@ mod tests {
         let mut server = server;
         let mut buf = [0u8; 8];
         let _ = server.try_read(&mut buf); // drain so readable goes quiet
-        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
         t.join().unwrap();
         poller.deregister(42, &server).unwrap();
         l.deregister_listener(&mut poller).unwrap();

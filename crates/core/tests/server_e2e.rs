@@ -131,7 +131,10 @@ fn mem_transport_greeting_echo_and_quit() {
     assert_eq!(stats.connections_accepted, 1);
     assert_eq!(stats.requests_decoded, 3);
     assert!(stats.bytes_read >= 13);
-    assert!(!server.tracer().dump().is_empty(), "debug mode traces events");
+    assert!(
+        !server.tracer().dump().is_empty(),
+        "debug mode traces events"
+    );
     server.shutdown();
 }
 
@@ -338,9 +341,7 @@ fn tcp_loopback_end_to_end() {
             while Instant::now() < deadline {
                 match c.try_read(&mut buf).unwrap() {
                     ReadOutcome::Data(n) => acc.extend_from_slice(&buf[..n]),
-                    ReadOutcome::WouldBlock => {
-                        std::thread::sleep(Duration::from_micros(500))
-                    }
+                    ReadOutcome::WouldBlock => std::thread::sleep(Duration::from_micros(500)),
                     ReadOutcome::Closed => break,
                 }
             }

@@ -35,6 +35,8 @@ pub enum Command {
     Size(String),
     /// `STAT [path]` (also accepted as `SITE STAT`) — server status.
     Stat(Option<String>),
+    /// `SITE DUMP` — capture and return a diagnostic snapshot (JSON).
+    SiteDump,
     /// A syntactically valid verb this server does not implement.
     Unknown(String),
 }
@@ -82,6 +84,7 @@ impl Command {
             "STAT" => Command::Stat(arg.filter(|a| !a.is_empty())),
             "SITE" => match arg.as_deref().map(str::trim) {
                 Some(a) if a.eq_ignore_ascii_case("STAT") => Command::Stat(None),
+                Some(a) if a.eq_ignore_ascii_case("DUMP") => Command::SiteDump,
                 _ => Command::Unknown(verb_upper),
             },
             _ => Command::Unknown(verb_upper),
@@ -95,25 +98,43 @@ mod tests {
 
     #[test]
     fn parses_common_commands() {
-        assert_eq!(Command::parse("USER alice").unwrap(), Command::User("alice".into()));
-        assert_eq!(Command::parse("PASS s3cret").unwrap(), Command::Pass("s3cret".into()));
+        assert_eq!(
+            Command::parse("USER alice").unwrap(),
+            Command::User("alice".into())
+        );
+        assert_eq!(
+            Command::parse("PASS s3cret").unwrap(),
+            Command::Pass("s3cret".into())
+        );
         assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
         assert_eq!(Command::parse("PWD").unwrap(), Command::Pwd);
-        assert_eq!(Command::parse("CWD /pub").unwrap(), Command::Cwd("/pub".into()));
+        assert_eq!(
+            Command::parse("CWD /pub").unwrap(),
+            Command::Cwd("/pub".into())
+        );
         assert_eq!(Command::parse("PASV").unwrap(), Command::Pasv);
         assert_eq!(Command::parse("LIST").unwrap(), Command::List(None));
         assert_eq!(
             Command::parse("LIST /pub").unwrap(),
             Command::List(Some("/pub".into()))
         );
-        assert_eq!(Command::parse("RETR f.txt").unwrap(), Command::Retr("f.txt".into()));
-        assert_eq!(Command::parse("STOR up.bin").unwrap(), Command::Stor("up.bin".into()));
+        assert_eq!(
+            Command::parse("RETR f.txt").unwrap(),
+            Command::Retr("f.txt".into())
+        );
+        assert_eq!(
+            Command::parse("STOR up.bin").unwrap(),
+            Command::Stor("up.bin".into())
+        );
         assert_eq!(Command::parse("SIZE f").unwrap(), Command::Size("f".into()));
     }
 
     #[test]
     fn verbs_are_case_insensitive() {
-        assert_eq!(Command::parse("user bob").unwrap(), Command::User("bob".into()));
+        assert_eq!(
+            Command::parse("user bob").unwrap(),
+            Command::User("bob".into())
+        );
         assert_eq!(Command::parse("pasv").unwrap(), Command::Pasv);
     }
 
@@ -134,7 +155,10 @@ mod tests {
 
     #[test]
     fn pass_allows_empty_password() {
-        assert_eq!(Command::parse("PASS").unwrap(), Command::Pass(String::new()));
+        assert_eq!(
+            Command::parse("PASS").unwrap(),
+            Command::Pass(String::new())
+        );
     }
 
     #[test]
@@ -149,6 +173,13 @@ mod tests {
             Command::parse("SITE CHMOD").unwrap(),
             Command::Unknown("SITE".into())
         );
+    }
+
+    #[test]
+    fn site_dump_parses_case_insensitively() {
+        assert_eq!(Command::parse("SITE DUMP").unwrap(), Command::SiteDump);
+        assert_eq!(Command::parse("site dump").unwrap(), Command::SiteDump);
+        assert_eq!(Command::parse("SITE  DUMP").unwrap(), Command::SiteDump);
     }
 
     #[test]

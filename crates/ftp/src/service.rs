@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use nserver_core::diag::DiagHub;
 use nserver_core::event::ConnId;
 use nserver_core::metrics::{MetricsRegistry, Stage};
 use nserver_core::pipeline::{Action, ConnCtx, Service};
@@ -40,6 +41,7 @@ pub struct FtpService {
     sessions: Mutex<HashMap<ConnId, Arc<Mutex<Session>>>>,
     server_name: String,
     status_source: Mutex<Option<(Arc<ServerStats>, Arc<MetricsRegistry>)>>,
+    diag_hub: Mutex<Option<DiagHub>>,
 }
 
 impl FtpService {
@@ -51,6 +53,7 @@ impl FtpService {
             sessions: Mutex::new(HashMap::new()),
             server_name: "COPS-FTP".to_string(),
             status_source: Mutex::new(None),
+            diag_hub: Mutex::new(None),
         }
     }
 
@@ -60,6 +63,14 @@ impl FtpService {
     /// session counts only.
     pub fn attach_stats(&self, stats: Arc<ServerStats>, metrics: Arc<MetricsRegistry>) {
         *self.status_source.lock() = Some((stats, metrics));
+    }
+
+    /// Attach the running server's diagnostics hub so `SITE DUMP` can
+    /// capture and return flight-recorder snapshots. Pass the hub given
+    /// to `ServerBuilder::diag`; without an attachment `SITE DUMP`
+    /// answers 211 with a note and no snapshot.
+    pub fn attach_diag(&self, hub: DiagHub) {
+        *self.diag_hub.lock() = Some(hub);
     }
 
     /// The multi-line 211 body for argument-less `STAT`.
@@ -237,16 +248,34 @@ impl Service<FtpCodec> for FtpService {
                                 &listing,
                             ))
                         }
-                        Some(t) if self.vfs.size(&t).is_some() => Action::Reply(
-                            replies::status_lines(
+                        Some(t) if self.vfs.size(&t).is_some() => {
+                            Action::Reply(replies::status_lines(
                                 &format!("Status of {t}"),
                                 std::slice::from_ref(&t),
-                            ),
-                        ),
+                            ))
+                        }
                         _ => Action::Reply(replies::file_unavailable(&p)),
                     }
                 }
             },
+            Command::SiteDump => {
+                let hub = self.diag_hub.lock().clone();
+                match hub {
+                    Some(hub) => {
+                        // The snapshot JSON is one line by construction, so
+                        // it rides inside a 211 multi-line reply verbatim.
+                        let json = hub.capture("ftp_site_dump").to_json();
+                        Action::Reply(replies::status_lines(
+                            "Diagnostic snapshot",
+                            std::slice::from_ref(&json),
+                        ))
+                    }
+                    None => Action::Reply(replies::status_lines(
+                        "Diagnostic snapshot",
+                        &["No diagnostics hub attached".to_string()],
+                    )),
+                }
+            }
             Command::Pasv => {
                 let listener = match TcpListener::bind("127.0.0.1:0") {
                     Ok(l) => l,
@@ -282,8 +311,7 @@ impl Service<FtpCodec> for FtpService {
                     let Some(mut data) = accept_data(&listener) else {
                         return replies::data_failed();
                     };
-                    let text: String =
-                        listing.iter().map(|e| format!("{e}\r\n")).collect();
+                    let text: String = listing.iter().map(|e| format!("{e}\r\n")).collect();
                     if data.write_all(text.as_bytes()).is_err() {
                         return replies::data_failed();
                     }
@@ -597,6 +625,31 @@ mod tests {
         let r = reply(&svc, 1, "STAT /pub/hello.txt");
         assert!(r.contains("/pub/hello.txt"), "{r}");
         assert!(reply(&svc, 1, "STAT /nope").starts_with("550"));
+    }
+
+    #[test]
+    fn site_dump_returns_snapshot_json() {
+        let svc = service();
+        login(&svc, 1);
+        // Without an attachment SITE DUMP answers 211 with a note.
+        let bare = reply(&svc, 1, "SITE DUMP");
+        assert!(bare.starts_with("211-Diagnostic snapshot"), "{bare}");
+        assert!(bare.contains("No diagnostics hub attached"), "{bare}");
+
+        let hub = DiagHub::new(ServerStats::new_shared(), MetricsRegistry::enabled());
+        svc.attach_diag(hub.clone());
+        let r = reply(&svc, 1, "SITE DUMP");
+        assert!(r.starts_with("211-Diagnostic snapshot"), "{r}");
+        assert!(r.contains("\"reason\":\"ftp_site_dump\""), "{r}");
+        assert!(r.contains("\"counters\""), "{r}");
+        assert!(r.ends_with("211 End\r\n"), "{r}");
+        assert_eq!(hub.snapshots_captured(), 1);
+    }
+
+    #[test]
+    fn site_dump_requires_login() {
+        let svc = service();
+        assert!(reply(&svc, 1, "SITE DUMP").starts_with("530"));
     }
 
     #[test]

@@ -6,9 +6,7 @@ use std::sync::Arc;
 use bytes::BytesMut;
 use nserver_core::pipeline::{Codec, DecodeState, EncodedReply, ProtocolError};
 
-use crate::parse::{
-    encode_response, encode_response_head, parse_request_hinted, ParseOutcome,
-};
+use crate::parse::{encode_response, encode_response_head, parse_request_hinted, ParseOutcome};
 use crate::types::{Request, Response};
 
 /// HTTP codec: one [`Request`] in, one [`Response`] out.

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use nserver_core::diag::DiagHub;
 use nserver_core::metrics::{prometheus_text, MetricsRegistry};
 use nserver_core::pipeline::{Action, ConnCtx, Service};
 use nserver_core::profiling::ServerStats;
@@ -87,6 +88,39 @@ impl<St: ContentStore> RoutedService<St> {
         )
     }
 
+    /// Mount `/server-status` backed by a diagnostics hub: the same
+    /// Prometheus text as [`server_status`](Self::server_status) plus
+    /// every optional family the hub has wired (cache, overload, worker
+    /// gauges, trace drops, watchdog counters). Pass the hub given to
+    /// `ServerBuilder::diag` so the page reflects the live server.
+    pub fn server_status_diag(self, hub: DiagHub) -> Self {
+        self.route(
+            "/server-status",
+            text_page(Status::Ok, move |_| hub.prometheus()),
+        )
+    }
+
+    /// Mount the `/debug/snapshot` flight-recorder route. A plain GET
+    /// captures a fresh diagnostic snapshot on demand and serves it as
+    /// JSON; `GET /debug/snapshot?latest` serves the most recent stored
+    /// capture instead (watchdog-triggered or on-demand), or `null` when
+    /// none has been taken yet.
+    pub fn debug_snapshot(self, hub: DiagHub) -> Self {
+        self.route(
+            "/debug/snapshot",
+            json_page(move |req| {
+                let query = req.target.split_once('?').map(|(_, q)| q).unwrap_or("");
+                if query.split('&').any(|kv| kv == "latest") {
+                    hub.latest()
+                        .map(|s| s.to_json())
+                        .unwrap_or_else(|| "null".into())
+                } else {
+                    hub.capture("http_on_demand").to_json()
+                }
+            }),
+        )
+    }
+
     fn find(&self, target: &str) -> Option<&Route> {
         let path = target.split('?').next().unwrap_or(target);
         self.routes
@@ -153,6 +187,20 @@ pub fn text_page(
     }
 }
 
+/// Like [`text_page`] but served as `application/json`.
+pub fn json_page(
+    body: impl Fn(&Request) -> String + Send + Sync + 'static,
+) -> impl Fn(&Request) -> Response + Send + Sync + 'static {
+    move |req: &Request| {
+        let text = body(req);
+        let mut resp = Response::error(Status::Ok, req.version);
+        resp.body = Arc::new(text.into_bytes());
+        resp.headers = crate::types::Headers::new();
+        resp.headers.push("Content-Type", "application/json");
+        resp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,7 +230,10 @@ mod tests {
         store.insert("/static.txt", b"file bytes".to_vec());
         RoutedService::new(StaticFileService::new(store, None))
             .route("/api/hello", text_page(Status::Ok, |_| "hi there".into()))
-            .route("/api", text_page(Status::Ok, |r| format!("api root: {}", r.target)))
+            .route(
+                "/api",
+                text_page(Status::Ok, |r| format!("api root: {}", r.target)),
+            )
             .route_blocking(
                 "/api/slow",
                 text_page(Status::Ok, |_| "computed slowly".into()),
@@ -272,10 +323,42 @@ mod tests {
     }
 
     #[test]
+    fn debug_snapshot_route_serves_json() {
+        let hub = DiagHub::new(ServerStats::new_shared(), MetricsRegistry::enabled());
+        let svc = RoutedService::new(StaticFileService::new(MemStore::new(), None))
+            .debug_snapshot(hub.clone());
+        // No capture yet: ?latest is null, a plain GET captures on demand.
+        let r = run(svc.handle(&ctx(), get("/debug/snapshot?latest")));
+        assert_eq!(String::from_utf8_lossy(&r.body), "null");
+        let r = run(svc.handle(&ctx(), get("/debug/snapshot")));
+        assert_eq!(r.headers.get("content-type"), Some("application/json"));
+        let body = String::from_utf8_lossy(&r.body).into_owned();
+        assert!(body.contains("\"reason\":\"http_on_demand\""));
+        assert!(body.contains("\"counters\""));
+        // The on-demand capture is now the stored latest.
+        let r = run(svc.handle(&ctx(), get("/debug/snapshot?latest")));
+        assert!(String::from_utf8_lossy(&r.body).contains("\"seq\":1"));
+        assert_eq!(hub.snapshots_captured(), 1);
+    }
+
+    #[test]
+    fn server_status_diag_includes_wired_families() {
+        let hub = DiagHub::new(ServerStats::new_shared(), MetricsRegistry::enabled());
+        let svc = RoutedService::new(StaticFileService::new(MemStore::new(), None))
+            .server_status_diag(hub);
+        let r = run(svc.handle(&ctx(), get("/server-status")));
+        let body = String::from_utf8_lossy(&r.body).into_owned();
+        assert!(body.contains("nserver_watchdog_triggers 0"));
+        assert!(body.contains("nserver_trace_dropped_spans 0"));
+    }
+
+    #[test]
     fn server_status_exposes_prometheus_text() {
         let stats = ServerStats::new_shared();
         let metrics = MetricsRegistry::enabled();
-        stats.connections_accepted.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        stats
+            .connections_accepted
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
         metrics.record_stage(nserver_core::metrics::Stage::Handle, 128);
         let svc = RoutedService::new(StaticFileService::new(MemStore::new(), None))
             .server_status(Arc::clone(&stats), Arc::clone(&metrics));

@@ -134,13 +134,11 @@ pub fn encode_response_head(resp: &Response, out: &mut BytesMut) {
         out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
-    out.extend_from_slice(
-        if resp.keep_alive {
-            b"Connection: keep-alive\r\n" as &[u8]
-        } else {
-            b"Connection: close\r\n"
-        },
-    );
+    out.extend_from_slice(if resp.keep_alive {
+        b"Connection: keep-alive\r\n" as &[u8]
+    } else {
+        b"Connection: close\r\n"
+    });
     out.extend_from_slice(b"\r\n");
 }
 

@@ -232,8 +232,7 @@ impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
             };
             match data {
                 Some(data) => {
-                    let resp = Response::ok(data, mime_for(&path2), version)
-                        .with_keep_alive(true);
+                    let resp = Response::ok(data, mime_for(&path2), version).with_keep_alive(true);
                     if head {
                         resp.head()
                     } else {
@@ -254,6 +253,27 @@ impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
 
 fn req_is_head(req: &Request) -> bool {
     req.method == Method::Head
+}
+
+/// Adapt the O6 file cache into a diagnostics cache-stats provider, for
+/// [`DiagHub::set_cache_provider`](nserver_core::diag::DiagHub): its
+/// hit/miss/eviction/rejection counters, single-flight coalesced waits,
+/// and byte occupancy appear in `/server-status` and every snapshot.
+pub fn cache_stats_provider(
+    cache: SharedFileCache<String>,
+) -> nserver_core::diag::CacheStatsProvider {
+    Arc::new(move || {
+        let s = cache.stats();
+        nserver_core::metrics::CacheSample {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            rejected: s.rejected,
+            coalesced_waits: cache.coalesced_waits(),
+            used_bytes: cache.used_bytes(),
+            capacity_bytes: cache.capacity_bytes(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -386,8 +406,7 @@ mod tests {
 
     impl ContentStore for Arc<CountingStore> {
         fn load(&self, path: &str) -> Option<Arc<Vec<u8>>> {
-            self.loads
-                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             self.inner.load(path)
         }
     }
@@ -404,8 +423,7 @@ mod tests {
         let cache =
             SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
         let svc = Arc::new(
-            StaticFileService::new(Arc::clone(&counting), Some(cache))
-                .with_miss_latency_ms(20),
+            StaticFileService::new(Arc::clone(&counting), Some(cache)).with_miss_latency_ms(20),
         );
         // All 8 workers observe the miss before any deferred job runs —
         // the thundering-herd shape the dispatcher produces.
@@ -450,8 +468,8 @@ mod tests {
         });
         let cache =
             SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
-        let svc = StaticFileService::new(Arc::clone(&counting), Some(cache))
-            .without_miss_coalescing();
+        let svc =
+            StaticFileService::new(Arc::clone(&counting), Some(cache)).without_miss_coalescing();
         let jobs: Vec<_> = (0..4)
             .map(|_| match svc.handle(&ctx(), get("/big.bin")) {
                 Action::Defer(job) => job,
@@ -527,6 +545,21 @@ mod tests {
         assert_eq!(&**store.load("/f.txt").unwrap(), b"disk bytes");
         assert!(store.load("/missing").is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_stats_provider_reports_live_counters() {
+        let cache =
+            SharedFileCache::sharded(1 << 20, PolicyKind::Lru, nserver_cache::DEFAULT_SHARDS);
+        let svc = StaticFileService::new(store(), Some(cache.clone()));
+        let provider = cache_stats_provider(cache);
+        let (_, _) = run_action(svc.handle(&ctx(), get("/index.html"))); // miss
+        let (_, _) = run_action(svc.handle(&ctx(), get("/index.html"))); // hit
+        let sample = provider();
+        assert_eq!(sample.hits, 1);
+        assert!(sample.misses >= 1);
+        assert!(sample.used_bytes > 0);
+        assert_eq!(sample.capacity_bytes, 1 << 20);
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub struct BufferCache {
     capacity: u64,
     used: u64,
     tick: u64,
-    by_recency: BTreeMap<u64, u64>, // tick -> file id
+    by_recency: BTreeMap<u64, u64>,  // tick -> file id
     files: HashMap<u64, (u64, u64)>, // file id -> (tick, size)
     hits: u64,
     misses: u64,
@@ -135,8 +135,7 @@ impl Disk {
     /// Issue a read of `bytes` at `now`; returns its completion time.
     pub fn read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let start = self.free_at.max(now);
-        let service =
-            self.seek + SimTime::from_micros(bytes * 1_000_000 / self.bytes_per_sec);
+        let service = self.seek + SimTime::from_micros(bytes * 1_000_000 / self.bytes_per_sec);
         self.free_at = start + service;
         self.busy_accum_us += service.as_micros();
         self.reads += 1;

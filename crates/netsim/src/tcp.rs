@@ -135,10 +135,15 @@ mod tests {
     #[test]
     fn backoff_doubles_and_caps() {
         let mut s = SynRetransmit::new(SimTime::from_secs(1), SimTime::from_secs(60));
-        let delays: Vec<u64> = (0..8).map(|_| s.next_delay().as_micros() / 1_000_000).collect();
+        let delays: Vec<u64> = (0..8)
+            .map(|_| s.next_delay().as_micros() / 1_000_000)
+            .collect();
         assert_eq!(delays, vec![1, 2, 4, 8, 16, 32, 60, 60]);
         assert_eq!(s.attempts(), 8);
-        assert_eq!(s.total_waited(), SimTime::from_secs(1 + 2 + 4 + 8 + 16 + 32 + 60 + 60));
+        assert_eq!(
+            s.total_waited(),
+            SimTime::from_secs(1 + 2 + 4 + 8 + 16 + 32 + 60 + 60)
+        );
     }
 
     #[test]

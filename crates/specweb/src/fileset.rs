@@ -208,10 +208,7 @@ mod tests {
         let fs = FileSet::with_dirs(3);
         for (i, f) in fs.files().iter().enumerate() {
             assert_eq!(f.id as usize, i);
-            assert_eq!(
-                fs.lookup(f.dir, f.class.0, f.index).unwrap().id,
-                f.id
-            );
+            assert_eq!(fs.lookup(f.dir, f.class.0, f.index).unwrap().id, f.id);
             assert_eq!(fs.file(f.id).path(), f.path());
         }
     }
@@ -224,7 +221,10 @@ mod tests {
             assert_eq!(resolved.id, f.id);
         }
         assert!(fs.resolve("/nope").is_none());
-        assert!(fs.resolve("/dir0009/class1_5").is_none(), "dir out of range");
+        assert!(
+            fs.resolve("/dir0009/class1_5").is_none(),
+            "dir out of range"
+        );
         assert!(fs.resolve("/dir0001/class9_5").is_none());
         assert!(fs.resolve("/dir0001/class1_0").is_none());
     }

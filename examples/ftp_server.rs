@@ -44,7 +44,10 @@ impl Ctl {
 
 fn pasv_port(reply: &str) -> u16 {
     let inner = reply.split('(').nth(1).unwrap().split(')').next().unwrap();
-    let nums: Vec<u16> = inner.split(',').map(|n| n.trim().parse().unwrap()).collect();
+    let nums: Vec<u16> = inner
+        .split(',')
+        .map(|n| n.trim().parse().unwrap())
+        .collect();
     (nums[4] << 8) | nums[5]
 }
 
@@ -76,7 +79,9 @@ fn main() {
     println!("COPS-FTP listening on {addr}");
 
     let stream = TcpStream::connect(&addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     let mut ctl = Ctl {
         reader: BufReader::new(stream.try_clone().unwrap()),
         writer: stream,

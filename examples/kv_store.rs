@@ -28,9 +28,7 @@ impl Codec for KvCodec {
             Some(i) => {
                 let line = buf.split_to(i + 1);
                 let text = String::from_utf8_lossy(&line[..i]).trim().to_string();
-                Ok(Some(
-                    text.splitn(3, ' ').map(|s| s.to_string()).collect(),
-                ))
+                Ok(Some(text.splitn(3, ' ').map(|s| s.to_string()).collect()))
             }
             None => Ok(None),
         }
@@ -53,9 +51,7 @@ impl Service<KvCodec> for KvService {
         let verb = req.first().map(|s| s.as_str()).unwrap_or("");
         match (verb, req.len()) {
             ("SET", 3) => {
-                self.data
-                    .write()
-                    .insert(req[1].clone(), req[2].clone());
+                self.data.write().insert(req[1].clone(), req[2].clone());
                 Action::Reply("OK".into())
             }
             ("GET", 2) => match self.data.read().get(&req[1]) {
@@ -79,7 +75,9 @@ impl Service<KvCodec> for KvService {
 
 fn session(addr: &str, script: &[&str]) -> Vec<String> {
     let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
     let mut replies = Vec::new();
@@ -107,7 +105,11 @@ fn main() {
         // Priority policy: loopback "admin" port parity decides the level
         // (a stand-in for the paper's by-IP classification).
         .priority_policy(|peer| {
-            let port: u32 = peer.rsplit(':').next().and_then(|p| p.parse().ok()).unwrap_or(0);
+            let port: u32 = peer
+                .rsplit(':')
+                .next()
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(0);
             if port.is_multiple_of(2) {
                 Priority(0)
             } else {
@@ -140,7 +142,10 @@ fn main() {
 
     // Debug mode captured the internal event flow.
     let trace = server.tracer().dump();
-    println!("\ndebug trace captured {} internal events; first few:", trace.len());
+    println!(
+        "\ndebug trace captured {} internal events; first few:",
+        trace.len()
+    );
     for rec in trace.iter().take(5) {
         println!("  [{:>8}µs] {} {}", rec.at_us, rec.kind, rec.detail);
     }

@@ -72,7 +72,9 @@ fn main() {
     client
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
-    client.write_all(b"hello pattern templates\nquit\n").unwrap();
+    client
+        .write_all(b"hello pattern templates\nquit\n")
+        .unwrap();
     let mut reply = String::new();
     let mut buf = [0u8; 256];
     loop {

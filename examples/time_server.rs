@@ -23,7 +23,9 @@ impl Service<RawCodec> for TimeService {
         let now = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .unwrap_or_default();
-        Action::Reply(format!("unix-time {}.{:09}\n", now.as_secs(), now.subsec_nanos()).into_bytes())
+        Action::Reply(
+            format!("unix-time {}.{:09}\n", now.as_secs(), now.subsec_nanos()).into_bytes(),
+        )
     }
 }
 

@@ -5,23 +5,27 @@
 //!
 //! The demo builds a small SpecWeb99-style site in memory, serves it over
 //! loopback TCP, fetches a handful of pages twice (so the second pass
-//! hits the cache), scrapes the `/server-status` observability route,
-//! and prints the profiling counters and cache hit rate.
+//! hits the cache), scrapes the `/server-status` and `/debug/snapshot`
+//! observability routes, and prints the profiling counters and cache
+//! hit rate.
 //!
 //! Run: `cargo run -p nserver-examples --bin web_server` for the
 //! self-driving demo, or with `--serve` to keep serving until killed
-//! (then `curl http://ADDR/server-status` to watch the live counters).
+//! (then `curl http://ADDR/server-status` to watch the live counters,
+//! or point `nserver_top` at the address for the dashboard view).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
+use nserver_core::diag::{DiagHub, WatchdogConfig};
 use nserver_core::metrics::MetricsRegistry;
 use nserver_core::prelude::*;
 use nserver_core::profiling::ServerStats;
 use nserver_core::server::ServerBuilder;
 use nserver_http::preset::COPS_HTTP_CACHE_BYTES;
+use nserver_http::service::cache_stats_provider;
 use nserver_http::{cops_http_options, HttpCodec, MemStore, RoutedService, StaticFileService};
 use nserver_specweb::FileSet;
 
@@ -94,17 +98,19 @@ fn main() {
         ..cops_http_options()
     };
     let cache = SharedFileCache::new(FileCache::new(COPS_HTTP_CACHE_BYTES, PolicyKind::Lru));
-    // Share the stats/metrics registries between the server and the
-    // `/server-status` route so the page reflects the live counters.
-    let stats = ServerStats::new_shared();
-    let metrics = MetricsRegistry::enabled();
+    // One diagnostics hub shared between the server (which wires the
+    // worker table, queue gauges and tracer into it) and the two
+    // observability routes, so both pages reflect the live counters.
+    let hub = DiagHub::new(ServerStats::new_shared(), MetricsRegistry::enabled());
+    hub.set_cache_provider(cache_stats_provider(cache.clone()));
     let service = RoutedService::new(StaticFileService::new(store, Some(cache.clone())))
-        .server_status(stats.clone(), metrics.clone());
+        .server_status_diag(hub.clone())
+        .debug_snapshot(hub.clone());
     let server = ServerBuilder::new(options, HttpCodec::new(), service)
         .expect("valid options")
         .helper_threads(4)
-        .stats(stats)
-        .metrics(metrics)
+        .diag(hub)
+        .watchdog(WatchdogConfig::default())
         .serve(TcpListenerNb::bind("127.0.0.1:0").expect("bind"));
     let addr = server.local_label().to_string();
     println!("COPS-HTTP listening on {addr}");
@@ -135,20 +141,31 @@ fn main() {
     println!("GET /no/such/file -> {status}");
     assert_eq!(status, 404);
 
-    // Scrape the observability route: Prometheus-text counters plus the
-    // O11 per-stage latency histograms, straight off the live server.
+    // Scrape the observability routes: Prometheus-text counters plus the
+    // O11 latency histograms, then a flight-recorder snapshot, straight
+    // off the live server.
     let page = scrape(&addr, "/server-status");
     let quantiles: Vec<&str> = page
         .lines()
         .filter(|l| l.contains("quantile") && !l.starts_with('#'))
         .collect();
-    println!("\n/server-status per-stage quantiles:");
+    println!("\n/server-status latency quantiles:");
     for line in &quantiles {
         println!("  {line}");
     }
     assert!(page.contains("nserver_connections_accepted"));
     assert!(page.contains("nserver_stage_latency_us_count{stage=\"handle\"}"));
-    assert_eq!(quantiles.len(), 10, "p50+p99 for each of the five stages");
+    assert!(page.contains("nserver_cache_hits"));
+    assert_eq!(
+        quantiles.len(),
+        12,
+        "p50+p99 for each of the five stages plus queue wait"
+    );
+
+    let snap = scrape(&addr, "/debug/snapshot");
+    assert!(snap.contains("\"reason\":\"http_on_demand\""));
+    assert!(snap.contains("\"workers\":["));
+    println!("/debug/snapshot: {} bytes of JSON", snap.len());
 
     let stats = server.stats();
     println!(

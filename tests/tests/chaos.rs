@@ -14,9 +14,7 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use nserver_core::fault::{FaultPlan, FaultProfile, FaultyListener};
-use nserver_core::options::{
-    OverloadControl, ServerOptions, StageDeadlines, ThreadAllocation,
-};
+use nserver_core::options::{OverloadControl, ServerOptions, StageDeadlines, ThreadAllocation};
 use nserver_core::pipeline::{Action, Codec, ConnCtx, ProtocolError, Service};
 use nserver_core::server::ServerBuilder;
 use nserver_core::transport::{mem, ReadOutcome, StreamIo};
@@ -199,9 +197,10 @@ fn cops_http_survives_seeded_fault_plans_and_returns_to_steady_state() {
             ..cops_http_options()
         };
         let (listener, connector) = mem::listener(&format!("chaos-http-{seed}"));
-        let server = ServerBuilder::new(opts, HttpCodec::new(), StaticFileService::new(store, None))
-            .unwrap()
-            .serve(FaultyListener::new(listener, plan));
+        let server =
+            ServerBuilder::new(opts, HttpCodec::new(), StaticFileService::new(store, None))
+                .unwrap()
+                .serve(FaultyListener::new(listener, plan));
 
         // Drive the whole fault window plus a post-window tail, serially,
         // so connection i gets accept index i.
@@ -389,7 +388,10 @@ fn cops_ftp_survives_seeded_fault_plans_on_the_control_channel() {
             stats.connections_timed_out,
             expect.stalls
         );
-        assert!(stats.connections_reset >= 1, "seed {seed}: no resets recorded");
+        assert!(
+            stats.connections_reset >= 1,
+            "seed {seed}: no resets recorded"
+        );
         server.shutdown();
     }
 }
@@ -544,7 +546,10 @@ fn graceful_drain_finishes_in_flight_requests_before_closing() {
     let (got_reply, closed) = client.join().unwrap();
     assert!(got_reply, "in-flight request lost during graceful drain");
     assert!(closed, "connection left open after drain");
-    assert!(drained, "drain deadline expired with connections still open");
+    assert!(
+        drained,
+        "drain deadline expired with connections still open"
+    );
 }
 
 #[test]
@@ -577,6 +582,135 @@ fn pure_short_io_plan_round_trips_large_bodies_byte_exactly() {
             other => panic!("short-io exchange failed: {other:?}"),
         }
     }
+    server.shutdown();
+}
+
+/// A service with a deliberate wedge: the request `"wedge"` blocks its
+/// worker on a gate until the test releases it. Everything else echoes.
+struct WedgeService {
+    gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl Service<LineCodec> for WedgeService {
+    fn handle(&self, _ctx: &ConnCtx, req: String) -> Action<String> {
+        if req == "wedge" {
+            let (lock, cvar) = &*self.gate;
+            let mut released = lock.lock().unwrap();
+            while !*released {
+                released = cvar.wait(released).unwrap();
+            }
+        }
+        Action::Reply(format!("ok {req}"))
+    }
+}
+
+/// The watchdog fires under a stall: a seeded slow-loris fault plan
+/// degrades the first connections while a wedged handler pins one worker
+/// past the stuck ceiling. The watchdog must fire the `worker_stuck`
+/// invariant, and the captured snapshot must name the stuck worker's
+/// stage and connection id — the flight-recorder contract that makes a
+/// production wedge diagnosable after the fact.
+#[test]
+fn watchdog_fires_and_names_the_stuck_worker_under_stall() {
+    // Every fault-window connection draws Stall{...}: slow-loris clients
+    // that the header-read deadline reaps.
+    let plan = FaultPlan {
+        stall_per_mille: 1000,
+        faulty_first: 4,
+        ..FaultPlan::new(11)
+    };
+    let opts = ServerOptions {
+        thread_allocation: ThreadAllocation::Static { threads: 2 },
+        stage_deadlines: StageDeadlines {
+            header_read_ms: Some(100),
+            write_drain_ms: Some(2_000),
+        },
+        mode: nserver_core::options::Mode::Debug,
+        profiling: true,
+        ..ServerOptions::default()
+    };
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let (listener, connector) = mem::listener("chaos-watchdog");
+    let server = ServerBuilder::new(
+        opts,
+        LineCodec,
+        WedgeService {
+            gate: Arc::clone(&gate),
+        },
+    )
+    .unwrap()
+    .watchdog(nserver_core::diag::WatchdogConfig {
+        tick: Duration::from_millis(5),
+        stuck_ceiling: Duration::from_millis(80),
+        debounce_ticks: 10_000,
+        ..Default::default()
+    })
+    .serve(FaultyListener::new(listener, plan));
+
+    // Drive the fault window: stalled connections never complete; their
+    // clients give up quickly and the server reaps them.
+    for _ in 0..4 {
+        let mut conn = connector.connect();
+        let _ = write_all(
+            &mut conn,
+            b"hello\n",
+            Instant::now() + Duration::from_millis(100),
+        );
+    }
+    // The fifth accept is past the fault window: a clean connection whose
+    // request wedges its worker in the handle stage.
+    let mut wedged = connector.connect();
+    assert!(write_all(
+        &mut wedged,
+        b"wedge\n",
+        Instant::now() + Duration::from_secs(2),
+    ));
+
+    // The watchdog (80 ms ceiling, 5 ms tick) must notice.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !server.watchdog_fired() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.watchdog_fired(),
+        "watchdog never fired on a wedged worker"
+    );
+    assert!(server.diag().watchdog_triggers() >= 1);
+
+    // The snapshot names the culprit: worker role, the handle stage, and
+    // the wedged connection's id (the fifth accept).
+    let snap = server.diag().latest().expect("trigger captured a snapshot");
+    assert!(
+        snap.reason.contains("worker_stuck"),
+        "unexpected reason: {}",
+        snap.reason
+    );
+    assert!(
+        snap.reason.contains("stage=handle") && snap.reason.contains("conn=5"),
+        "reason must name the stage and conn: {}",
+        snap.reason
+    );
+    let json = snap.to_json();
+    assert!(
+        json.contains("\"state\":\"running\",\"stage\":\"handle\",\"conn\":5"),
+        "worker table row missing from snapshot: {json}"
+    );
+
+    // Release the wedge: the pinned request completes and the server is
+    // still healthy end to end.
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    assert!(read_reply(&mut wedged, "ok wedge", Duration::from_secs(5)));
+    let mut fresh = connector.connect();
+    assert!(write_all(
+        &mut fresh,
+        b"after\n",
+        Instant::now() + Duration::from_secs(2),
+    ));
+    assert!(read_reply(&mut fresh, "ok after", Duration::from_secs(5)));
     server.shutdown();
 }
 

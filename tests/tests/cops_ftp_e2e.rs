@@ -20,7 +20,9 @@ struct Ctl {
 impl Ctl {
     fn connect(addr: &str) -> Self {
         let stream = TcpStream::connect(addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
         Self {
             reader: BufReader::new(stream.try_clone().unwrap()),
             writer: stream,
@@ -41,11 +43,17 @@ impl Ctl {
 
 fn pasv_port(reply: &str) -> u16 {
     let inner = reply.split('(').nth(1).unwrap().split(')').next().unwrap();
-    let nums: Vec<u16> = inner.split(',').map(|n| n.trim().parse().unwrap()).collect();
+    let nums: Vec<u16> = inner
+        .split(',')
+        .map(|n| n.trim().parse().unwrap())
+        .collect();
     (nums[4] << 8) | nums[5]
 }
 
-fn start_server() -> (nserver_core::server::ServerHandle<FtpCodec, FtpService>, Arc<Vfs>) {
+fn start_server() -> (
+    nserver_core::server::ServerHandle<FtpCodec, FtpService>,
+    Arc<Vfs>,
+) {
     let vfs = Arc::new(Vfs::new());
     vfs.mkdir("/pub");
     vfs.write("/pub/a.txt", b"alpha".to_vec());

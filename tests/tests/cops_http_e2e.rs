@@ -71,7 +71,9 @@ fn serves_specweb_fileset_with_correct_bytes() {
     let addr = server.local_label().to_string();
 
     let mut client = TcpStream::connect(&addr).unwrap();
-    client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     // Class 0/1 files: check exact content round-trips.
     for spec in fileset.files().iter().filter(|f| f.class.0 <= 1).take(12) {
         let (status, body) = fetch(&mut client, &spec.path(), false);
@@ -113,7 +115,9 @@ fn persistent_connections_run_five_request_bursts() {
         handles.push(std::thread::spawn(move || {
             for _conn in 0..3 {
                 let mut client = TcpStream::connect(&addr).unwrap();
-                client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
                 for r in 0..5usize {
                     let path = &paths[(t as usize * 5 + r) % paths.len()];
                     let close = r == 4;
@@ -146,7 +150,9 @@ fn head_and_missing_and_forbidden() {
     .serve(TcpListenerNb::bind("127.0.0.1:0").unwrap());
     let addr = server.local_label().to_string();
     let mut client = TcpStream::connect(&addr).unwrap();
-    client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
 
     let (status, body) = fetch(&mut client, "/missing.html", false);
     assert_eq!(status, 404);
@@ -182,17 +188,15 @@ fn connection_limit_applies_to_http_server() {
         overload_control: OverloadControl::MaxConnections { limit: 1 },
         ..cops_http_options()
     };
-    let server = ServerBuilder::new(
-        opts,
-        HttpCodec::new(),
-        StaticFileService::new(store, None),
-    )
-    .unwrap()
-    .serve(TcpListenerNb::bind("127.0.0.1:0").unwrap());
+    let server = ServerBuilder::new(opts, HttpCodec::new(), StaticFileService::new(store, None))
+        .unwrap()
+        .serve(TcpListenerNb::bind("127.0.0.1:0").unwrap());
     let addr = server.local_label().to_string();
 
     let mut first = TcpStream::connect(&addr).unwrap();
-    first.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    first
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     let (status, _) = fetch(&mut first, "/dir0000/class0_1", false);
     assert_eq!(status, 200);
 

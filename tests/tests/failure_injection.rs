@@ -158,18 +158,15 @@ fn half_open_flood_is_bounded_by_trickle_of_partial_requests() {
     // Clients that send partial requests and stall must not consume
     // worker time or block completions for healthy clients.
     let (listener, connector) = mem::listener("slowloris");
-    let server = ServerBuilder::new(
-        ServerOptions::default(),
-        LineCodec,
-        FaultyService,
-    )
-    .unwrap()
-    .serve(listener);
+    let server = ServerBuilder::new(ServerOptions::default(), LineCodec, FaultyService)
+        .unwrap()
+        .serve(listener);
 
     let mut stalled: Vec<_> = (0..16)
         .map(|i| {
             let mut c = connector.connect();
-            c.try_write(format!("never-finished-{i}").as_bytes()).unwrap();
+            c.try_write(format!("never-finished-{i}").as_bytes())
+                .unwrap();
             c
         })
         .collect();

@@ -30,7 +30,10 @@ fn scheduling_variant_crosscuts_the_expected_classes() {
     let base = generate("base", &cops_http_options(), "../crates");
     let sched = generate("sched", &cops_http_scheduling_options(1, 10), "../crates");
     let m = CrosscutMatrix::build();
-    let o8_col = OptionId::ALL.iter().position(|&o| o == OptionId::O8).unwrap();
+    let o8_col = OptionId::ALL
+        .iter()
+        .position(|&o| o == OptionId::O8)
+        .unwrap();
     let mut checked = 0;
     for (spec, row) in registry().iter().zip(&m.cells) {
         let o8_dependent = !matches!(row[o8_col], nserver_codegen::crosscut::Mark::None);

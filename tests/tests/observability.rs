@@ -156,7 +156,11 @@ fn ftp_session_span_tree_is_structurally_complete() {
     let deadline = Instant::now() + Duration::from_secs(5);
     read_line(&mut conn, deadline); // greeting
     for cmd in ["USER anonymous", "PASS guest", "PWD", "QUIT"] {
-        assert!(write_all(&mut conn, format!("{cmd}\r\n").as_bytes(), deadline));
+        assert!(write_all(
+            &mut conn,
+            format!("{cmd}\r\n").as_bytes(),
+            deadline
+        ));
         read_line(&mut conn, deadline);
     }
     assert!(
@@ -292,8 +296,8 @@ fn server_status_scrape_reconciles_with_request_counts() {
         "nserver_stage_latency_us_count{stage=\"decode\"} 6",
         "nserver_stage_latency_us_count{stage=\"handle\"} 5",
         "nserver_stage_latency_us_count{stage=\"encode\"} 5",
-        "nserver_stage_latency_us{stage=\"handle\",quantile=\"0.5\"}",
-        "nserver_stage_latency_us{stage=\"handle\",quantile=\"0.99\"}",
+        "nserver_stage_latency_quantile_us{stage=\"handle\",quantile=\"0.5\"}",
+        "nserver_stage_latency_quantile_us{stage=\"handle\",quantile=\"0.99\"}",
         "nserver_queue_depth",
     ] {
         assert!(scrape.contains(needle), "missing {needle:?} in:\n{scrape}");
@@ -328,7 +332,10 @@ fn read_until(conn: &mut mem::MemStream, needle: &str, deadline: Instant) -> Str
         if String::from_utf8_lossy(&acc).contains(needle) {
             return String::from_utf8_lossy(&acc).into_owned();
         }
-        assert!(Instant::now() <= deadline, "ftp read timed out waiting for {needle:?}");
+        assert!(
+            Instant::now() <= deadline,
+            "ftp read timed out waiting for {needle:?}"
+        );
         match conn.try_read(&mut buf) {
             Err(e) => panic!("ftp read failed: {e}"),
             Ok(ReadOutcome::Closed) => panic!("ftp connection dropped"),
@@ -366,7 +373,11 @@ fn ftp_stat_reconciles_with_decoded_commands() {
     let deadline = Instant::now() + Duration::from_secs(5);
     read_line(&mut conn, deadline); // greeting
     for cmd in ["USER anonymous", "PASS guest", "PWD"] {
-        assert!(write_all(&mut conn, format!("{cmd}\r\n").as_bytes(), deadline));
+        assert!(write_all(
+            &mut conn,
+            format!("{cmd}\r\n").as_bytes(),
+            deadline
+        ));
         read_line(&mut conn, deadline);
     }
     assert!(write_all(&mut conn, b"STAT\r\n", deadline));

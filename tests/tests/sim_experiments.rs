@@ -4,8 +4,7 @@
 
 use nserver_baselines::world::CopsParams;
 use nserver_baselines::{
-    run_scheduling_experiment, ApacheParams, ExperimentParams, SchedulingParams, ServerKind,
-    World,
+    run_scheduling_experiment, ApacheParams, ExperimentParams, SchedulingParams, ServerKind, World,
 };
 use nserver_netsim::SimTime;
 
@@ -55,8 +54,7 @@ fn fig3_shape_crossover_and_saturation() {
 
 #[test]
 fn fig4_shape_fairness_collapse() {
-    let apache =
-        World::new(short3(1024, ServerKind::Apache(ApacheParams::default()))).run();
+    let apache = World::new(short3(1024, ServerKind::Apache(ApacheParams::default()))).run();
     let cops = World::new(short3(1024, ServerKind::Cops(CopsParams::default()))).run();
     assert!(cops.fairness > 0.95, "cops fairness {}", cops.fairness);
     assert!(
@@ -67,8 +65,7 @@ fn fig4_shape_fairness_collapse() {
     // The collapse is caused by SYN drops + exponential backoff.
     assert!(apache.syn_drops > 100);
     // At light load both are fair.
-    let apache_light =
-        World::new(short3(64, ServerKind::Apache(ApacheParams::default()))).run();
+    let apache_light = World::new(short3(64, ServerKind::Apache(ApacheParams::default()))).run();
     assert!(apache_light.fairness > 0.95);
 }
 
@@ -79,10 +76,7 @@ fn fig5_shape_quota_ratio_controls_throughput_ratio() {
     p.measure = SimTime::from_secs(20);
     let out = run_scheduling_experiment(p);
     let ratio = out.ratio();
-    assert!(
-        (3.7..6.3).contains(&ratio),
-        "5:1 quotas gave ratio {ratio}"
-    );
+    assert!((3.7..6.3).contains(&ratio), "5:1 quotas gave ratio {ratio}");
     assert!(out.portal_rps > out.homepage_rps);
 }
 
