@@ -1,0 +1,558 @@
+//! The schedule explorer: run the real reactor under a [`Schedule`],
+//! record every connection's observable trace, and check the traces
+//! against the protocol models.
+//!
+//! The server runs exactly the production pipeline — the only test
+//! scaffolding is the transport stack: an in-memory listener wrapped by
+//! [`FaultyListener`] (injects the plan's faults) wrapped by
+//! [`TapListener`] (records the traces the models consume). The driver
+//! delivers each connection's segments in the schedule's interleaved
+//! order, optionally slamming connections shut early, then quiesces:
+//! clean connections are waited on until the model-predicted output has
+//! drained, everything else until the trace log goes still.
+//!
+//! On a violation the explorer shrinks the schedule greedily — dropping
+//! connections, merging segments, zeroing fault knobs and pauses — while
+//! the violation persists, and panics with a replayable counterexample:
+//! the generation seed, the `NSERVER_REPLAY_SEED` invocation, and the
+//! serialized shrunken schedule (ready for `corpus/`).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
+use nserver_core::fault::{FaultProfile, FaultyListener};
+use nserver_core::options::ServerOptions;
+use nserver_core::pipeline::Service;
+use nserver_core::server::ServerBuilder;
+use nserver_core::tap::{ConnTrace, TapListener, TraceLog};
+use nserver_core::transport::{mem, StreamIo};
+use nserver_ftp::{cops_ftp_options, split_replies, FtpCodec, FtpService};
+use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
+
+use crate::ftp_model::{check_ftp, expected_replies, FtpFixture};
+use crate::http_model::{check_http, expected_outbound, HttpFixture};
+use crate::schedule::{generate, Proto, Schedule};
+use crate::Violation;
+
+/// Unique suffix per run so concurrent tests never share a listener
+/// label.
+static RUN_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Everything one exploration run produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Final trace of every accepted connection.
+    pub traces: Vec<ConnTrace>,
+    /// Model violations found (empty = conforming run).
+    pub violations: Vec<Violation>,
+}
+
+/// The standard COPS-HTTP service under test: the conformance fixture
+/// behind a real LRU file cache, so both the hit and the deferred-miss
+/// paths are exercised.
+pub fn standard_http_service() -> StaticFileService<MemStore> {
+    let cache = SharedFileCache::new(FileCache::new(1 << 20, PolicyKind::Lru));
+    StaticFileService::new(HttpFixture::standard().store(), Some(cache))
+}
+
+/// The standard COPS-FTP service under test.
+pub fn standard_ftp_service() -> FtpService {
+    FtpService::new(FtpFixture::vfs(), FtpFixture::users())
+}
+
+/// Run a schedule against the standard service for its protocol.
+pub fn run(sched: &Schedule) -> RunReport {
+    match sched.proto {
+        Proto::Http => run_http(sched, standard_http_service()),
+        Proto::Ftp => run_ftp(sched, standard_ftp_service()),
+    }
+}
+
+/// Run an HTTP schedule against `svc` under the COPS-HTTP preset.
+pub fn run_http<S: Service<HttpCodec>>(sched: &Schedule, svc: S) -> RunReport {
+    run_http_with_options(sched, svc, cops_http_options())
+}
+
+/// Run an HTTP schedule against `svc` under explicit server options —
+/// the hook the O1–O12 options-matrix conformance tests use.
+pub fn run_http_with_options<S: Service<HttpCodec>>(
+    sched: &Schedule,
+    svc: S,
+    opts: ServerOptions,
+) -> RunReport {
+    let fixture = HttpFixture::standard();
+    let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
+    let (listener, connector) = mem::listener(&format!("conformance-http-{}-{nonce}", sched.seed));
+    let log = TraceLog::new();
+    let tapped = TapListener::new(FaultyListener::new(listener, sched.plan), log.clone())
+        .with_plan(sched.plan);
+    let server = ServerBuilder::new(opts, HttpCodec::new(), svc)
+        .expect("valid server options")
+        .serve(tapped);
+
+    let (streams, connect_order) = deliver(sched, &connector);
+    let targets = strict_targets(sched, &connect_order, |conn| {
+        Target::Bytes(expected_outbound(&fixture, &conn.bytes()).0.len())
+    });
+    quiesce(&log, &targets, Duration::from_secs(3));
+    server.shutdown();
+    let traces = log.snapshot();
+    let violations = collect_violations(sched, &traces, &log, &connect_order, |trace, strict| {
+        check_http(&fixture, trace, strict)
+    });
+    drop(streams);
+    RunReport { traces, violations }
+}
+
+/// Run an FTP schedule against `svc` under the COPS-FTP preset.
+pub fn run_ftp<S: Service<FtpCodec>>(sched: &Schedule, svc: S) -> RunReport {
+    let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
+    let (listener, connector) = mem::listener(&format!("conformance-ftp-{}-{nonce}", sched.seed));
+    let log = TraceLog::new();
+    let tapped = TapListener::new(FaultyListener::new(listener, sched.plan), log.clone())
+        .with_plan(sched.plan);
+    let server = ServerBuilder::new(cops_ftp_options(), FtpCodec, svc)
+        .expect("valid server options")
+        .serve(tapped);
+
+    let (streams, connect_order) = deliver(sched, &connector);
+    let targets = strict_targets(sched, &connect_order, |conn| {
+        Target::Blocks(expected_replies(&conn.bytes()).0.len())
+    });
+    quiesce(&log, &targets, Duration::from_secs(3));
+    server.shutdown();
+    let traces = log.snapshot();
+    let violations = collect_violations(sched, &traces, &log, &connect_order, |trace, strict| {
+        check_ftp(trace, strict)
+    });
+    drop(streams);
+    RunReport { traces, violations }
+}
+
+/// What quiescence means for one strictly-checked connection.
+enum Target {
+    /// At least this many outbound bytes (HTTP: byte-exact model).
+    Bytes(usize),
+    /// At least this many complete reply blocks (FTP: code-level model).
+    Blocks(usize),
+}
+
+/// Deliver the schedule: connect lazily on a connection's first step (so
+/// connect order — and with the FIFO inbox, accept index — is the order
+/// of first steps), push one segment per step, pause as scheduled, and
+/// slam `close_early` connections shut right after their last segment.
+/// Returns the client streams (kept open so the server never sees a
+/// spurious EOF) and each conn's 1-based connect order.
+fn deliver(
+    sched: &Schedule,
+    connector: &mem::MemConnector,
+) -> (Vec<Option<mem::MemStream>>, Vec<Option<u64>>) {
+    let mut streams: Vec<Option<mem::MemStream>> = (0..sched.conns.len()).map(|_| None).collect();
+    let mut connect_order: Vec<Option<u64>> = vec![None; sched.conns.len()];
+    let mut next_order = 0u64;
+    let mut seg_idx = vec![0usize; sched.conns.len()];
+    for step in &sched.order {
+        let ci = step.conn;
+        if streams[ci].is_none() {
+            streams[ci] = Some(connector.connect());
+            next_order += 1;
+            connect_order[ci] = Some(next_order);
+        }
+        let stream = streams[ci].as_mut().expect("just connected");
+        let seg = &sched.conns[ci].segments[seg_idx[ci]];
+        seg_idx[ci] += 1;
+        push_bytes(stream, seg);
+        if seg_idx[ci] == sched.conns[ci].segments.len() && sched.conns[ci].close_early {
+            stream.shutdown();
+        }
+        if step.pause_ms > 0 {
+            std::thread::sleep(Duration::from_millis(step.pause_ms));
+        }
+    }
+    (streams, connect_order)
+}
+
+/// Client-side tolerant write: retry backpressure, give up on a hard
+/// error (the server legitimately reset or closed the pipe).
+fn push_bytes(stream: &mut mem::MemStream, data: &[u8]) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut sent = 0;
+    while sent < data.len() && Instant::now() < deadline {
+        match stream.try_write(&data[sent..]) {
+            Ok(0) => std::thread::sleep(Duration::from_micros(100)),
+            Ok(n) => sent += n,
+            Err(_) => return,
+        }
+    }
+}
+
+/// The quiesce targets: one per connection the models will check
+/// strictly (clean profile, no early close, accept succeeded).
+fn strict_targets(
+    sched: &Schedule,
+    connect_order: &[Option<u64>],
+    target_for: impl Fn(&crate::schedule::ConnScript) -> Target,
+) -> Vec<(u64, Target)> {
+    sched
+        .conns
+        .iter()
+        .zip(connect_order)
+        .filter_map(|(conn, k)| {
+            let k = (*k)?;
+            let strict = !sched.plan.accept_fails(k)
+                && sched.plan.profile_for(k) == FaultProfile::Clean
+                && !conn.close_early;
+            strict.then(|| (k, target_for(conn)))
+        })
+        .collect()
+}
+
+fn target_met(trace: &ConnTrace, target: &Target) -> bool {
+    match target {
+        Target::Bytes(n) => trace.outbound().len() >= *n,
+        Target::Blocks(n) => split_replies(&trace.outbound()).complete.len() >= *n,
+    }
+}
+
+/// Wait until every strict connection has drained its model-predicted
+/// output AND the trace log has gone still, or the deadline passes (a
+/// stuck run is then diagnosed by the checkers, not by a hang).
+fn quiesce(log: &TraceLog, targets: &[(u64, Target)], patience: Duration) {
+    let deadline = Instant::now() + patience;
+    let mut last_sig: Option<Vec<(u64, usize)>> = None;
+    let mut stable = 0;
+    loop {
+        let snap = log.snapshot();
+        let targets_met = targets.iter().all(|(k, t)| {
+            snap.iter()
+                .find(|tr| tr.accept_index == *k)
+                .is_some_and(|tr| target_met(tr, t))
+        });
+        let sig: Vec<(u64, usize)> = snap
+            .iter()
+            .map(|t| (t.accept_index, t.events.len()))
+            .collect();
+        if targets_met && last_sig.as_ref() == Some(&sig) {
+            stable += 1;
+            if stable >= 2 {
+                return;
+            }
+        } else {
+            stable = 0;
+        }
+        last_sig = Some(sig);
+        if Instant::now() > deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Map each conn script to its trace (via connect order == accept index)
+/// and run the model checker over it.
+fn collect_violations(
+    sched: &Schedule,
+    traces: &[ConnTrace],
+    log: &TraceLog,
+    connect_order: &[Option<u64>],
+    check: impl Fn(&ConnTrace, bool) -> Vec<Violation>,
+) -> Vec<Violation> {
+    let failed: HashSet<u64> = log.accept_failures().into_iter().collect();
+    let mut violations = Vec::new();
+    for (conn, k) in sched.conns.iter().zip(connect_order) {
+        let Some(k) = *k else { continue };
+        if failed.contains(&k) {
+            // An injected accept failure: the connection never existed
+            // server-side, so there is nothing to check.
+            continue;
+        }
+        let Some(trace) = traces.iter().find(|t| t.accept_index == k) else {
+            // Accepted-but-untraced cannot happen; never-accepted (run
+            // shut down first) has no observable behaviour to judge.
+            continue;
+        };
+        let strict = sched.plan.profile_for(k) == FaultProfile::Clean && !conn.close_early;
+        violations.extend(check(trace, strict));
+    }
+    violations
+}
+
+/// Greedy counterexample shrinking: repeatedly try structural
+/// simplifications, keeping any that still fail, until a fixed point or
+/// the run budget is spent. Returns the shrunken schedule and how many
+/// candidate runs it took.
+pub fn shrink(
+    orig: &Schedule,
+    still_fails: &dyn Fn(&Schedule) -> bool,
+    max_runs: usize,
+) -> (Schedule, usize) {
+    let mut cur = orig.clone();
+    let mut runs = 0;
+    'outer: loop {
+        for cand in shrink_candidates(&cur) {
+            if runs >= max_runs {
+                break 'outer;
+            }
+            runs += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, runs)
+}
+
+/// One round of simplification candidates, most aggressive first.
+fn shrink_candidates(s: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    // Drop a whole connection (re-indexing the order).
+    if s.conns.len() > 1 {
+        for drop_ci in 0..s.conns.len() {
+            let mut c = s.clone();
+            c.conns.remove(drop_ci);
+            c.order.retain(|st| st.conn != drop_ci);
+            for st in &mut c.order {
+                if st.conn > drop_ci {
+                    st.conn -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+    // Zero every fault knob, one family at a time.
+    for knob in 0..6 {
+        let mut c = s.clone();
+        let p = &mut c.plan;
+        let changed = match knob {
+            0 => std::mem::take(&mut p.reset_per_mille) != 0,
+            1 => std::mem::take(&mut p.storm_per_mille) != 0,
+            2 => std::mem::take(&mut p.short_io_per_mille) != 0,
+            3 => std::mem::take(&mut p.corrupt_per_mille) != 0,
+            4 => std::mem::take(&mut p.stall_per_mille) != 0,
+            _ => std::mem::take(&mut p.accept_fail_every) != 0,
+        };
+        if changed {
+            out.push(c);
+        }
+    }
+    // Disable early closes.
+    for ci in 0..s.conns.len() {
+        if s.conns[ci].close_early {
+            let mut c = s.clone();
+            c.conns[ci].close_early = false;
+            out.push(c);
+        }
+    }
+    // Zero all pauses.
+    if s.order.iter().any(|st| st.pause_ms > 0) {
+        let mut c = s.clone();
+        for st in &mut c.order {
+            st.pause_ms = 0;
+        }
+        out.push(c);
+    }
+    // Merge a connection's last two segments (drops one order step).
+    for ci in 0..s.conns.len() {
+        if s.conns[ci].segments.len() > 1 {
+            let mut c = s.clone();
+            let tail = c.conns[ci].segments.pop().expect("len > 1");
+            c.conns[ci]
+                .segments
+                .last_mut()
+                .expect("len > 0")
+                .extend_from_slice(&tail);
+            let last_step = c
+                .order
+                .iter()
+                .rposition(|st| st.conn == ci)
+                .expect("conn has steps");
+            c.order.remove(last_step);
+            out.push(c);
+        }
+    }
+    // Halve a connection's final segment.
+    for ci in 0..s.conns.len() {
+        let seg = s.conns[ci].segments.last().expect("non-empty");
+        if seg.len() > 1 {
+            let mut c = s.clone();
+            let half = seg.len() / 2;
+            c.conns[ci]
+                .segments
+                .last_mut()
+                .expect("non-empty")
+                .truncate(half);
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Shrink `sched` and panic with a fully replayable counterexample.
+pub fn fail_with_counterexample(
+    sched: &Schedule,
+    violations: &[Violation],
+    still_fails: &dyn Fn(&Schedule) -> bool,
+) -> ! {
+    let (shrunk, runs) = shrink(sched, still_fails, 200);
+    let listing: String = violations.iter().map(|v| format!("  {v}\n")).collect();
+    panic!(
+        "conformance violation: proto={} seed={} fault-plan-seed={}\n{listing}\
+         replay exactly this seed with:\n  NSERVER_REPLAY_SEED={} cargo test -q -p conformance\n\
+         shrunken counterexample ({runs} shrink runs; parseable via Schedule::parse):\n{}",
+        sched.proto_name(),
+        sched.seed,
+        sched.plan.seed,
+        sched.seed,
+        shrunk.serialize(),
+    );
+}
+
+impl Schedule {
+    fn proto_name(&self) -> &'static str {
+        match self.proto {
+            Proto::Http => "http",
+            Proto::Ftp => "ftp",
+        }
+    }
+}
+
+/// Coverage summary returned by [`explore`].
+#[derive(Debug)]
+pub struct ExploreSummary {
+    /// Schedules executed.
+    pub runs: usize,
+    /// Distinct schedule fingerprints among them.
+    pub distinct_schedules: usize,
+}
+
+/// Generate and run one schedule per seed, panicking with a shrunken,
+/// replayable counterexample on the first violation.
+pub fn explore(proto: Proto, seeds: impl IntoIterator<Item = u64>) -> ExploreSummary {
+    let mut fingerprints = HashSet::new();
+    let mut runs = 0;
+    for seed in seeds {
+        let sched = generate(proto, seed);
+        fingerprints.insert(sched.fingerprint());
+        runs += 1;
+        let report = run(&sched);
+        if !report.violations.is_empty() {
+            fail_with_counterexample(&sched, &report.violations, &|s| {
+                !run(s).violations.is_empty()
+            });
+        }
+    }
+    ExploreSummary {
+        runs,
+        distinct_schedules: fingerprints.len(),
+    }
+}
+
+/// The seed set for an exploration test. `NSERVER_REPLAY_SEED=n` narrows
+/// every suite to exactly seed `n` (the counterexample replay workflow);
+/// `NSERVER_CONF_SEED_SPAN=lo..hi` widens the sweep (the CI extended
+/// run); otherwise `default_lo..default_hi`.
+pub fn seed_range(default_lo: u64, default_hi: u64) -> Vec<u64> {
+    if let Ok(s) = std::env::var("NSERVER_REPLAY_SEED") {
+        let seed = s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("NSERVER_REPLAY_SEED={s:?} is not a u64: {e}"));
+        return vec![seed];
+    }
+    if let Ok(s) = std::env::var("NSERVER_CONF_SEED_SPAN") {
+        let (lo, hi) = s
+            .split_once("..")
+            .unwrap_or_else(|| panic!("NSERVER_CONF_SEED_SPAN={s:?} is not lo..hi"));
+        let lo: u64 = lo.trim().parse().expect("span lo");
+        let hi: u64 = hi.trim().parse().expect("span hi");
+        return (lo..hi).collect();
+    }
+    (default_lo..default_hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ConnScript, Step};
+    use nserver_core::fault::FaultPlan;
+
+    fn two_conn_schedule() -> Schedule {
+        Schedule {
+            proto: Proto::Http,
+            seed: 0,
+            plan: FaultPlan {
+                reset_per_mille: 100,
+                ..FaultPlan::new(5)
+            },
+            conns: vec![
+                ConnScript {
+                    segments: vec![b"GET /a HTTP/1.1\r\n".to_vec(), b"\r\n".to_vec()],
+                    close_early: true,
+                },
+                ConnScript {
+                    segments: vec![b"GET /b HTTP/1.1\r\n\r\n".to_vec()],
+                    close_early: false,
+                },
+            ],
+            order: vec![
+                Step {
+                    conn: 0,
+                    pause_ms: 1,
+                },
+                Step {
+                    conn: 1,
+                    pause_ms: 0,
+                },
+                Step {
+                    conn: 0,
+                    pause_ms: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_failing_form() {
+        // Synthetic oracle: "fails" whenever conn 0's script mentions /a.
+        let fails = |s: &Schedule| {
+            s.conns
+                .iter()
+                .any(|c| c.bytes().windows(2).any(|w| w == b"/a"))
+        };
+        let orig = two_conn_schedule();
+        assert!(fails(&orig));
+        let (shrunk, runs) = shrink(&orig, &fails, 100);
+        assert!(fails(&shrunk), "shrinking must preserve the failure");
+        assert!(runs > 0);
+        assert_eq!(shrunk.conns.len(), 1, "irrelevant conn dropped");
+        assert_eq!(shrunk.plan.reset_per_mille, 0, "irrelevant knob zeroed");
+        assert!(shrunk.order.iter().all(|s| s.pause_ms == 0));
+        assert!(!shrunk.conns[0].close_early);
+        shrunk.check_consistency().expect("shrunk stays consistent");
+        assert!(
+            shrunk.conns[0].bytes().len() < orig.conns[0].bytes().len(),
+            "byte-level shrinking happened"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_the_run_budget() {
+        let (_, runs) = shrink(&two_conn_schedule(), &|_| true, 7);
+        assert!(runs <= 7);
+    }
+
+    #[test]
+    fn seed_range_defaults_and_env_overrides() {
+        assert_eq!(seed_range(3, 6), vec![3, 4, 5]);
+        std::env::set_var("NSERVER_CONF_SEED_SPAN", "10..13");
+        assert_eq!(seed_range(3, 6), vec![10, 11, 12]);
+        std::env::set_var("NSERVER_REPLAY_SEED", "42");
+        assert_eq!(seed_range(3, 6), vec![42], "replay wins over span");
+        std::env::remove_var("NSERVER_REPLAY_SEED");
+        std::env::remove_var("NSERVER_CONF_SEED_SPAN");
+    }
+}

@@ -1,0 +1,403 @@
+//! The executable FTP model: the COPS-FTP control-channel state machine
+//! as a nondeterministic acceptor over reply blocks.
+//!
+//! Unlike HTTP, the FTP reply *bytes* are not a pure function of the
+//! inbound stream — `STAT` bodies embed live server counters — so the
+//! model accepts at the `(reply code, multiline?)` level: the decoded
+//! command stream determines the exact sequence of reply codes, and a
+//! conforming trace must realize a prefix of it (prefix closure again
+//! covers faults cutting the stream anywhere).
+//!
+//! The model keeps its own login FSM, working directory and a *replica*
+//! VFS seeded with the fixture content. Replaying the connection's own
+//! `MKD`/`DELE` mutations against the replica keeps it exact as long as
+//! schedules keep mutated paths disjoint across connections — which the
+//! generator guarantees. `PASV` data transfers depend on out-of-band
+//! state the control trace cannot see; the model marks the stream
+//! unmodelable from that point and the checker stops there.
+
+use std::sync::Arc;
+
+use nserver_core::tap::ConnTrace;
+use nserver_ftp::commands::Command;
+use nserver_ftp::legacy::users::UserRegistry;
+use nserver_ftp::legacy::vfs::{normalize, Vfs};
+use nserver_ftp::observe::{extract_commands, split_replies, ReplyStreamEnd};
+use nserver_ftp::FtpRequest;
+
+use crate::Violation;
+
+/// The fixture served in every FTP conformance run.
+pub struct FtpFixture;
+
+impl FtpFixture {
+    fn populate(vfs: &Vfs) {
+        vfs.mkdir("/pub");
+        vfs.write("/pub/hello.txt", b"hello ftp".to_vec());
+    }
+
+    /// The live server's filesystem.
+    pub fn vfs() -> Arc<Vfs> {
+        let vfs = Arc::new(Vfs::new());
+        Self::populate(&vfs);
+        vfs
+    }
+
+    /// The live server's account registry: `anonymous` plus
+    /// `alice`/`secret`.
+    pub fn users() -> Arc<UserRegistry> {
+        let users = Arc::new(UserRegistry::new().with_anonymous());
+        users.add_user("alice", "secret");
+        users
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LoginState {
+    Greeted,
+    NeedPassword(String),
+    LoggedIn,
+}
+
+/// What the model says about one decoded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Expect this `(code, multiline)` reply; the session continues.
+    Reply(u16, bool),
+    /// Expect this reply, then the server closes (QUIT).
+    Close(u16, bool),
+    /// The session entered state the control trace cannot predict
+    /// (a PASV data transfer); stop checking here.
+    Unmodelable,
+}
+
+/// The per-connection specification machine.
+pub struct FtpModel {
+    state: LoginState,
+    cwd: String,
+    vfs: Vfs,
+    users: Arc<UserRegistry>,
+    pasv_pending: bool,
+}
+
+impl Default for FtpModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FtpModel {
+    /// A fresh session over a replica of the fixture.
+    pub fn new() -> Self {
+        let vfs = Vfs::new();
+        FtpFixture::populate(&vfs);
+        Self {
+            state: LoginState::Greeted,
+            cwd: "/".to_string(),
+            vfs,
+            users: FtpFixture::users(),
+            pasv_pending: false,
+        }
+    }
+
+    /// Advance the machine by one decoded request.
+    pub fn step(&mut self, req: &FtpRequest) -> StepResult {
+        use StepResult::{Close, Reply, Unmodelable};
+        let cmd = match req {
+            FtpRequest::Command(c) => c,
+            FtpRequest::Malformed(_) => return Reply(500, false),
+        };
+        // Pre-login command set.
+        match cmd {
+            Command::User(name) => {
+                if self.users.knows(name) {
+                    self.state = LoginState::NeedPassword(name.clone());
+                    return Reply(331, false);
+                }
+                self.state = LoginState::Greeted;
+                return Reply(530, false);
+            }
+            Command::Pass(pw) => {
+                let LoginState::NeedPassword(user) = self.state.clone() else {
+                    return Reply(503, false);
+                };
+                if self.users.authenticate(&user, pw) {
+                    self.state = LoginState::LoggedIn;
+                    return Reply(230, false);
+                }
+                self.state = LoginState::Greeted;
+                return Reply(530, false);
+            }
+            Command::Quit => return Close(221, false),
+            Command::Syst => return Reply(215, false),
+            Command::Noop => return Reply(200, false),
+            Command::Unknown(_) => return Reply(502, false),
+            _ => {}
+        }
+        if self.state != LoginState::LoggedIn {
+            return Reply(530, false);
+        }
+        match cmd {
+            Command::Pwd => Reply(257, false),
+            Command::Cwd(dir) => match normalize(&self.cwd, dir) {
+                Some(path) if self.vfs.is_dir(&path) => {
+                    self.cwd = path;
+                    Reply(250, false)
+                }
+                _ => Reply(550, false),
+            },
+            Command::Type(_) => Reply(200, false),
+            Command::Mkd(dir) => match normalize(&self.cwd, dir) {
+                Some(path) if self.vfs.mkdir(&path) => Reply(257, false),
+                _ => Reply(550, false),
+            },
+            Command::Dele(file) => match normalize(&self.cwd, file) {
+                Some(path) if self.vfs.delete(&path) => Reply(250, false),
+                _ => Reply(550, false),
+            },
+            Command::Size(file) => match normalize(&self.cwd, file).and_then(|p| self.vfs.size(&p))
+            {
+                Some(_) => Reply(213, false),
+                None => Reply(550, false),
+            },
+            Command::Stat(None) => Reply(211, true),
+            Command::Stat(Some(p)) => match normalize(&self.cwd, p) {
+                Some(t) if self.vfs.is_dir(&t) || self.vfs.size(&t).is_some() => Reply(211, true),
+                _ => Reply(550, false),
+            },
+            Command::SiteDump => Reply(211, true),
+            Command::Pasv => {
+                self.pasv_pending = true;
+                Reply(227, false)
+            }
+            Command::List(_) => {
+                if !self.pasv_pending {
+                    Reply(503, false)
+                } else {
+                    Unmodelable
+                }
+            }
+            Command::Retr(file) | Command::Stor(file) => {
+                if !self.pasv_pending {
+                    Reply(503, false)
+                } else {
+                    // The listener is consumed even when the path check
+                    // fails afterwards.
+                    self.pasv_pending = false;
+                    if normalize(&self.cwd, file).is_none() {
+                        Reply(550, false)
+                    } else {
+                        Unmodelable
+                    }
+                }
+            }
+            Command::User(_)
+            | Command::Pass(_)
+            | Command::Quit
+            | Command::Syst
+            | Command::Noop
+            | Command::Unknown(_) => unreachable!("handled before the login gate"),
+        }
+    }
+}
+
+/// The expected `(code, multiline)` reply sequence for `inbound`,
+/// starting with the 220 greeting. The boolean is false when the session
+/// became unmodelable (PASV transfer) — the sequence then covers only the
+/// prefix up to that point, and strict checking must be skipped.
+pub fn expected_replies(inbound: &[u8]) -> (Vec<(u16, bool)>, bool) {
+    let mut model = FtpModel::new();
+    let mut expected = vec![(220, false)];
+    for req in &extract_commands(inbound).requests {
+        match model.step(req) {
+            StepResult::Reply(code, multi) => expected.push((code, multi)),
+            StepResult::Close(code, multi) => {
+                expected.push((code, multi));
+                break;
+            }
+            StepResult::Unmodelable => return (expected, false),
+        }
+    }
+    (expected, true)
+}
+
+/// Check one control-connection trace against the model.
+pub fn check_ftp(trace: &ConnTrace, strict: bool) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if let Some(v) = crate::event_order_violation(trace) {
+        violations.push(v);
+    }
+    let (expected, modelable) = expected_replies(&trace.inbound());
+    let observed = split_replies(&trace.outbound());
+    let vio = |kind, detail| Violation {
+        accept_index: trace.accept_index,
+        profile: trace.profile.clone(),
+        kind,
+        detail,
+    };
+    for (i, block) in observed.complete.iter().enumerate() {
+        let Some(&(code, multi)) = expected.get(i) else {
+            if modelable {
+                violations.push(vio(
+                    "excess-reply",
+                    format!(
+                        "reply {} ({} {:?}) past the {} the model allows",
+                        i,
+                        block.code,
+                        block.text,
+                        expected.len()
+                    ),
+                ));
+            }
+            break;
+        };
+        if (block.code, block.multiline) != (code, multi) {
+            violations.push(vio(
+                "reply-mismatch",
+                format!(
+                    "reply {}: got {}{} {:?}, model expects {}{}",
+                    i,
+                    block.code,
+                    if block.multiline { "-" } else { "" },
+                    block.text,
+                    code,
+                    if multi { "-" } else { "" },
+                ),
+            ));
+            break;
+        }
+    }
+    if let ReplyStreamEnd::Malformed { offset, ref why } = observed.end {
+        violations.push(vio(
+            "malformed-replies",
+            format!("outbound unparseable as FTP replies at +{offset}: {why}"),
+        ));
+    }
+    if strict
+        && modelable
+        && violations.is_empty()
+        && (observed.complete.len() != expected.len() || observed.end != ReplyStreamEnd::Clean)
+    {
+        violations.push(vio(
+            "incomplete-delivery",
+            format!(
+                "clean session delivered {} of {} expected replies (end: {:?})",
+                observed.complete.len(),
+                expected.len(),
+                observed.end,
+            ),
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nserver_core::tap::TapEvent;
+
+    fn seq(inbound: &str) -> Vec<(u16, bool)> {
+        expected_replies(inbound.as_bytes()).0
+    }
+
+    #[test]
+    fn login_flow_codes() {
+        assert_eq!(
+            seq("USER alice\r\nPASS secret\r\nPWD\r\nQUIT\r\n"),
+            vec![
+                (220, false),
+                (331, false),
+                (230, false),
+                (257, false),
+                (221, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn wrong_password_resets_the_fsm() {
+        assert_eq!(
+            seq("USER alice\r\nPASS wrong\r\nPASS secret\r\n"),
+            vec![(220, false), (331, false), (530, false), (503, false)]
+        );
+    }
+
+    #[test]
+    fn login_gate_and_pre_login_commands() {
+        assert_eq!(
+            seq("PWD\r\nSYST\r\nNOOP\r\nXYZZY\r\n"),
+            vec![
+                (220, false),
+                (530, false),
+                (215, false),
+                (200, false),
+                (502, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn commands_after_quit_are_dead() {
+        assert_eq!(
+            seq("QUIT\r\nSYST\r\n"),
+            vec![(220, false), (221, false)],
+            "the server closes on QUIT"
+        );
+    }
+
+    #[test]
+    fn replica_vfs_tracks_own_mutations() {
+        let replies =
+            seq("USER alice\r\nPASS secret\r\nMKD /inbox\r\nMKD /inbox\r\nCWD /inbox\r\nSTAT\r\n");
+        assert_eq!(
+            &replies[3..],
+            &[(257, false), (550, false), (250, false), (211, true)]
+        );
+    }
+
+    #[test]
+    fn transfers_without_pasv_are_503_and_pasv_makes_them_unmodelable() {
+        assert_eq!(
+            seq("USER alice\r\nPASS secret\r\nLIST\r\nRETR /pub/hello.txt\r\n"),
+            vec![
+                (220, false),
+                (331, false),
+                (230, false),
+                (503, false),
+                (503, false)
+            ]
+        );
+        let (expected, modelable) =
+            expected_replies(b"USER alice\r\nPASS secret\r\nPASV\r\nLIST\r\n");
+        assert!(!modelable);
+        assert_eq!(expected.last(), Some(&(227, false)));
+    }
+
+    #[test]
+    fn check_accepts_prefix_and_catches_wrong_code() {
+        let inbound = b"USER alice\r\nPASS secret\r\n";
+        let good = ConnTrace {
+            accept_index: 1,
+            peer: "peer-1".into(),
+            profile: "Clean".into(),
+            events: vec![
+                TapEvent::Read(inbound.to_vec()),
+                TapEvent::Wrote(b"220 ready\r\n331 need password\r\n".to_vec()),
+            ],
+        };
+        assert!(check_ftp(&good, false).is_empty());
+        assert_eq!(
+            check_ftp(&good, true)[0].kind,
+            "incomplete-delivery",
+            "strict wants the 230 too"
+        );
+        let bad = ConnTrace {
+            events: vec![
+                TapEvent::Read(inbound.to_vec()),
+                TapEvent::Wrote(b"220 ready\r\n230 logged in\r\n".to_vec()),
+            ],
+            ..good
+        };
+        assert_eq!(check_ftp(&bad, false)[0].kind, "reply-mismatch");
+    }
+}

@@ -1,0 +1,152 @@
+//! # conformance
+//!
+//! Model-based conformance harness: executable protocol specifications
+//! driving schedule exploration against the real reactor.
+//!
+//! The paper's claim is that generated N-Server frameworks behave
+//! identically across template option columns. This crate turns that claim
+//! into a checkable artifact. It has three layers:
+//!
+//! * **Executable models** ([`http_model`], [`ftp_model`]) — pure
+//!   functions from a connection's *post-fault inbound bytes* to the set
+//!   of legal outbound observations. The HTTP model is byte-exact: the
+//!   expected response stream is fully determined by the decoded request
+//!   stream and the content fixture, and a conforming trace must be a
+//!   prefix of it (prefix closure is what makes the acceptor
+//!   nondeterministic — a fault may cut the stream anywhere). The FTP
+//!   model accepts at the reply-code + multiline-flag level, because
+//!   `STAT` bodies carry live counters.
+//! * **Schedules** ([`schedule`]) — a seeded, serializable description of
+//!   one adversarial run: a [`nserver_core::fault::FaultPlan`], per-client
+//!   byte scripts split into segments, and an interleaving order with
+//!   pauses. Equal seeds generate equal schedules; the fingerprint hashes
+//!   the serialized form so distinct-schedule coverage is countable.
+//! * **The explorer** ([`explorer`]) — runs the real server over the
+//!   in-memory transport under `FaultyListener` + `TapListener`, delivers
+//!   the schedule, and checks every recorded [`ConnTrace`] against the
+//!   model. On violation it shrinks the schedule greedily and panics with
+//!   a replayable counterexample (seed + serialized schedule).
+//!
+//! [`mutant`] provides deliberately broken service wrappers used by the
+//! mutation tests: each must be caught by the models, which is the
+//! harness's own soundness check.
+
+pub mod explorer;
+pub mod ftp_model;
+pub mod http_model;
+pub mod mutant;
+pub mod schedule;
+
+pub use explorer::{
+    explore, run, run_ftp, run_http, run_http_with_options, seed_range, shrink,
+    standard_ftp_service, standard_http_service, ExploreSummary, RunReport,
+};
+pub use ftp_model::FtpModel;
+pub use http_model::HttpFixture;
+pub use mutant::{FtpMutation, HttpMutation, MutantFtp, MutantHttp};
+pub use schedule::{enumerate_orders, generate, ConnScript, Proto, Schedule, Step};
+
+use nserver_core::tap::{ConnTrace, TapEvent};
+
+/// One conformance violation found in a connection trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// 1-based accept index of the offending connection.
+    pub accept_index: u64,
+    /// Fault profile the plan assigned to it.
+    pub profile: String,
+    /// Violation class (stable identifier for grepping).
+    pub kind: &'static str,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conn #{} [{}] {}: {}",
+            self.accept_index, self.profile, self.kind, self.detail
+        )
+    }
+}
+
+/// The protocol-independent event-legality rule: once a connection's
+/// transport has failed hard (a `ReadError` or `WriteError`), its sink is
+/// dead — any later `Wrote` or `WriteError` is a reply written to a reset
+/// peer. Writing after `ReadEof` alone is legal: half-close only ends the
+/// request stream, and pending responses must still drain.
+pub fn event_order_violation(trace: &ConnTrace) -> Option<Violation> {
+    let mut dead = false;
+    for (i, ev) in trace.events.iter().enumerate() {
+        match ev {
+            TapEvent::Wrote(b) if dead => {
+                return Some(Violation {
+                    accept_index: trace.accept_index,
+                    profile: trace.profile.clone(),
+                    kind: "write-after-error",
+                    detail: format!("event {i}: {} bytes written after the sink died", b.len()),
+                });
+            }
+            TapEvent::WriteError(e) if dead => {
+                return Some(Violation {
+                    accept_index: trace.accept_index,
+                    profile: trace.profile.clone(),
+                    kind: "write-after-error",
+                    detail: format!("event {i}: write retried on a dead sink ({e})"),
+                });
+            }
+            TapEvent::ReadError(_) | TapEvent::WriteError(_) => dead = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(events: Vec<TapEvent>) -> ConnTrace {
+        ConnTrace {
+            accept_index: 1,
+            peer: "peer-1".into(),
+            profile: "Clean".into(),
+            events,
+        }
+    }
+
+    #[test]
+    fn writes_after_eof_are_legal() {
+        let t = trace(vec![
+            TapEvent::Read(b"GET".to_vec()),
+            TapEvent::ReadEof,
+            TapEvent::Wrote(b"HTTP/1.1 200".to_vec()),
+        ]);
+        assert!(event_order_violation(&t).is_none());
+    }
+
+    #[test]
+    fn write_after_read_error_is_flagged() {
+        let t = trace(vec![
+            TapEvent::ReadError("reset".into()),
+            TapEvent::Wrote(b"late".to_vec()),
+        ]);
+        let v = event_order_violation(&t).expect("violation");
+        assert_eq!(v.kind, "write-after-error");
+    }
+
+    #[test]
+    fn single_write_error_is_legal_but_a_second_is_not() {
+        let ok = trace(vec![
+            TapEvent::Wrote(b"partial".to_vec()),
+            TapEvent::WriteError("reset".into()),
+        ]);
+        assert!(event_order_violation(&ok).is_none());
+        let bad = trace(vec![
+            TapEvent::WriteError("reset".into()),
+            TapEvent::WriteError("reset".into()),
+        ]);
+        assert!(event_order_violation(&bad).is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! Deliberately broken service wrappers — the harness's own soundness
+//! check.
+//!
+//! A conformance harness that never fires is indistinguishable from one
+//! that checks nothing. The mutation tests inject a known legality bug
+//! into the real service through these wrappers and assert the models
+//! catch it, shrink it, and emit a replayable counterexample. Each
+//! mutation is chosen to be *observable in the trace alphabet the models
+//! check*: response bytes for HTTP, reply codes for FTP.
+
+use std::sync::Arc;
+
+use nserver_core::pipeline::{Action, ConnCtx, Service};
+use nserver_ftp::{FtpCodec, FtpRequest, FtpService};
+use nserver_http::{HttpCodec, Request, Response, Status};
+
+/// Which HTTP legality bug to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpMutation {
+    /// 404s are rewritten into fabricated 200s — the model's fixture
+    /// lookup disagrees on both the status line and the body bytes.
+    MissBecomesOk,
+    /// The service claims `Connection: keep-alive` even when the
+    /// exchange decided to close — the header bytes diverge, and so does
+    /// everything the model refuses to expect after a close.
+    DropConnectionClose,
+}
+
+/// An HTTP service with `mutation` injected into every response path,
+/// including the deferred (cache-miss) ones.
+pub struct MutantHttp<S> {
+    inner: S,
+    mutation: HttpMutation,
+}
+
+impl<S> MutantHttp<S> {
+    pub fn new(inner: S, mutation: HttpMutation) -> Self {
+        Self { inner, mutation }
+    }
+}
+
+fn mutate_http(m: HttpMutation, resp: Response) -> Response {
+    match m {
+        HttpMutation::MissBecomesOk => {
+            if resp.status != Status::NotFound {
+                return resp;
+            }
+            let mut fake = Response::ok(
+                Arc::new(b"<html>phantom page</html>".to_vec()),
+                "text/html",
+                resp.version,
+            )
+            .with_keep_alive(resp.keep_alive);
+            if resp.head_only {
+                fake = fake.head();
+            }
+            fake
+        }
+        HttpMutation::DropConnectionClose => resp.with_keep_alive(true),
+    }
+}
+
+fn map_action<R: Send + 'static>(
+    action: Action<R>,
+    mutate: impl Fn(R) -> R + Send + 'static,
+) -> Action<R> {
+    match action {
+        Action::Reply(r) => Action::Reply(mutate(r)),
+        Action::ReplyClose(r) => Action::ReplyClose(mutate(r)),
+        Action::Defer(job) => Action::Defer(Box::new(move || mutate(job()))),
+        Action::DeferClose(job) => Action::DeferClose(Box::new(move || mutate(job()))),
+        passthrough @ (Action::NoReply | Action::Close) => passthrough,
+    }
+}
+
+impl<S: Service<HttpCodec>> Service<HttpCodec> for MutantHttp<S> {
+    fn handle(&self, ctx: &ConnCtx, req: Request) -> Action<Response> {
+        let m = self.mutation;
+        map_action(self.inner.handle(ctx, req), move |r| mutate_http(m, r))
+    }
+
+    fn on_open(&self, ctx: &ConnCtx) -> Option<Response> {
+        self.inner.on_open(ctx)
+    }
+
+    fn on_close(&self, ctx: &ConnCtx) {
+        self.inner.on_close(ctx);
+    }
+}
+
+/// Which FTP legality bug to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtpMutation {
+    /// Every `530 Not logged in` becomes `230 Logged in` — an
+    /// authentication bypass visible as a reply-code mismatch.
+    LoginAlwaysSucceeds,
+}
+
+/// The real FTP service with `mutation` injected into every reply path.
+pub struct MutantFtp {
+    inner: FtpService,
+    mutation: FtpMutation,
+}
+
+impl MutantFtp {
+    pub fn new(inner: FtpService, mutation: FtpMutation) -> Self {
+        Self { inner, mutation }
+    }
+}
+
+fn mutate_ftp(m: FtpMutation, reply: String) -> String {
+    match m {
+        FtpMutation::LoginAlwaysSucceeds => {
+            if let Some(rest) = reply.strip_prefix("530") {
+                format!("230{rest}")
+            } else {
+                reply
+            }
+        }
+    }
+}
+
+impl Service<FtpCodec> for MutantFtp {
+    fn handle(&self, ctx: &ConnCtx, req: FtpRequest) -> Action<String> {
+        let m = self.mutation;
+        map_action(self.inner.handle(ctx, req), move |r| mutate_ftp(m, r))
+    }
+
+    fn on_open(&self, ctx: &ConnCtx) -> Option<String> {
+        self.inner
+            .on_open(ctx)
+            .map(|r| mutate_ftp(self.mutation, r))
+    }
+
+    fn on_close(&self, ctx: &ConnCtx) {
+        self.inner.on_close(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nserver_http::Version;
+
+    #[test]
+    fn miss_becomes_ok_preserves_framing_decisions() {
+        let resp = Response::error(Status::NotFound, Version::Http11)
+            .with_keep_alive(false)
+            .head();
+        let mutated = mutate_http(HttpMutation::MissBecomesOk, resp);
+        assert_eq!(mutated.status, Status::Ok);
+        assert!(!mutated.keep_alive, "close decision must survive");
+        assert!(mutated.head_only, "HEAD suppression must survive");
+        let ok = Response::ok(Arc::new(vec![]), "text/plain", Version::Http11);
+        assert_eq!(
+            mutate_http(HttpMutation::MissBecomesOk, ok).status,
+            Status::Ok,
+            "non-404s pass through"
+        );
+    }
+
+    #[test]
+    fn drop_connection_close_lies_in_the_header() {
+        let resp = Response::error(Status::Forbidden, Version::Http11).with_keep_alive(false);
+        assert!(mutate_http(HttpMutation::DropConnectionClose, resp).keep_alive);
+    }
+
+    #[test]
+    fn login_bypass_rewrites_only_530() {
+        let m = FtpMutation::LoginAlwaysSucceeds;
+        assert_eq!(
+            mutate_ftp(m, "530 Not logged in.\r\n".into()),
+            "230 Not logged in.\r\n"
+        );
+        assert_eq!(mutate_ftp(m, "221 Bye.\r\n".into()), "221 Bye.\r\n");
+    }
+}

@@ -1,0 +1,543 @@
+//! Adversarial run descriptions: seeded generation, a text wire format
+//! for counterexample artifacts, and interleaving enumeration.
+//!
+//! A [`Schedule`] is everything needed to reproduce one exploration run
+//! bit-for-bit: the fault plan, each client's byte script split into
+//! segments, and the global delivery order. Generation is a pure function
+//! of `(proto, seed)` via [`nserver_netsim::SimRng`], so CI failures
+//! replay anywhere from the seed alone, and shrunken counterexamples
+//! serialize to a format stable enough to check into `corpus/`.
+
+use nserver_core::fault::FaultPlan;
+use nserver_netsim::SimRng;
+
+/// Which protocol stack a schedule drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// COPS-HTTP: static file service over the HTTP/1.1 subset.
+    Http,
+    /// COPS-FTP: the control-channel command state machine.
+    Ftp,
+}
+
+impl Proto {
+    fn name(self) -> &'static str {
+        match self {
+            Proto::Http => "http",
+            Proto::Ftp => "ftp",
+        }
+    }
+}
+
+/// One client connection's script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnScript {
+    /// Byte segments, delivered one per scheduled step, in order.
+    pub segments: Vec<Vec<u8>>,
+    /// Abruptly close the connection right after the last segment, without
+    /// waiting for responses — the early-close/pipelining hazard.
+    pub close_early: bool,
+}
+
+impl ConnScript {
+    /// All script bytes, concatenated.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.segments.concat()
+    }
+}
+
+/// One delivery step in the global interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Which connection's next segment to deliver.
+    pub conn: usize,
+    /// Milliseconds to sleep after delivering it.
+    pub pause_ms: u64,
+}
+
+/// A complete, replayable exploration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Protocol under test.
+    pub proto: Proto,
+    /// Generation seed (0 for hand-written corpus schedules).
+    pub seed: u64,
+    /// Transport fault plan applied server-side.
+    pub plan: FaultPlan,
+    /// Per-connection scripts; index = connect order.
+    pub conns: Vec<ConnScript>,
+    /// Interleaved delivery order; each conn appears exactly
+    /// `segments.len()` times.
+    pub order: Vec<Step>,
+}
+
+/// Generate the schedule for `(proto, seed)`.
+pub fn generate(proto: Proto, seed: u64) -> Schedule {
+    match proto {
+        Proto::Http => generate_http(seed),
+        Proto::Ftp => generate_ftp(seed),
+    }
+}
+
+/// Draw a fault plan. Roughly a third of seeds are fault-free so the
+/// strict (byte-equal) arm of the models stays exercised.
+fn gen_plan(rng: &mut SimRng) -> FaultPlan {
+    let mut plan = FaultPlan::new(rng.next_u64());
+    if rng.chance(0.65) {
+        plan.reset_per_mille = [0, 120, 250][rng.below(3) as usize];
+        plan.storm_per_mille = [0, 120][rng.below(2) as usize];
+        plan.short_io_per_mille = [0, 150][rng.below(2) as usize];
+        plan.corrupt_per_mille = [0, 100][rng.below(2) as usize];
+        plan.stall_per_mille = [0, 80][rng.below(2) as usize];
+        if rng.chance(0.2) {
+            plan.accept_fail_every = rng.range(2, 5) as u32;
+        }
+    }
+    plan
+}
+
+/// Split `bytes` into 1–4 non-empty segments at seeded cut points.
+fn split_segments(rng: &mut SimRng, bytes: Vec<u8>) -> Vec<Vec<u8>> {
+    if bytes.len() < 2 {
+        return vec![bytes];
+    }
+    let nsegs = rng.range(1, 4.min(bytes.len() as u64)) as usize;
+    let mut cuts = std::collections::BTreeSet::new();
+    while cuts.len() < nsegs - 1 {
+        cuts.insert(rng.range(1, bytes.len() as u64 - 1) as usize);
+    }
+    let mut segs = Vec::with_capacity(nsegs);
+    let mut prev = 0;
+    for cut in cuts.into_iter().chain(std::iter::once(bytes.len())) {
+        segs.push(bytes[prev..cut].to_vec());
+        prev = cut;
+    }
+    segs
+}
+
+/// Interleave the connections' segments into a global order, preserving
+/// each connection's own segment order.
+fn gen_order(rng: &mut SimRng, conns: &[ConnScript]) -> Vec<Step> {
+    let mut remaining: Vec<usize> = conns.iter().map(|c| c.segments.len()).collect();
+    let mut total: usize = remaining.iter().sum();
+    let mut order = Vec::with_capacity(total);
+    while total > 0 {
+        let mut pick = rng.below(total as u64) as usize;
+        let conn = remaining
+            .iter()
+            .position(|&r| {
+                if pick < r {
+                    true
+                } else {
+                    pick -= r;
+                    false
+                }
+            })
+            .expect("non-empty remaining");
+        remaining[conn] -= 1;
+        total -= 1;
+        order.push(Step {
+            conn,
+            pause_ms: rng.below(3),
+        });
+    }
+    order
+}
+
+fn generate_http(seed: u64) -> Schedule {
+    let mut rng = SimRng::new(seed ^ 0x4854_5450); // "HTTP"
+    let plan = gen_plan(&mut rng);
+    let nconns = rng.range(1, 4) as usize;
+    let mut conns = Vec::with_capacity(nconns);
+    for _ in 0..nconns {
+        let nreqs = rng.range(1, 4);
+        let mut bytes = Vec::new();
+        for r in 0..nreqs {
+            let method = if rng.chance(0.25) { "HEAD" } else { "GET" };
+            let target = [
+                "/index.html",
+                "/big.bin",
+                "/missing.html",
+                "/hello%20world.txt",
+                "/%2e%2e/secret",
+                "/index.html?q=1",
+                "/%zz",
+            ][rng.below(7) as usize];
+            let http10 = rng.chance(0.15);
+            let version = if http10 { "HTTP/1.0" } else { "HTTP/1.1" };
+            let last = r + 1 == nreqs;
+            // Mid-stream requests stay keep-alive most of the time so
+            // pipelines actually form; a late `Connection: close` (or a
+            // bare 1.0 request) tests that the server stops serving the
+            // rest of the pipeline.
+            let connection = if http10 {
+                if !last && rng.chance(0.8) {
+                    Some("keep-alive")
+                } else {
+                    None
+                }
+            } else if rng.chance(if last { 0.4 } else { 0.1 }) {
+                Some("close")
+            } else {
+                None
+            };
+            bytes.extend_from_slice(
+                format!("{method} {target} {version}\r\nHost: conformance\r\n").as_bytes(),
+            );
+            if let Some(c) = connection {
+                bytes.extend_from_slice(format!("Connection: {c}\r\n").as_bytes());
+            }
+            bytes.extend_from_slice(b"\r\n");
+        }
+        let segments = split_segments(&mut rng, bytes);
+        conns.push(ConnScript {
+            segments,
+            close_early: rng.chance(0.2),
+        });
+    }
+    let order = gen_order(&mut rng, &conns);
+    Schedule {
+        proto: Proto::Http,
+        seed,
+        plan,
+        conns,
+        order,
+    }
+}
+
+fn generate_ftp(seed: u64) -> Schedule {
+    let mut rng = SimRng::new(seed ^ 0x46_5450); // "FTP"
+    let plan = gen_plan(&mut rng);
+    let nconns = rng.range(1, 3) as usize;
+    let mut conns = Vec::with_capacity(nconns);
+    for ci in 0..nconns {
+        let ncmds = rng.range(2, 8);
+        let mut lines: Vec<String> = Vec::new();
+        for j in 0..ncmds {
+            // Paths are absolute or the two safe relatives, and MKD targets
+            // are unique per (schedule, connection) so the model's replica
+            // VFS cannot diverge from the shared one via cross-connection
+            // mutation. No PASV/DELE and no transfers after PASV: those
+            // reach out-of-band state the trace model cannot see.
+            let cmd = match rng.below(22) {
+                0 => "USER alice".to_string(),
+                1 => "USER anonymous".to_string(),
+                2 => "USER nobody".to_string(),
+                3 => "PASS secret".to_string(),
+                4 => "PASS guest".to_string(),
+                5 => "PASS wrong".to_string(),
+                6 => "PWD".to_string(),
+                7 => "SYST".to_string(),
+                8 => "NOOP".to_string(),
+                9 => "TYPE I".to_string(),
+                10 => "TYPE A".to_string(),
+                11 => "CWD /pub".to_string(),
+                12 => "CWD pub".to_string(),
+                13 => "CWD ..".to_string(),
+                14 => "CWD /nope".to_string(),
+                15 => "SIZE /pub/hello.txt".to_string(),
+                16 => "STAT".to_string(),
+                17 => "STAT /pub".to_string(),
+                18 => format!("MKD /m{ci}k{j}"),
+                19 => "LIST".to_string(),
+                20 => "RETR /pub/hello.txt".to_string(),
+                _ => "XYZZY".to_string(),
+            };
+            lines.push(cmd);
+        }
+        if rng.chance(0.4) {
+            lines.push("QUIT".to_string());
+        }
+        let mut bytes = Vec::new();
+        for l in &lines {
+            bytes.extend_from_slice(l.as_bytes());
+            bytes.extend_from_slice(b"\r\n");
+        }
+        let segments = split_segments(&mut rng, bytes);
+        conns.push(ConnScript {
+            segments,
+            close_early: rng.chance(0.2),
+        });
+    }
+    let order = gen_order(&mut rng, &conns);
+    Schedule {
+        proto: Proto::Ftp,
+        seed,
+        plan,
+        conns,
+        order,
+    }
+}
+
+fn hex_encode(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+impl Schedule {
+    /// Render as the line-based counterexample format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("conformance-schedule v1\n");
+        out.push_str(&format!("proto {}\n", self.proto.name()));
+        out.push_str(&format!("seed {}\n", self.seed));
+        let p = &self.plan;
+        out.push_str(&format!(
+            "plan {} {} {} {} {} {} {} {}\n",
+            p.seed,
+            p.reset_per_mille,
+            p.storm_per_mille,
+            p.short_io_per_mille,
+            p.corrupt_per_mille,
+            p.stall_per_mille,
+            p.accept_fail_every,
+            p.faulty_first,
+        ));
+        for c in &self.conns {
+            out.push_str(&format!("conn close_early={}\n", u8::from(c.close_early)));
+            for s in &c.segments {
+                out.push_str(&format!("seg {}\n", hex_encode(s)));
+            }
+        }
+        for s in &self.order {
+            out.push_str(&format!("step {} {}\n", s.conn, s.pause_ms));
+        }
+        out
+    }
+
+    /// Parse the format produced by [`Schedule::serialize`].
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("conformance-schedule v1") {
+            return Err("missing 'conformance-schedule v1' header".into());
+        }
+        let mut proto = None;
+        let mut seed = 0u64;
+        let mut plan = FaultPlan::default();
+        let mut conns: Vec<ConnScript> = Vec::new();
+        let mut order = Vec::new();
+        for line in lines {
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "proto" => {
+                    proto = Some(match rest {
+                        "http" => Proto::Http,
+                        "ftp" => Proto::Ftp,
+                        other => return Err(format!("unknown proto {other:?}")),
+                    })
+                }
+                "seed" => seed = rest.parse().map_err(|e| format!("seed: {e}"))?,
+                "plan" => {
+                    let f: Vec<u64> = rest
+                        .split_whitespace()
+                        .map(|t| t.parse().map_err(|e| format!("plan field: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    if f.len() != 8 {
+                        return Err(format!("plan needs 8 fields, got {}", f.len()));
+                    }
+                    plan = FaultPlan {
+                        seed: f[0],
+                        reset_per_mille: f[1] as u16,
+                        storm_per_mille: f[2] as u16,
+                        short_io_per_mille: f[3] as u16,
+                        corrupt_per_mille: f[4] as u16,
+                        stall_per_mille: f[5] as u16,
+                        accept_fail_every: f[6] as u32,
+                        faulty_first: f[7] as u32,
+                    };
+                }
+                "conn" => {
+                    let close_early = rest
+                        .strip_prefix("close_early=")
+                        .ok_or("conn line needs close_early=")?
+                        == "1";
+                    conns.push(ConnScript {
+                        segments: Vec::new(),
+                        close_early,
+                    });
+                }
+                "seg" => conns
+                    .last_mut()
+                    .ok_or("seg before any conn line")?
+                    .segments
+                    .push(hex_decode(rest)?),
+                "step" => {
+                    let (c, p) = rest.split_once(' ').ok_or("step needs two fields")?;
+                    order.push(Step {
+                        conn: c.parse().map_err(|e| format!("step conn: {e}"))?,
+                        pause_ms: p.parse().map_err(|e| format!("step pause: {e}"))?,
+                    });
+                }
+                other => return Err(format!("unknown line key {other:?}")),
+            }
+        }
+        let proto = proto.ok_or("missing proto line")?;
+        let sched = Schedule {
+            proto,
+            seed,
+            plan,
+            conns,
+            order,
+        };
+        sched.check_consistency()?;
+        Ok(sched)
+    }
+
+    /// Structural sanity: every conn has segments, every step indexes a
+    /// conn, and each conn is stepped exactly `segments.len()` times.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut counts = vec![0usize; self.conns.len()];
+        for s in &self.order {
+            *counts.get_mut(s.conn).ok_or_else(|| {
+                format!("step references conn {} of {}", s.conn, self.conns.len())
+            })? += 1;
+        }
+        for (i, (c, n)) in self.conns.iter().zip(&counts).enumerate() {
+            if c.segments.is_empty() {
+                return Err(format!("conn {i} has no segments"));
+            }
+            if c.segments.len() != *n {
+                return Err(format!(
+                    "conn {i} has {} segments but {} steps",
+                    c.segments.len(),
+                    n
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// FNV-1a 64 over the serialized form: the distinct-schedule counter.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.serialize().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The same schedule with a different interleaving.
+    pub fn with_order(&self, order: Vec<Step>) -> Schedule {
+        let mut s = self.clone();
+        s.order = order;
+        s
+    }
+}
+
+/// Every interleaving of `seg_counts` (segments per connection) that
+/// preserves each connection's own order, with zero pauses. The count is
+/// the multinomial coefficient — keep inputs tiny (it is meant for the
+/// exhaustive small-case exploration tests).
+pub fn enumerate_orders(seg_counts: &[usize]) -> Vec<Vec<Step>> {
+    let mut out = Vec::new();
+    let mut remaining = seg_counts.to_vec();
+    let mut prefix = Vec::new();
+    fn rec(remaining: &mut [usize], prefix: &mut Vec<Step>, out: &mut Vec<Vec<Step>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(prefix.clone());
+            return;
+        }
+        for c in 0..remaining.len() {
+            if remaining[c] > 0 {
+                remaining[c] -= 1;
+                prefix.push(Step {
+                    conn: c,
+                    pause_ms: 0,
+                });
+                rec(remaining, prefix, out);
+                prefix.pop();
+                remaining[c] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut prefix, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for proto in [Proto::Http, Proto::Ftp] {
+            let a = generate(proto, 7);
+            let b = generate(proto, 7);
+            assert_eq!(a, b);
+            assert_ne!(a, generate(proto, 8));
+        }
+    }
+
+    #[test]
+    fn generated_schedules_are_consistent() {
+        for proto in [Proto::Http, Proto::Ftp] {
+            for seed in 0..50 {
+                let s = generate(proto, seed);
+                s.check_consistency()
+                    .unwrap_or_else(|e| panic!("{proto:?} seed {seed}: {e}"));
+                assert!(!s.conns.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        for proto in [Proto::Http, Proto::Ftp] {
+            for seed in 0..20 {
+                let s = generate(proto, seed);
+                let back = Schedule::parse(&s.serialize()).expect("parse back");
+                assert_eq!(s, back, "{proto:?} seed {seed}");
+                assert_eq!(s.fingerprint(), back.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_across_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..100 {
+            assert!(seen.insert(generate(Proto::Http, seed).fingerprint()));
+            assert!(seen.insert(generate(Proto::Ftp, seed).fingerprint()));
+        }
+    }
+
+    #[test]
+    fn ftp_scripts_stay_under_the_codec_line_budget() {
+        for seed in 0..100 {
+            for c in generate(Proto::Ftp, seed).conns {
+                assert!(c.bytes().len() < 4096, "seed {seed} script too long");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_orders_is_the_multinomial() {
+        assert_eq!(enumerate_orders(&[2, 1]).len(), 3);
+        assert_eq!(enumerate_orders(&[2, 2]).len(), 6);
+        assert_eq!(enumerate_orders(&[1, 1, 1]).len(), 6);
+        for order in enumerate_orders(&[2, 2]) {
+            assert_eq!(order.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Schedule::parse("nonsense").is_err());
+        assert!(Schedule::parse("conformance-schedule v1\nproto http\nseg 00\n").is_err());
+        let missing_step = "conformance-schedule v1\nproto http\nseed 1\n\
+                            plan 1 0 0 0 0 0 0 0\nconn close_early=0\nseg 41\n";
+        assert!(
+            Schedule::parse(missing_step).is_err(),
+            "step count mismatch"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The counterexample corpus: shrunken schedules from past model
+//! divergences (and hand-written hazard scenarios), re-run on every
+//! `cargo test` as fast regressions. When exploration finds a new
+//! violation, the panic message carries the serialized shrunken schedule —
+//! dropping it into `corpus/*.schedule` pins the fix forever.
+
+use conformance::{run, Schedule};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "schedule"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_present_and_parseable() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 4,
+        "expected at least the seeded regression corpus, found {files:?}"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let sched = Schedule::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            sched.serialize(),
+            text,
+            "{}: corpus files stay in canonical serialized form",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_corpus_schedule_conforms() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let sched = Schedule::parse(&text).expect("parseable (covered above)");
+        let report = run(&sched);
+        assert!(
+            report.violations.is_empty(),
+            "{} regressed: {}",
+            path.display(),
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        );
+    }
+}

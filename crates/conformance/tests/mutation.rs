@@ -1,0 +1,101 @@
+//! The harness's soundness check: inject a known legality bug into the
+//! real service and require the models to catch it, shrink it, and leave
+//! a counterexample that replays from its serialized form. A conformance
+//! suite that cannot fail proves nothing — these tests are the ones that
+//! keep the green exploration runs meaningful.
+
+use conformance::{
+    generate, run_ftp, run_http, shrink, standard_ftp_service, standard_http_service, FtpMutation,
+    HttpMutation, MutantFtp, MutantHttp, Proto, Schedule,
+};
+
+/// Find the first seed in `0..limit` whose schedule trips `fails`, check
+/// the shrunken form still fails, and check the serialized artifact
+/// round-trips into an equally failing schedule.
+fn caught_shrunk_and_replayable(
+    proto: Proto,
+    limit: u64,
+    fails: &dyn Fn(&Schedule) -> bool,
+) -> Schedule {
+    let sched = (0..limit)
+        .map(|seed| generate(proto, seed))
+        .find(|s| fails(s))
+        .unwrap_or_else(|| panic!("no seed in 0..{limit} tripped the mutant — harness is blind"));
+    let (shrunk, runs) = shrink(&sched, fails, 40);
+    assert!(
+        fails(&shrunk),
+        "shrinking lost the failure after {runs} runs"
+    );
+    assert!(
+        shrunk.serialize().len() <= sched.serialize().len(),
+        "shrinking must not grow the schedule"
+    );
+    let replayed = Schedule::parse(&shrunk.serialize()).expect("artifact parses");
+    assert_eq!(replayed.fingerprint(), shrunk.fingerprint());
+    assert!(fails(&replayed), "artifact must replay the failure");
+    replayed
+}
+
+#[test]
+fn http_phantom_200_for_misses_is_caught() {
+    let fails = |s: &Schedule| {
+        let svc = MutantHttp::new(standard_http_service(), HttpMutation::MissBecomesOk);
+        let report = run_http(s, svc);
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == "byte-divergence")
+    };
+    let witness = caught_shrunk_and_replayable(Proto::Http, 25, &fails);
+    assert!(
+        witness
+            .conns
+            .iter()
+            .any(|c| c.bytes().windows(8).any(|w| w == b"/missing")),
+        "the shrunken witness should still request a missing path:\n{}",
+        witness.serialize()
+    );
+}
+
+#[test]
+fn http_keep_alive_lie_on_close_is_caught() {
+    let fails = |s: &Schedule| {
+        let svc = MutantHttp::new(standard_http_service(), HttpMutation::DropConnectionClose);
+        let report = run_http(s, svc);
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == "byte-divergence")
+    };
+    caught_shrunk_and_replayable(Proto::Http, 25, &fails);
+}
+
+#[test]
+fn ftp_login_bypass_is_caught() {
+    let fails = |s: &Schedule| {
+        let svc = MutantFtp::new(standard_ftp_service(), FtpMutation::LoginAlwaysSucceeds);
+        let report = run_ftp(s, svc);
+        report.violations.iter().any(|v| v.kind == "reply-mismatch")
+    };
+    caught_shrunk_and_replayable(Proto::Ftp, 25, &fails);
+}
+
+#[test]
+fn unmutated_services_pass_the_same_seeds() {
+    // The control arm: the exact seed band the mutation tests scan must be
+    // violation-free without the mutants, or "caught" means nothing.
+    for seed in 0..25 {
+        let h = run_http(&generate(Proto::Http, seed), standard_http_service());
+        assert!(
+            h.violations.is_empty(),
+            "http seed {seed}: {:?}",
+            h.violations
+        );
+        let f = run_ftp(&generate(Proto::Ftp, seed), standard_ftp_service());
+        assert!(
+            f.violations.is_empty(),
+            "ftp seed {seed}: {:?}",
+            f.violations
+        );
+    }
+}

@@ -82,6 +82,7 @@ pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod source;
+pub mod tap;
 pub mod timer;
 pub mod trace;
 pub mod transport;
@@ -104,6 +105,7 @@ pub mod prelude {
     };
     pub use crate::pipeline::{Action, Codec, ConnCtx, ProtocolError, RawCodec, Service};
     pub use crate::server::{ServerBuilder, ServerHandle};
+    pub use crate::tap::{ConnTrace, TapEvent, TapListener, TraceLog};
     pub use crate::trace::{DebugTracer, MemoryLogger, SpanEvent};
     pub use crate::transport::{Listener, StreamIo, TcpListenerNb, TcpStreamNb};
 }

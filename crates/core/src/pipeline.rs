@@ -382,6 +382,12 @@ pub struct ConnShared {
     pub outbox: Mutex<Outbox>,
     /// Close once the outbox drains.
     pub closing: AtomicBool,
+    /// The stream failed hard (peer reset): the sink is dead. Replies
+    /// completed after this point are discarded instead of queued, and the
+    /// dispatcher never attempts another write — writing a response to a
+    /// reset peer is a protocol-conformance violation, not just wasted
+    /// work.
+    pub sink_dead: AtomicBool,
     /// Serializes decoding per connection (two Readable events for the
     /// same connection must not interleave their decode loops) and holds
     /// the codec's incremental-scan scratch.
@@ -408,6 +414,7 @@ impl ConnShared {
             inbox: Mutex::new(BytesMut::new()),
             outbox: Mutex::new(Outbox::new()),
             closing: AtomicBool::new(false),
+            sink_dead: AtomicBool::new(false),
             decode_lock: Mutex::new(DecodeState::default()),
             send: Mutex::new(SendState {
                 next_assign: 0,
@@ -445,6 +452,13 @@ impl ConnShared {
     fn complete(&self, seq: u64, reply: Option<EncodedReply>) -> usize {
         let mut emitted = 0;
         let mut s = self.send.lock();
+        // A dead sink swallows the payload but keeps the sequence moving,
+        // so ordering state still drains and the connection can finalize.
+        let reply = if self.sink_dead.load(Ordering::Relaxed) {
+            None
+        } else {
+            reply
+        };
         s.ready.insert(seq, reply);
         let mut out = self.outbox.lock();
         while let Some(entry) = {

@@ -676,6 +676,12 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
     /// written.
     fn flush(stats: &ServerStats, c: &mut ConnLocal<L::Stream>) -> bool {
         let mut out = c.shared.outbox.lock();
+        // A reply completed after the peer reset may have raced into the
+        // outbox; a dead sink never gets another write attempt.
+        if c.shared.sink_dead.load(Ordering::Relaxed) {
+            out.clear();
+            return false;
+        }
         if out.is_empty() {
             return false;
         }
@@ -691,6 +697,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     Err(_) => {
                         // swap() so a connection that errors on both the
                         // read and write side still counts as one reset.
+                        c.shared.sink_dead.store(true, Ordering::Relaxed);
                         if !c.shared.closing.swap(true, Ordering::Relaxed) {
                             ServerStats::bump(&stats.connections_reset);
                         }
@@ -730,7 +737,10 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     return (got, false);
                 }
                 Err(_) => {
+                    // A hard read error is a reset: both directions of the
+                    // stream are gone, so the sink is dead too.
                     c.peer_eof = true;
+                    c.shared.sink_dead.store(true, Ordering::Relaxed);
                     if !c.shared.closing.swap(true, Ordering::Relaxed) {
                         ServerStats::bump(&self.engine.stats.connections_reset);
                     }

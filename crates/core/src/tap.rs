@@ -1,0 +1,451 @@
+//! Conformance trace tap: transport wrappers that record every observable
+//! byte-level event of each accepted connection as an ordered trace.
+//!
+//! The tap sits **outside** the fault layer (`Tap ∘ Faulty ∘ Mem`), so what
+//! it records is exactly what the framework observed: reads are post-fault
+//! (corrupted / short / suppressed bytes as the decoder saw them), writes
+//! are the bytes the transport actually accepted, and injected resets show
+//! up as the I/O errors the reactor had to handle. The conformance crate
+//! replays these traces against executable protocol models; anything the
+//! model rejects is either a framework bug or a model bug — both worth
+//! knowing about.
+//!
+//! The wrappers mirror [`crate::fault`]'s delegation pattern: a
+//! [`TapListener`] stamps each accepted stream with a fresh per-connection
+//! trace, [`TapStream`] records the I/O events, and [`TapPoller`] is a pure
+//! pass-through.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::fault::FaultPlan;
+use crate::transport::{Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, Waker};
+
+/// One observable event on a tapped connection, in occurrence order.
+///
+/// This is the trace alphabet the conformance models consume. `Read` and
+/// `Wrote` carry the actual bytes; error events carry the error text so a
+/// model can distinguish injected resets from other failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapEvent {
+    /// Bytes the server read from the stream (post-fault: what the
+    /// decoder actually consumed).
+    Read(Vec<u8>),
+    /// The peer closed its write side (`ReadOutcome::Closed`): half-close
+    /// observed by the server.
+    ReadEof,
+    /// A read attempt failed hard (e.g. injected reset).
+    ReadError(String),
+    /// Bytes the transport accepted from the server ("on the wire").
+    Wrote(Vec<u8>),
+    /// A write attempt failed hard. A conforming server stops writing once
+    /// a connection's sink is dead, so at most one of these may appear —
+    /// any `Wrote`/`WriteError` *after* the first hard error is a
+    /// model violation (a reply written to a reset peer).
+    WriteError(String),
+    /// The server shut the stream down.
+    Shutdown,
+}
+
+/// The ordered observable trace of one accepted connection.
+#[derive(Debug, Clone)]
+pub struct ConnTrace {
+    /// 1-based accept index (aligned with [`FaultPlan::profile_for`]).
+    pub accept_index: u64,
+    /// Peer label reported by the transport.
+    pub peer: String,
+    /// Debug rendering of the injected fault profile, `"Clean"` when the
+    /// tap wraps an un-faulted transport.
+    pub profile: String,
+    /// The events, in occurrence order.
+    pub events: Vec<TapEvent>,
+}
+
+impl ConnTrace {
+    /// All bytes the server read, concatenated in order (the decoder's
+    /// exact input stream).
+    pub fn inbound(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for e in &self.events {
+            if let TapEvent::Read(b) = e {
+                v.extend_from_slice(b);
+            }
+        }
+        v
+    }
+
+    /// All bytes the server put on the wire, concatenated in order (the
+    /// peer's exact view of the response stream).
+    pub fn outbound(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for e in &self.events {
+            if let TapEvent::Wrote(b) = e {
+                v.extend_from_slice(b);
+            }
+        }
+        v
+    }
+
+    /// True if any read or write attempt failed hard (injected reset or
+    /// similar) at some point in the trace.
+    pub fn saw_io_error(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TapEvent::ReadError(_) | TapEvent::WriteError(_)))
+    }
+
+    /// True if the peer's write side was seen closed (half-close).
+    pub fn saw_eof(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, TapEvent::ReadEof))
+    }
+}
+
+/// Shared, clonable log of every connection trace a [`TapListener`]
+/// produced, plus accept-time failures.
+#[derive(Clone, Default)]
+pub struct TraceLog {
+    conns: Arc<Mutex<Vec<Arc<Mutex<ConnTrace>>>>>,
+    accept_failures: Arc<Mutex<Vec<u64>>>,
+}
+
+impl TraceLog {
+    /// Fresh empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn open(&self, accept_index: u64, peer: String, profile: String) -> Arc<Mutex<ConnTrace>> {
+        let trace = Arc::new(Mutex::new(ConnTrace {
+            accept_index,
+            peer,
+            profile,
+            events: Vec::new(),
+        }));
+        self.conns.lock().push(Arc::clone(&trace));
+        trace
+    }
+
+    fn record_accept_failure(&self, accept_index: u64) {
+        self.accept_failures.lock().push(accept_index);
+    }
+
+    /// Number of connections traced so far.
+    pub fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// True when no connection has been traced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accept indices that failed at accept time (injected accept faults).
+    pub fn accept_failures(&self) -> Vec<u64> {
+        self.accept_failures.lock().clone()
+    }
+
+    /// Deep-copy every per-connection trace in accept order. Traces of
+    /// still-live connections reflect events so far.
+    pub fn snapshot(&self) -> Vec<ConnTrace> {
+        self.conns.lock().iter().map(|t| t.lock().clone()).collect()
+    }
+}
+
+/// [`StreamIo`] wrapper recording each I/O event into the connection trace.
+pub struct TapStream<S> {
+    inner: S,
+    trace: Arc<Mutex<ConnTrace>>,
+    shutdown_logged: bool,
+}
+
+impl<S: StreamIo> StreamIo for TapStream<S> {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+        match self.inner.try_read(buf) {
+            Ok(ReadOutcome::Data(n)) => {
+                self.trace
+                    .lock()
+                    .events
+                    .push(TapEvent::Read(buf[..n].to_vec()));
+                Ok(ReadOutcome::Data(n))
+            }
+            Ok(ReadOutcome::WouldBlock) => Ok(ReadOutcome::WouldBlock),
+            Ok(ReadOutcome::Closed) => {
+                let mut t = self.trace.lock();
+                // Idempotent observation: the reactor may poll a
+                // half-closed stream repeatedly; one EOF event suffices.
+                if !t.events.iter().any(|e| matches!(e, TapEvent::ReadEof)) {
+                    t.events.push(TapEvent::ReadEof);
+                }
+                Ok(ReadOutcome::Closed)
+            }
+            Err(e) => {
+                self.trace
+                    .lock()
+                    .events
+                    .push(TapEvent::ReadError(e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+        match self.inner.try_write(data) {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                self.trace
+                    .lock()
+                    .events
+                    .push(TapEvent::Wrote(data[..n].to_vec()));
+                Ok(n)
+            }
+            Err(e) => {
+                self.trace
+                    .lock()
+                    .events
+                    .push(TapEvent::WriteError(e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.inner.peer_label()
+    }
+
+    fn shutdown(&mut self) {
+        if !self.shutdown_logged {
+            self.shutdown_logged = true;
+            self.trace.lock().events.push(TapEvent::Shutdown);
+        }
+        self.inner.shutdown();
+    }
+}
+
+/// [`Poller`] wrapper: pure delegation to the inner poller.
+pub struct TapPoller<P> {
+    inner: P,
+}
+
+impl<P: Poller> Poller for TapPoller<P> {
+    type Stream = TapStream<P::Stream>;
+
+    fn register(
+        &mut self,
+        token: u64,
+        stream: &Self::Stream,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.register(token, &stream.inner, interest)
+    }
+
+    fn reregister(
+        &mut self,
+        token: u64,
+        stream: &Self::Stream,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.reregister(token, &stream.inner, interest)
+    }
+
+    fn deregister(&mut self, token: u64, stream: &Self::Stream) -> io::Result<()> {
+        self.inner.deregister(token, &stream.inner)
+    }
+
+    fn wait(&mut self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.wait(events, timeout)
+    }
+
+    fn waker(&self) -> Waker {
+        self.inner.waker()
+    }
+}
+
+/// [`Listener`] wrapper opening a fresh [`ConnTrace`] per accepted stream.
+///
+/// When the wrapped listener is a [`crate::fault::FaultyListener`], pass
+/// the same [`FaultPlan`] via [`TapListener::with_plan`] so each trace is
+/// stamped with the profile the fault layer will apply; the tap counts
+/// accepts (including injected accept failures, which consume an accept
+/// index inside the fault layer) to stay aligned with
+/// [`FaultPlan::profile_for`].
+pub struct TapListener<L> {
+    inner: L,
+    log: TraceLog,
+    plan: Option<FaultPlan>,
+    accepted: u64,
+}
+
+impl<L: Listener> TapListener<L> {
+    /// Tap `inner`, recording traces into `log`.
+    pub fn new(inner: L, log: TraceLog) -> Self {
+        Self {
+            inner,
+            log,
+            plan: None,
+            accepted: 0,
+        }
+    }
+
+    /// Stamp each trace with the fault profile `plan` assigns to its
+    /// accept index.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+}
+
+impl<L: Listener> Listener for TapListener<L> {
+    type Stream = TapStream<L::Stream>;
+    type Poller = TapPoller<L::Poller>;
+
+    fn try_accept(&mut self) -> io::Result<Option<Self::Stream>> {
+        match self.inner.try_accept() {
+            Ok(Some(stream)) => {
+                self.accepted += 1;
+                let profile = match &self.plan {
+                    Some(p) => format!("{:?}", p.profile_for(self.accepted)),
+                    None => "Clean".to_string(),
+                };
+                let trace = self.log.open(self.accepted, stream.peer_label(), profile);
+                Ok(Some(TapStream {
+                    inner: stream,
+                    trace,
+                    shutdown_logged: false,
+                }))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                // An injected accept failure consumed an accept index in
+                // the fault layer; mirror it to stay aligned.
+                self.accepted += 1;
+                self.log.record_accept_failure(self.accepted);
+                Err(e)
+            }
+        }
+    }
+
+    fn local_label(&self) -> String {
+        self.inner.local_label()
+    }
+
+    fn new_poller() -> io::Result<Self::Poller> {
+        Ok(TapPoller {
+            inner: L::new_poller()?,
+        })
+    }
+
+    fn register_listener(&self, poller: &mut Self::Poller) -> io::Result<()> {
+        self.inner.register_listener(&mut poller.inner)
+    }
+
+    fn deregister_listener(&self, poller: &mut Self::Poller) -> io::Result<()> {
+        self.inner.deregister_listener(&mut poller.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyListener};
+    use crate::transport::mem;
+
+    #[test]
+    fn tap_records_reads_writes_and_shutdown_in_order() {
+        let (listener, connector) = mem::listener("tap");
+        let log = TraceLog::new();
+        let mut tapped = TapListener::new(listener, log.clone());
+        let mut client = connector.connect();
+
+        let mut server_side = tapped.try_accept().unwrap().unwrap();
+        client.try_write(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            server_side.try_read(&mut buf).unwrap(),
+            ReadOutcome::Data(5)
+        ));
+        server_side.try_write(b"world!").unwrap();
+        server_side.shutdown();
+        server_side.shutdown(); // idempotent: one Shutdown event
+
+        let traces = log.snapshot();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.accept_index, 1);
+        assert_eq!(t.profile, "Clean");
+        assert_eq!(
+            t.events,
+            vec![
+                TapEvent::Read(b"hello".to_vec()),
+                TapEvent::Wrote(b"world!".to_vec()),
+                TapEvent::Shutdown,
+            ]
+        );
+        assert_eq!(t.inbound(), b"hello");
+        assert_eq!(t.outbound(), b"world!");
+        assert!(!t.saw_io_error());
+    }
+
+    #[test]
+    fn tap_over_faults_records_post_fault_bytes_and_errors() {
+        // Corrupt{every: 2} flips every 2nd inbound byte; the tap must see
+        // the corrupted stream (what the decoder saw), not the original.
+        let plan = FaultPlan {
+            corrupt_per_mille: 1000,
+            ..FaultPlan::new(1)
+        };
+        // Find a seed/index where profile 1 actually corrupts.
+        assert!(matches!(
+            plan.profile_for(1),
+            crate::fault::FaultProfile::Corrupt { .. }
+        ));
+        let (listener, connector) = mem::listener("tap-fault");
+        let log = TraceLog::new();
+        let mut tapped =
+            TapListener::new(FaultyListener::new(listener, plan), log.clone()).with_plan(plan);
+        let mut client = connector.connect();
+        let mut server_side = tapped.try_accept().unwrap().unwrap();
+        client.try_write(b"aaaa").unwrap();
+        let mut buf = [0u8; 16];
+        let n = match server_side.try_read(&mut buf).unwrap() {
+            ReadOutcome::Data(n) => n,
+            other => panic!("{other:?}"),
+        };
+        let traces = log.snapshot();
+        assert_eq!(
+            traces[0].inbound(),
+            buf[..n].to_vec(),
+            "tap sees decoder bytes"
+        );
+        assert_ne!(traces[0].inbound(), b"aaaa".to_vec(), "corruption visible");
+        assert!(
+            traces[0].profile.contains("Corrupt"),
+            "{}",
+            traces[0].profile
+        );
+    }
+
+    #[test]
+    fn half_close_is_recorded_once() {
+        let (listener, connector) = mem::listener("tap-eof");
+        let log = TraceLog::new();
+        let mut tapped = TapListener::new(listener, log.clone());
+        let mut client = connector.connect();
+        let mut server_side = tapped.try_accept().unwrap().unwrap();
+        client.shutdown();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            server_side.try_read(&mut buf).unwrap(),
+            ReadOutcome::Closed
+        ));
+        assert!(matches!(
+            server_side.try_read(&mut buf).unwrap(),
+            ReadOutcome::Closed
+        ));
+        let t = &log.snapshot()[0];
+        assert_eq!(t.events, vec![TapEvent::ReadEof]);
+        assert!(t.saw_eof());
+    }
+}

@@ -24,13 +24,19 @@
 pub mod codec;
 pub mod commands;
 pub mod legacy;
+pub mod observe;
 pub mod preset;
 pub mod service;
 pub mod session;
 
 pub use codec::FtpCodec;
+pub use codec::FtpRequest;
 pub use commands::Command;
 pub use legacy::{replies, users::UserRegistry, vfs::Vfs};
+pub use observe::{
+    extract_commands, split_replies, CommandStream, CommandStreamEnd, ReplyBlock, ReplyStream,
+    ReplyStreamEnd,
+};
 pub use preset::cops_ftp_options;
 pub use service::FtpService;
 pub use session::{Session, SessionState};

@@ -1,0 +1,275 @@
+//! Observable-event extraction for conformance checking: turn the raw
+//! byte streams a trace tap recorded into FTP-level events.
+//!
+//! * [`extract_commands`] replays the server's decode loop — it drives
+//!   the real [`FtpCodec`] — so a conformance model knows, from the bytes
+//!   the server actually read, exactly which commands were decoded (or
+//!   reported malformed) and where decoding stopped.
+//! * [`split_replies`] structures the server's outbound bytes into reply
+//!   blocks: single `NNN text\r\n` lines and RFC 959 §4.2 multi-line
+//!   blocks (`NNN-title` … `NNN End`). FTP conformance is checked at the
+//!   reply-code level because multi-line 211 bodies carry live counters.
+
+use bytes::BytesMut;
+use nserver_core::pipeline::Codec;
+
+use crate::codec::{FtpCodec, FtpRequest};
+
+/// How the command stream ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandStreamEnd {
+    /// Every byte was consumed by complete lines.
+    Clean,
+    /// Trailing bytes form an unterminated line (legal: the trace was
+    /// cut mid-delivery).
+    Incomplete(Vec<u8>),
+    /// The codec rejected the stream here (oversized line); the server
+    /// drops the connection without a reply.
+    Invalid(String),
+}
+
+/// The decoded view of one control connection's inbound bytes.
+#[derive(Debug, Clone)]
+pub struct CommandStream {
+    /// Requests the server decoded, in order — well-formed commands and
+    /// malformed lines alike (both reach the service).
+    pub requests: Vec<FtpRequest>,
+    /// Why decoding stopped.
+    pub end: CommandStreamEnd,
+}
+
+/// Replay the server's decode loop over `bytes` (the post-fault inbound
+/// stream) using the real [`FtpCodec`].
+pub fn extract_commands(bytes: &[u8]) -> CommandStream {
+    let codec = FtpCodec;
+    let mut buf = BytesMut::from(bytes);
+    let mut requests = Vec::new();
+    loop {
+        match codec.decode(&mut buf) {
+            Ok(Some(req)) => requests.push(req),
+            Ok(None) => {
+                let end = if buf.is_empty() {
+                    CommandStreamEnd::Clean
+                } else {
+                    CommandStreamEnd::Incomplete(buf.to_vec())
+                };
+                return CommandStream { requests, end };
+            }
+            Err(e) => {
+                return CommandStream {
+                    requests,
+                    end: CommandStreamEnd::Invalid(e.0),
+                };
+            }
+        }
+    }
+}
+
+/// One reply block from the server's outbound stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyBlock {
+    /// Three-digit reply code.
+    pub code: u16,
+    /// Text after the code on the opening line.
+    pub text: String,
+    /// True for an RFC 959 §4.2 multi-line block (`NNN-` … `NNN `).
+    pub multiline: bool,
+    /// All lines of the block, terminators stripped.
+    pub lines: Vec<String>,
+}
+
+/// How the reply stream ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyStreamEnd {
+    /// Every byte was consumed by complete reply blocks.
+    Clean,
+    /// Trailing bytes form an unterminated block (legal under
+    /// truncation: reset, stall, or snapshot cut).
+    Truncated(Vec<u8>),
+    /// The stream is not parseable as FTP replies at this offset.
+    Malformed {
+        /// Byte offset of the first unparseable line.
+        offset: usize,
+        /// What went wrong.
+        why: String,
+    },
+}
+
+/// The structured view of one control connection's outbound bytes.
+#[derive(Debug, Clone)]
+pub struct ReplyStream {
+    /// Reply blocks fully delivered, in order.
+    pub complete: Vec<ReplyBlock>,
+    /// Why splitting stopped.
+    pub end: ReplyStreamEnd,
+}
+
+/// Split `bytes` into reply blocks.
+pub fn split_replies(bytes: &[u8]) -> ReplyStream {
+    let mut complete = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let block_start = pos;
+        let (first, after) = match take_line(bytes, pos) {
+            Some(x) => x,
+            None => {
+                return ReplyStream {
+                    complete,
+                    end: ReplyStreamEnd::Truncated(bytes[block_start..].to_vec()),
+                };
+            }
+        };
+        let (code, sep, text) = match parse_reply_line(&first) {
+            Ok(x) => x,
+            Err(why) => {
+                return ReplyStream {
+                    complete,
+                    end: ReplyStreamEnd::Malformed { offset: pos, why },
+                };
+            }
+        };
+        pos = after;
+        let mut lines = vec![first.clone()];
+        let multiline = sep == '-';
+        if multiline {
+            // Consume continuation lines until the closing `NNN text`.
+            loop {
+                let (line, after) = match take_line(bytes, pos) {
+                    Some(x) => x,
+                    None => {
+                        return ReplyStream {
+                            complete,
+                            end: ReplyStreamEnd::Truncated(bytes[block_start..].to_vec()),
+                        };
+                    }
+                };
+                pos = after;
+                let closes = matches!(parse_reply_line(&line), Ok((c, ' ', _)) if c == code);
+                lines.push(line);
+                if closes {
+                    break;
+                }
+            }
+        }
+        complete.push(ReplyBlock {
+            code,
+            text,
+            multiline,
+            lines,
+        });
+    }
+    ReplyStream {
+        complete,
+        end: ReplyStreamEnd::Clean,
+    }
+}
+
+/// Pull one `\r\n`-terminated line starting at `pos`; returns the line
+/// (terminator stripped) and the offset just past it.
+fn take_line(bytes: &[u8], pos: usize) -> Option<(String, usize)> {
+    let rest = &bytes[pos..];
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let mut end = nl;
+    if end > 0 && rest[end - 1] == b'\r' {
+        end -= 1;
+    }
+    Some((
+        String::from_utf8_lossy(&rest[..end]).into_owned(),
+        pos + nl + 1,
+    ))
+}
+
+/// Parse `NNN<sep>text` where `<sep>` is a space (final line) or `-`
+/// (multi-line opener). A bare `NNN` counts as a final line.
+fn parse_reply_line(line: &str) -> Result<(u16, char, String), String> {
+    let b = line.as_bytes();
+    if b.len() < 3 || !b[..3].iter().all(|c| c.is_ascii_digit()) {
+        return Err(format!("not a reply line: {line:?}"));
+    }
+    let code: u16 = line[..3]
+        .parse()
+        .map_err(|_| format!("bad code: {line:?}"))?;
+    let sep = if b.len() == 3 { ' ' } else { b[3] as char };
+    if sep != ' ' && sep != '-' {
+        return Err(format!("bad separator after code: {line:?}"));
+    }
+    let text = if b.len() > 4 {
+        line[4..].to_string()
+    } else {
+        String::new()
+    };
+    Ok((code, sep, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::Command;
+    use crate::legacy::replies;
+
+    #[test]
+    fn extracts_commands_and_malformed_lines() {
+        let s = extract_commands(b"USER alice\r\nRETR\r\nQUIT\n");
+        assert_eq!(s.requests.len(), 3);
+        assert_eq!(
+            s.requests[0],
+            FtpRequest::Command(Command::User("alice".into()))
+        );
+        assert!(matches!(s.requests[1], FtpRequest::Malformed(_)));
+        assert_eq!(s.requests[2], FtpRequest::Command(Command::Quit));
+        assert_eq!(s.end, CommandStreamEnd::Clean);
+    }
+
+    #[test]
+    fn unterminated_tail_is_incomplete() {
+        let s = extract_commands(b"USER alice\r\nPAS");
+        assert_eq!(s.requests.len(), 1);
+        assert!(matches!(s.end, CommandStreamEnd::Incomplete(ref t) if t == b"PAS"));
+    }
+
+    #[test]
+    fn oversized_line_is_invalid() {
+        let s = extract_commands(&vec![b'a'; 5000]);
+        assert!(s.requests.is_empty());
+        assert!(matches!(s.end, CommandStreamEnd::Invalid(_)));
+    }
+
+    #[test]
+    fn splits_single_and_multiline_replies() {
+        let mut wire = String::new();
+        wire.push_str(&replies::service_ready("COPS-FTP"));
+        wire.push_str(&replies::status_lines("status", &["conns 3".into()]));
+        wire.push_str(&replies::goodbye());
+        let s = split_replies(wire.as_bytes());
+        assert_eq!(s.complete.len(), 3);
+        assert_eq!(s.complete[0].code, 220);
+        assert!(!s.complete[0].multiline);
+        assert_eq!(s.complete[1].code, 211);
+        assert!(s.complete[1].multiline);
+        assert_eq!(s.complete[1].lines.last().unwrap(), "211 End");
+        assert_eq!(s.complete[2].code, 221);
+        assert_eq!(s.end, ReplyStreamEnd::Clean);
+    }
+
+    #[test]
+    fn truncated_multiline_block_reports_whole_tail() {
+        let full = replies::status_lines("status", &["a 1".into(), "b 2".into()]);
+        let cut = full.len() - replies::line(211, "End").len();
+        let s = split_replies(&full.as_bytes()[..cut]);
+        assert!(s.complete.is_empty());
+        assert!(matches!(s.end, ReplyStreamEnd::Truncated(ref t) if t == &full.as_bytes()[..cut]));
+    }
+
+    #[test]
+    fn garbage_is_malformed_with_offset() {
+        let mut wire = replies::goodbye();
+        let at = wire.len();
+        wire.push_str("oops\r\n");
+        let s = split_replies(wire.as_bytes());
+        assert_eq!(s.complete.len(), 1);
+        match s.end {
+            ReplyStreamEnd::Malformed { offset, .. } => assert_eq!(offset, at),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -23,6 +23,7 @@
 pub mod codec;
 pub mod dynamic;
 pub mod log;
+pub mod observe;
 pub mod parse;
 pub mod preset;
 pub mod service;
@@ -31,6 +32,10 @@ pub mod types;
 pub use codec::HttpCodec;
 pub use dynamic::{text_page, RoutedService};
 pub use log::{clf_line, clf_line_now};
+pub use observe::{
+    extract_requests, split_responses, ObservedResponse, RequestStream, RequestStreamEnd,
+    ResponseStream, ResponseStreamEnd,
+};
 pub use parse::{encode_response, parse_request, ParseOutcome};
 pub use preset::{cops_http_options, cops_http_overload_options, cops_http_scheduling_options};
 pub use service::{ContentStore, MemStore, StaticFileService};

@@ -230,16 +230,17 @@ impl<St: ContentStore> Service<HttpCodec> for StaticFileService<St> {
                 }
                 None => fetch(),
             };
-            match data {
-                Some(data) => {
-                    let resp = Response::ok(data, mime_for(&path2), version).with_keep_alive(true);
-                    if head {
-                        resp.head()
-                    } else {
-                        resp
-                    }
-                }
+            let resp = match data {
+                Some(data) => Response::ok(data, mime_for(&path2), version).with_keep_alive(true),
+                // The 404 must honor HEAD too: promising a Content-Length
+                // and then sending the error body desynchronizes a
+                // pipelining client's framing.
                 None => Response::error(Status::NotFound, version),
+            };
+            if head {
+                resp.head()
+            } else {
+                resp
             }
         };
         // Keep-alive decision applies to deferred replies too.
@@ -522,6 +523,23 @@ mod tests {
         let (resp, _) = run_action(svc.handle(&ctx(), req));
         assert!(resp.head_only);
         assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn head_for_missing_file_is_404_without_body() {
+        // Regression: the deferred-miss path applied `.head()` only to the
+        // 200 arm, so `HEAD /missing` answered 404 with the error body —
+        // desynchronizing any pipelined request behind it.
+        let svc = StaticFileService::new(store(), None);
+        let req = Request {
+            method: Method::Head,
+            target: "/nope.html".into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+        };
+        let (resp, _) = run_action(svc.handle(&ctx(), req));
+        assert_eq!(resp.status, Status::NotFound);
+        assert!(resp.head_only, "HEAD 404 must not carry a body");
     }
 
     #[test]

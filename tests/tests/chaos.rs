@@ -168,10 +168,30 @@ fn wait_for_drain(open: impl Fn() -> usize, patience: Duration) -> bool {
 
 const SEEDS: [u64; 3] = [1, 2, 6];
 
+/// The seeds a survival test sweeps. `NSERVER_REPLAY_SEED=n` narrows the
+/// sweep to exactly seed `n` — the replay path printed by chaos and
+/// conformance failures — so a CI counterexample reproduces in isolation.
+fn seeds() -> Vec<u64> {
+    match std::env::var("NSERVER_REPLAY_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("NSERVER_REPLAY_SEED={s:?} is not a u64: {e}"))],
+        Err(_) => SEEDS.to_vec(),
+    }
+}
+
+/// Replay instructions embedded in every seeded-failure panic.
+fn replay_hint(seed: u64) -> String {
+    format!(
+        "replay with: NSERVER_REPLAY_SEED={seed} cargo test -p nserver-integration-tests --test chaos"
+    )
+}
+
 #[test]
 fn cops_http_survives_seeded_fault_plans_and_returns_to_steady_state() {
     let body: Vec<u8> = (0..102u8).map(|i| b'a' + i % 23).collect();
-    for seed in SEEDS {
+    for seed in seeds() {
         let plan = chaos_plan(seed);
         let expect = expected_draws(&plan, http_request("/a.txt").len());
         // The seeds are chosen so every family actually occurs; a plan
@@ -215,7 +235,8 @@ fn cops_http_survives_seeded_fault_plans_and_returns_to_steady_state() {
         // to either a response or a server-side close.
         assert!(
             !outcomes.contains(&Outcome::Hung),
-            "seed {seed}: wedged connection: {outcomes:?}"
+            "seed {seed}: wedged connection: {outcomes:?}\n{}",
+            replay_hint(seed)
         );
         // Fault-window connections that draw benign profiles must still be
         // served with byte-exact content (storms and short I/O only slow
@@ -233,7 +254,8 @@ fn cops_http_survives_seeded_fault_plans_and_returns_to_steady_state() {
         for (i, o) in outcomes.iter().enumerate().skip(plan.faulty_first as usize) {
             assert!(
                 matches!(o, Outcome::Response(200, b) if *b == body),
-                "seed {seed}: post-window conn {i} got {o:?}"
+                "seed {seed}: post-window conn {i} got {o:?}\n{}",
+                replay_hint(seed)
             );
         }
 
@@ -331,7 +353,7 @@ fn ftp_session(conn: &mut mem::MemStream, patience: Duration) -> FtpOutcome {
 
 #[test]
 fn cops_ftp_survives_seeded_fault_plans_on_the_control_channel() {
-    for seed in SEEDS {
+    for seed in seeds() {
         let plan = chaos_plan(seed);
         // The FTP fault window uses the greeting+USER traffic as the
         // hard-reset bound: a threshold at or below it always trips.
@@ -360,13 +382,17 @@ fn cops_ftp_survives_seeded_fault_plans_on_the_control_channel() {
 
         assert!(
             !outcomes.iter().any(|o| matches!(o, FtpOutcome::Hung)),
-            "seed {seed}: wedged FTP session"
+            "seed {seed}: wedged FTP session\n{}",
+            replay_hint(seed)
         );
         // Post-window sessions are clean: full login flow with the right
         // reply codes.
         for (i, o) in outcomes.iter().enumerate().skip(plan.faulty_first as usize) {
             let FtpOutcome::Completed(replies) = o else {
-                panic!("seed {seed}: post-window session {i} did not complete");
+                panic!(
+                    "seed {seed}: post-window session {i} did not complete\n{}",
+                    replay_hint(seed)
+                );
             };
             assert!(replies[0].starts_with("220"), "greeting: {replies:?}");
             assert!(replies[1].starts_with("331"), "USER: {replies:?}");
