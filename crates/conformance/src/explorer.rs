@@ -11,14 +11,34 @@
 //! clean connections are waited on until the model-predicted output has
 //! drained, everything else until the trace log goes still.
 //!
+//! FTP schedules add a second plane: a **data pump** watches each control
+//! connection's outbound trace for `227` replies, connects a real TCP
+//! client to the announced passive port, and performs the schedule's
+//! scripted [`DataOp`] (drain a download, push an upload, or abort the
+//! socket mid-transfer). The service's data tap records both directions
+//! of every data connection, joined to its control connection by accept
+//! index and transfer ordinal, so [`check_ftp_session`] can hold
+//! transfers to byte-exact payloads and completion-ordering rules.
+//!
+//! [`run_virtual`] is the simulated-time mode: delivery pauses advance a
+//! [`nserver_netsim::Scheduler`] virtual clock instead of sleeping, so
+//! stall-heavy schedules cost (almost) zero wall-clock while producing
+//! the same model verdicts — both server presets run without stage
+//! deadlines, so wall-clock pacing is unobservable to the model.
+//!
 //! On a violation the explorer shrinks the schedule greedily — dropping
-//! connections, merging segments, zeroing fault knobs and pauses — while
-//! the violation persists, and panics with a replayable counterexample:
-//! the generation seed, the `NSERVER_REPLAY_SEED` invocation, and the
-//! serialized shrunken schedule (ready for `corpus/`).
+//! connections, merging segments, zeroing fault knobs and pauses —
+//! while the violation persists, and panics with a replayable
+//! counterexample: the generation seed, the `NSERVER_REPLAY_SEED`
+//! invocation, and the serialized shrunken schedule (ready for
+//! `corpus/`).
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nserver_cache::{FileCache, PolicyKind, SharedFileCache};
@@ -28,12 +48,17 @@ use nserver_core::pipeline::Service;
 use nserver_core::server::ServerBuilder;
 use nserver_core::tap::{ConnTrace, TapListener, TraceLog};
 use nserver_core::transport::{mem, StreamIo};
+use nserver_ftp::observe::parse_pasv_port;
 use nserver_ftp::{cops_ftp_options, split_replies, FtpCodec, FtpService};
 use nserver_http::{cops_http_options, HttpCodec, MemStore, StaticFileService};
+use nserver_netsim::{Link, LinkEvent, Model, Scheduler, SimTime};
+use parking_lot::Mutex;
 
-use crate::ftp_model::{check_ftp, expected_replies, FtpFixture};
+use crate::ftp_model::{
+    check_ftp_session, expected_replies, pasv_outcomes, FtpDataCtx, FtpFixture,
+};
 use crate::http_model::{check_http, expected_outbound, HttpFixture};
-use crate::schedule::{generate, Proto, Schedule};
+use crate::schedule::{generate, DataOp, DataOpKind, Proto, Schedule};
 use crate::Violation;
 
 /// Unique suffix per run so concurrent tests never share a listener
@@ -43,10 +68,58 @@ static RUN_NONCE: AtomicU64 = AtomicU64::new(0);
 /// Everything one exploration run produced.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Final trace of every accepted connection.
+    /// Final trace of every accepted connection — control connections
+    /// and (for FTP) their joined data connections.
     pub traces: Vec<ConnTrace>,
     /// Model violations found (empty = conforming run).
     pub violations: Vec<Violation>,
+}
+
+/// The delivery timeline of a simulated-time run.
+#[derive(Debug)]
+pub struct VirtualTimeline {
+    /// Virtual clock reading after the last delivery step (the wall time
+    /// the same schedule's pauses would have cost).
+    pub virtual_elapsed_ms: u64,
+    /// Per-segment delivery records from the netsim link model the
+    /// virtual driver pushes its segments through.
+    pub deliveries: Vec<LinkEvent>,
+}
+
+/// A [`RunReport`] plus the virtual-clock artifact.
+#[derive(Debug)]
+pub struct VirtualReport {
+    /// The model-checking outcome (same shape as a wall-clock run).
+    pub report: RunReport,
+    /// The simulated delivery timeline.
+    pub timeline: VirtualTimeline,
+}
+
+/// How the driver paces the schedule's delivery steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pacing {
+    /// Sleep each step's `pause_ms` on the wall clock.
+    Wall,
+    /// Advance a netsim virtual clock instead; never sleep.
+    Virtual,
+}
+
+/// Services that can host the explorer's data-connection tap. The
+/// default is a refusal — the explorer then skips data-plane checks
+/// (`recorded = false`) instead of reporting phantom missing traces.
+pub trait FtpDataTapTarget {
+    /// Attach `log` as the data-connection trace sink; return whether
+    /// the service will actually record data connections into it.
+    fn attach_data_tap(&self, _log: TraceLog) -> bool {
+        false
+    }
+}
+
+impl FtpDataTapTarget for FtpService {
+    fn attach_data_tap(&self, log: TraceLog) -> bool {
+        FtpService::attach_data_tap(self, log);
+        true
+    }
 }
 
 /// The standard COPS-HTTP service under test: the conformance fixture
@@ -70,6 +143,21 @@ pub fn run(sched: &Schedule) -> RunReport {
     }
 }
 
+/// Run a schedule under the virtual clock: identical server, faults and
+/// checking, but delivery pauses advance simulated time instead of
+/// sleeping.
+pub fn run_virtual(sched: &Schedule) -> VirtualReport {
+    match sched.proto {
+        Proto::Http => run_http_paced(
+            sched,
+            standard_http_service(),
+            cops_http_options(),
+            Pacing::Virtual,
+        ),
+        Proto::Ftp => run_ftp_paced(sched, standard_ftp_service(), Pacing::Virtual),
+    }
+}
+
 /// Run an HTTP schedule against `svc` under the COPS-HTTP preset.
 pub fn run_http<S: Service<HttpCodec>>(sched: &Schedule, svc: S) -> RunReport {
     run_http_with_options(sched, svc, cops_http_options())
@@ -82,6 +170,15 @@ pub fn run_http_with_options<S: Service<HttpCodec>>(
     svc: S,
     opts: ServerOptions,
 ) -> RunReport {
+    run_http_paced(sched, svc, opts, Pacing::Wall).report
+}
+
+fn run_http_paced<S: Service<HttpCodec>>(
+    sched: &Schedule,
+    svc: S,
+    opts: ServerOptions,
+    pacing: Pacing,
+) -> VirtualReport {
     let fixture = HttpFixture::standard();
     let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
     let (listener, connector) = mem::listener(&format!("conformance-http-{}-{nonce}", sched.seed));
@@ -92,7 +189,8 @@ pub fn run_http_with_options<S: Service<HttpCodec>>(
         .expect("valid server options")
         .serve(tapped);
 
-    let (streams, connect_order) = deliver(sched, &connector);
+    let shared_order = Arc::new(Mutex::new(vec![None; sched.conns.len()]));
+    let (streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
     let targets = strict_targets(sched, &connect_order, |conn| {
         Target::Bytes(expected_outbound(&fixture, &conn.bytes()).0.len())
     });
@@ -103,32 +201,56 @@ pub fn run_http_with_options<S: Service<HttpCodec>>(
         check_http(&fixture, trace, strict)
     });
     drop(streams);
-    RunReport { traces, violations }
+    VirtualReport {
+        report: RunReport { traces, violations },
+        timeline,
+    }
 }
 
 /// Run an FTP schedule against `svc` under the COPS-FTP preset.
-pub fn run_ftp<S: Service<FtpCodec>>(sched: &Schedule, svc: S) -> RunReport {
+pub fn run_ftp<S: Service<FtpCodec> + FtpDataTapTarget>(sched: &Schedule, svc: S) -> RunReport {
+    run_ftp_paced(sched, svc, Pacing::Wall).report
+}
+
+fn run_ftp_paced<S: Service<FtpCodec> + FtpDataTapTarget>(
+    sched: &Schedule,
+    svc: S,
+    pacing: Pacing,
+) -> VirtualReport {
     let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
     let (listener, connector) = mem::listener(&format!("conformance-ftp-{}-{nonce}", sched.seed));
     let log = TraceLog::new();
+    let data_recorded = svc.attach_data_tap(log.clone());
     let tapped = TapListener::new(FaultyListener::new(listener, sched.plan), log.clone())
         .with_plan(sched.plan);
     let server = ServerBuilder::new(cops_ftp_options(), FtpCodec, svc)
         .expect("valid server options")
         .serve(tapped);
 
-    let (streams, connect_order) = deliver(sched, &connector);
+    let shared_order = Arc::new(Mutex::new(vec![None; sched.conns.len()]));
+    let has_data_ops = sched.conns.iter().any(|c| !c.data_ops.is_empty());
+    let pump = has_data_ops.then(|| spawn_data_pump(sched, &log, &shared_order));
+    let (streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
     let targets = strict_targets(sched, &connect_order, |conn| {
-        Target::Blocks(expected_replies(&conn.bytes()).0.len())
+        Target::Blocks(expected_replies(&conn.bytes()).len())
     });
-    quiesce(&log, &targets, Duration::from_secs(3));
+    let patience = if has_data_ops {
+        Duration::from_secs(6)
+    } else {
+        Duration::from_secs(3)
+    };
+    quiesce(&log, &targets, patience);
     server.shutdown();
+    if let Some(pump) = pump {
+        pump.finish();
+    }
     let traces = log.snapshot();
-    let violations = collect_violations(sched, &traces, &log, &connect_order, |trace, strict| {
-        check_ftp(trace, strict)
-    });
+    let violations = collect_ftp_violations(sched, &traces, &log, &connect_order, data_recorded);
     drop(streams);
-    RunReport { traces, violations }
+    VirtualReport {
+        report: RunReport { traces, violations },
+        timeline,
+    }
 }
 
 /// What quiescence means for one strictly-checked connection.
@@ -139,39 +261,117 @@ enum Target {
     Blocks(usize),
 }
 
+/// Per-step delivery state shared by both pacing modes.
+struct DeliveryState {
+    streams: Vec<Option<mem::MemStream>>,
+    connect_order: Vec<Option<u64>>,
+    next_order: u64,
+    seg_idx: Vec<usize>,
+}
+
+impl DeliveryState {
+    fn new(conns: usize) -> Self {
+        Self {
+            streams: (0..conns).map(|_| None).collect(),
+            connect_order: vec![None; conns],
+            next_order: 0,
+            seg_idx: vec![0; conns],
+        }
+    }
+
+    /// Deliver order step `i`: lazy-connect, push the segment, slam the
+    /// connection shut after its last segment if scripted. Returns the
+    /// segment's byte length.
+    fn deliver_step(
+        &mut self,
+        sched: &Schedule,
+        connector: &mem::MemConnector,
+        shared_order: &Mutex<Vec<Option<u64>>>,
+        i: usize,
+    ) -> usize {
+        let ci = sched.order[i].conn;
+        if self.streams[ci].is_none() {
+            self.streams[ci] = Some(connector.connect());
+            self.next_order += 1;
+            self.connect_order[ci] = Some(self.next_order);
+            shared_order.lock()[ci] = Some(self.next_order);
+        }
+        let stream = self.streams[ci].as_mut().expect("just connected");
+        let seg = &sched.conns[ci].segments[self.seg_idx[ci]];
+        self.seg_idx[ci] += 1;
+        push_bytes(stream, seg);
+        if self.seg_idx[ci] == sched.conns[ci].segments.len() && sched.conns[ci].close_early {
+            stream.shutdown();
+        }
+        seg.len()
+    }
+}
+
+/// Records which delivery steps the virtual clock has released.
+struct FiredSteps(Vec<usize>);
+
+impl Model for FiredSteps {
+    type Ev = usize;
+    fn handle(&mut self, _now: SimTime, ev: usize, _sched: &mut Scheduler<usize>) {
+        self.0.push(ev);
+    }
+}
+
 /// Deliver the schedule: connect lazily on a connection's first step (so
 /// connect order — and with the FIFO inbox, accept index — is the order
 /// of first steps), push one segment per step, pause as scheduled, and
 /// slam `close_early` connections shut right after their last segment.
 /// Returns the client streams (kept open so the server never sees a
-/// spurious EOF) and each conn's 1-based connect order.
+/// spurious EOF), each conn's 1-based connect order, and the virtual
+/// timeline when pacing is [`Pacing::Virtual`].
 fn deliver(
     sched: &Schedule,
     connector: &mem::MemConnector,
-) -> (Vec<Option<mem::MemStream>>, Vec<Option<u64>>) {
-    let mut streams: Vec<Option<mem::MemStream>> = (0..sched.conns.len()).map(|_| None).collect();
-    let mut connect_order: Vec<Option<u64>> = vec![None; sched.conns.len()];
-    let mut next_order = 0u64;
-    let mut seg_idx = vec![0usize; sched.conns.len()];
-    for step in &sched.order {
-        let ci = step.conn;
-        if streams[ci].is_none() {
-            streams[ci] = Some(connector.connect());
-            next_order += 1;
-            connect_order[ci] = Some(next_order);
+    pacing: Pacing,
+    shared_order: &Arc<Mutex<Vec<Option<u64>>>>,
+) -> (
+    Vec<Option<mem::MemStream>>,
+    Vec<Option<u64>>,
+    VirtualTimeline,
+) {
+    let mut st = DeliveryState::new(sched.conns.len());
+    let mut timeline = VirtualTimeline {
+        virtual_elapsed_ms: 0,
+        deliveries: Vec::new(),
+    };
+    match pacing {
+        Pacing::Wall => {
+            for i in 0..sched.order.len() {
+                st.deliver_step(sched, connector, shared_order, i);
+                let pause = sched.order[i].pause_ms;
+                if pause > 0 {
+                    std::thread::sleep(Duration::from_millis(pause));
+                }
+            }
         }
-        let stream = streams[ci].as_mut().expect("just connected");
-        let seg = &sched.conns[ci].segments[seg_idx[ci]];
-        seg_idx[ci] += 1;
-        push_bytes(stream, seg);
-        if seg_idx[ci] == sched.conns[ci].segments.len() && sched.conns[ci].close_early {
-            stream.shutdown();
-        }
-        if step.pause_ms > 0 {
-            std::thread::sleep(Duration::from_millis(step.pause_ms));
+        Pacing::Virtual => {
+            // Each step fires at the cumulative pause offset of the steps
+            // before it; the scheduler's clock stands in for the sleeps.
+            let mut clock: Scheduler<usize> = Scheduler::new();
+            let mut t = SimTime::ZERO;
+            for (i, step) in sched.order.iter().enumerate() {
+                clock.at(t, i);
+                t += SimTime::from_millis(step.pause_ms);
+            }
+            // The paper's effective testbed bandwidth, for the timeline
+            // artifact only — delivery itself is not throttled.
+            let mut link = Link::new(100_000_000).with_event_log();
+            let mut fired = FiredSteps(Vec::new());
+            while let Some(now) = clock.step(&mut fired) {
+                let i = fired.0.pop().expect("one event per step");
+                let bytes = st.deliver_step(sched, connector, shared_order, i);
+                link.send(now, bytes as u64);
+            }
+            timeline.virtual_elapsed_ms = t.as_micros() / 1000;
+            timeline.deliveries = link.take_events();
         }
     }
-    (streams, connect_order)
+    (st.streams, st.connect_order, timeline)
 }
 
 /// Client-side tolerant write: retry backpressure, give up on a hard
@@ -188,8 +388,171 @@ fn push_bytes(stream: &mut mem::MemStream, data: &[u8]) {
     }
 }
 
+/// The client side of the data plane: a background thread that watches
+/// the trace log for `227` replies and runs each one's scripted
+/// [`DataOp`] over a real TCP connection to the announced port.
+struct DataPump {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DataPump {
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn spawn_data_pump(
+    sched: &Schedule,
+    log: &TraceLog,
+    shared_order: &Arc<Mutex<Vec<Option<u64>>>>,
+) -> DataPump {
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops: Vec<Vec<DataOp>> = sched.conns.iter().map(|c| c.data_ops.clone()).collect();
+    let log = log.clone();
+    let order = Arc::clone(shared_order);
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("conformance-data-pump".into())
+        .spawn(move || {
+            // served[ci] = how many of conn ci's 227 replies have been
+            // matched to a data op already. Ops are scripted one per PASV
+            // *command*, but only successful PASVs emit a 227 (and bind a
+            // listener) — a pre-login PASV gets a 530 and its op must be
+            // skipped, so the j-th observed 227 pairs with the op at the
+            // j-th model-predicted-successful PASV position.
+            let mut served = vec![0usize; ops.len()];
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                // Read the flag before the snapshot so the final pass
+                // still sees every 227 written before shutdown.
+                let finished = stop_flag.load(Ordering::Relaxed);
+                let snap = log.snapshot();
+                let order_now = order.lock().clone();
+                for (ci, conn_ops) in ops.iter().enumerate() {
+                    let Some(k) = order_now.get(ci).copied().flatten() else {
+                        continue;
+                    };
+                    let Some(trace) = snap
+                        .iter()
+                        .find(|t| t.accept_index == k && t.parent.is_none())
+                    else {
+                        continue;
+                    };
+                    // The tap records the server's *intended* outbound
+                    // bytes (pre-corruption), so the 227 text is reliable
+                    // even on faulty connections.
+                    let pasv: Vec<String> = split_replies(&trace.outbound())
+                        .complete
+                        .iter()
+                        .filter(|b| b.code == 227)
+                        .map(|b| b.text.clone())
+                        .collect();
+                    if served[ci] >= pasv.len() {
+                        continue;
+                    }
+                    // Map 227 ordinal → scripted op index by skipping ops
+                    // whose PASV the model says was rejected. The walk is
+                    // prefix-stable, so recomputing on a partial inbound
+                    // never reorders earlier pairings.
+                    let outcomes = pasv_outcomes(&trace.inbound());
+                    let op_slots: Vec<usize> = outcomes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, ok)| ok.then_some(i))
+                        .collect();
+                    while served[ci] < pasv.len() {
+                        let text = &pasv[served[ci]];
+                        let op = op_slots
+                            .get(served[ci])
+                            .and_then(|&i| conn_ops.get(i))
+                            .cloned();
+                        served[ci] += 1;
+                        let (Some(port), Some(op)) = (parse_pasv_port(text), op) else {
+                            continue;
+                        };
+                        let stop = Arc::clone(&stop_flag);
+                        workers.push(std::thread::spawn(move || run_data_op(port, op, &stop)));
+                    }
+                }
+                if finished {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        })
+        .expect("spawn data pump");
+    DataPump {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+/// Perform one scripted data-connection op against the passive port.
+/// Downloads drain to EOF; uploads push the payload then close. An
+/// `abort_after` cuts the socket mid-transfer instead. Every error path
+/// just returns — the model judges outcomes from the server's traces.
+fn run_data_op(port: u16, op: DataOp, stop: &AtomicBool) {
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    match op.kind {
+        DataOpKind::Write => match op.abort_after {
+            // Abrupt cut: deliver a strict prefix then close. The server
+            // sees a short upload; the model commits whatever arrived.
+            Some(n) => {
+                let cut = n.min(op.payload.len());
+                let _ = stream.write_all(&op.payload[..cut]);
+            }
+            None => {
+                let _ = stream.write_all(&op.payload);
+            }
+        },
+        DataOpKind::Read => {
+            let mut total = 0usize;
+            let mut buf = [0u8; 4096];
+            loop {
+                if op.abort_after.is_some_and(|n| total >= n) {
+                    // Close with the rest unread: the in-flight bytes make
+                    // the close abrupt and the server's next write fails.
+                    return;
+                }
+                if Instant::now() > deadline {
+                    return;
+                }
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => total += n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // A dangling PASV is never accepted; leave when
+                        // the run is over.
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
 /// The quiesce targets: one per connection the models will check
-/// strictly (clean profile, no early close, accept succeeded).
+/// strictly (clean profile, no early close, no scripted aborts, accept
+/// succeeded).
 fn strict_targets(
     sched: &Schedule,
     connect_order: &[Option<u64>],
@@ -203,7 +566,8 @@ fn strict_targets(
             let k = (*k)?;
             let strict = !sched.plan.accept_fails(k)
                 && sched.plan.profile_for(k) == FaultProfile::Clean
-                && !conn.close_early;
+                && !conn.close_early
+                && !conn.has_abort();
             strict.then(|| (k, target_for(conn)))
         })
         .collect()
@@ -217,23 +581,33 @@ fn target_met(trace: &ConnTrace, target: &Target) -> bool {
 }
 
 /// Wait until every strict connection has drained its model-predicted
-/// output AND the trace log has gone still, or the deadline passes (a
-/// stuck run is then diagnosed by the checkers, not by a hang).
+/// output AND the trace log has gone still. `patience` is an *idle*
+/// window, not a total budget: every observed trace-log change pushes
+/// the deadline out again, so a loaded-but-live server is never cut
+/// off mid-delivery (the flake would surface as a spurious strict
+/// incomplete-delivery violation), while a run that stopped making
+/// progress — a mutant's truncated stream, a genuinely wedged server —
+/// still exits one idle window after its last event. A hard cap bounds
+/// pathological trickle.
 fn quiesce(log: &TraceLog, targets: &[(u64, Target)], patience: Duration) {
-    let deadline = Instant::now() + patience;
+    let mut deadline = Instant::now() + patience;
+    let hard_cap = Instant::now() + patience * 10;
     let mut last_sig: Option<Vec<(u64, usize)>> = None;
     let mut stable = 0;
     loop {
         let snap = log.snapshot();
         let targets_met = targets.iter().all(|(k, t)| {
             snap.iter()
-                .find(|tr| tr.accept_index == *k)
+                .find(|tr| tr.accept_index == *k && tr.parent.is_none())
                 .is_some_and(|tr| target_met(tr, t))
         });
         let sig: Vec<(u64, usize)> = snap
             .iter()
             .map(|t| (t.accept_index, t.events.len()))
             .collect();
+        if last_sig.as_ref() != Some(&sig) {
+            deadline = Instant::now() + patience;
+        }
         if targets_met && last_sig.as_ref() == Some(&sig) {
             stable += 1;
             if stable >= 2 {
@@ -243,7 +617,8 @@ fn quiesce(log: &TraceLog, targets: &[(u64, Target)], patience: Duration) {
             stable = 0;
         }
         last_sig = Some(sig);
-        if Instant::now() > deadline {
+        let now = Instant::now();
+        if now > deadline || now > hard_cap {
             return;
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -268,13 +643,59 @@ fn collect_violations(
             // server-side, so there is nothing to check.
             continue;
         }
-        let Some(trace) = traces.iter().find(|t| t.accept_index == k) else {
+        let Some(trace) = traces
+            .iter()
+            .find(|t| t.accept_index == k && t.parent.is_none())
+        else {
             // Accepted-but-untraced cannot happen; never-accepted (run
             // shut down first) has no observable behaviour to judge.
             continue;
         };
         let strict = sched.plan.profile_for(k) == FaultProfile::Clean && !conn.close_early;
         violations.extend(check(trace, strict));
+    }
+    violations
+}
+
+/// The FTP flavour of [`collect_violations`]: joins each control trace
+/// with its data-connection children and feeds both to the session
+/// checker. A connection is held strict only when it is clean, never
+/// closed early, and scripts no data aborts — any of those makes `425`
+/// and truncated transfers legitimate outcomes.
+fn collect_ftp_violations(
+    sched: &Schedule,
+    traces: &[ConnTrace],
+    log: &TraceLog,
+    connect_order: &[Option<u64>],
+    data_recorded: bool,
+) -> Vec<Violation> {
+    let failed: HashSet<u64> = log.accept_failures().into_iter().collect();
+    let mut violations = Vec::new();
+    for (conn, k) in sched.conns.iter().zip(connect_order) {
+        let Some(k) = *k else { continue };
+        if failed.contains(&k) {
+            continue;
+        }
+        let Some(trace) = traces
+            .iter()
+            .find(|t| t.accept_index == k && t.parent.is_none())
+        else {
+            continue;
+        };
+        let strict = sched.plan.profile_for(k) == FaultProfile::Clean
+            && !conn.close_early
+            && !conn.has_abort();
+        let children: Vec<ConnTrace> = traces
+            .iter()
+            .filter(|t| t.parent.is_some_and(|p| p.control_accept_index == k))
+            .cloned()
+            .collect();
+        let data = FtpDataCtx {
+            children: &children,
+            recorded: data_recorded,
+            tolerant: !strict,
+        };
+        violations.extend(check_ftp_session(trace, strict, &data));
     }
     violations
 }
@@ -345,6 +766,27 @@ fn shrink_candidates(s: &Schedule) -> Vec<Schedule> {
             let mut c = s.clone();
             c.conns[ci].close_early = false;
             out.push(c);
+        }
+    }
+    // Drop scripted mid-transfer aborts (keeps the op, cleans the close).
+    for ci in 0..s.conns.len() {
+        for oi in 0..s.conns[ci].data_ops.len() {
+            if s.conns[ci].data_ops[oi].abort_after.is_some() {
+                let mut c = s.clone();
+                c.conns[ci].data_ops[oi].abort_after = None;
+                out.push(c);
+            }
+        }
+    }
+    // Shrink upload payloads.
+    for ci in 0..s.conns.len() {
+        for oi in 0..s.conns[ci].data_ops.len() {
+            let len = s.conns[ci].data_ops[oi].payload.len();
+            if len > 1 {
+                let mut c = s.clone();
+                c.conns[ci].data_ops[oi].payload.truncate(len / 2);
+                out.push(c);
+            }
         }
     }
     // Zero all pauses.
@@ -432,17 +874,36 @@ pub struct ExploreSummary {
 /// Generate and run one schedule per seed, panicking with a shrunken,
 /// replayable counterexample on the first violation.
 pub fn explore(proto: Proto, seeds: impl IntoIterator<Item = u64>) -> ExploreSummary {
+    explore_with(proto, seeds, generate, |s| run(s).violations)
+}
+
+/// [`explore`] under the virtual clock, over schedules produced by
+/// `gen` (e.g. [`crate::schedule::generate_stall_heavy`]).
+pub fn explore_virtual(
+    proto: Proto,
+    seeds: impl IntoIterator<Item = u64>,
+    gen_schedule: fn(Proto, u64) -> Schedule,
+) -> ExploreSummary {
+    explore_with(proto, seeds, gen_schedule, |s| {
+        run_virtual(s).report.violations
+    })
+}
+
+fn explore_with(
+    proto: Proto,
+    seeds: impl IntoIterator<Item = u64>,
+    gen_schedule: fn(Proto, u64) -> Schedule,
+    run_one: impl Fn(&Schedule) -> Vec<Violation>,
+) -> ExploreSummary {
     let mut fingerprints = HashSet::new();
     let mut runs = 0;
     for seed in seeds {
-        let sched = generate(proto, seed);
+        let sched = gen_schedule(proto, seed);
         fingerprints.insert(sched.fingerprint());
         runs += 1;
-        let report = run(&sched);
-        if !report.violations.is_empty() {
-            fail_with_counterexample(&sched, &report.violations, &|s| {
-                !run(s).violations.is_empty()
-            });
+        let violations = run_one(&sched);
+        if !violations.is_empty() {
+            fail_with_counterexample(&sched, &violations, &|s| !run_one(s).is_empty());
         }
     }
     ExploreSummary {
@@ -492,10 +953,12 @@ mod tests {
                 ConnScript {
                     segments: vec![b"GET /a HTTP/1.1\r\n".to_vec(), b"\r\n".to_vec()],
                     close_early: true,
+                    data_ops: vec![],
                 },
                 ConnScript {
                     segments: vec![b"GET /b HTTP/1.1\r\n\r\n".to_vec()],
                     close_early: false,
+                    data_ops: vec![],
                 },
             ],
             order: vec![
@@ -543,6 +1006,28 @@ mod tests {
     fn shrink_respects_the_run_budget() {
         let (_, runs) = shrink(&two_conn_schedule(), &|_| true, 7);
         assert!(runs <= 7);
+    }
+
+    #[test]
+    fn virtual_pacing_delivers_everything_without_sleeping() {
+        let mut sched = two_conn_schedule();
+        sched.plan = FaultPlan::new(5); // no faults: verdicts must be clean
+        for st in &mut sched.order {
+            st.pause_ms = 200; // 600ms of scheduled pauses
+        }
+        let started = Instant::now();
+        let v = run_virtual(&sched);
+        assert!(
+            v.report.violations.is_empty(),
+            "virtual run must stay conforming: {:?}",
+            v.report.violations
+        );
+        assert_eq!(v.timeline.virtual_elapsed_ms, 600);
+        assert_eq!(v.timeline.deliveries.len(), sched.order.len());
+        assert!(
+            started.elapsed() < Duration::from_millis(590),
+            "virtual pacing must not sleep the pauses away"
+        );
     }
 
     #[test]

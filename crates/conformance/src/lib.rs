@@ -14,42 +14,68 @@
 //!   stream and the content fixture, and a conforming trace must be a
 //!   prefix of it (prefix closure is what makes the acceptor
 //!   nondeterministic — a fault may cut the stream anywhere). The FTP
-//!   model accepts at the reply-code + multiline-flag level, because
-//!   `STAT` bodies carry live counters.
+//!   model accepts the control channel at the reply-code +
+//!   multiline-flag level (because `STAT` bodies carry live counters)
+//!   and the **data plane byte-exactly**: `PASV` transfers are modeled
+//!   as outcome slots whose joined data-connection traces must carry the
+//!   exact `LIST`/`RETR` payload computed from a replica VFS, whose
+//!   `STOR` uploads commit back into the replica (write-back visibility
+//!   on a later `RETR`), and whose `150`+`226` completion must be
+//!   written only after the data socket closed — checked against the
+//!   trace log's global event sequence.
 //! * **Schedules** ([`schedule`]) — a seeded, serializable description of
 //!   one adversarial run: a [`nserver_core::fault::FaultPlan`], per-client
-//!   byte scripts split into segments, and an interleaving order with
-//!   pauses. Equal seeds generate equal schedules; the fingerprint hashes
-//!   the serialized form so distinct-schedule coverage is countable.
+//!   byte scripts split into segments, scripted data-connection ops
+//!   (drain / upload / abort mid-transfer), and an interleaving order
+//!   with pauses. Equal seeds generate equal schedules; the fingerprint
+//!   hashes the serialized form so distinct-schedule coverage is
+//!   countable.
 //! * **The explorer** ([`explorer`]) — runs the real server over the
 //!   in-memory transport under `FaultyListener` + `TapListener`, delivers
-//!   the schedule, and checks every recorded [`ConnTrace`] against the
-//!   model. On violation it shrinks the schedule greedily and panics with
-//!   a replayable counterexample (seed + serialized schedule).
+//!   the schedule (spawning real TCP data connections for every `227`
+//!   the server announces), and checks every recorded [`ConnTrace`]
+//!   against the model. [`explorer::run_virtual`] replaces delivery
+//!   sleeps with a [`nserver_netsim`] virtual clock, so stall-heavy
+//!   schedules cost near-zero wall-clock with identical verdicts. On
+//!   violation the explorer shrinks the schedule greedily and panics
+//!   with a replayable counterexample (seed + serialized schedule).
+//! * **The relay differential** ([`relay`]) — drives one sanitized
+//!   schedule over real TCP against a direct backend and against a
+//!   [`nserver_core::cluster::ClusterFrontEnd`] (optionally with a dead
+//!   backend forcing retry-rotation), and asserts the client-observable
+//!   traces are equivalent.
 //!
-//! [`mutant`] provides deliberately broken service wrappers used by the
-//! mutation tests: each must be caught by the models, which is the
-//! harness's own soundness check.
+//! [`mutant`] and [`relay::ReplayingProxy`] provide deliberately broken
+//! services and relays used by the mutation tests: each must be caught
+//! by the models, which is the harness's own soundness check.
 
 pub mod explorer;
 pub mod ftp_model;
 pub mod http_model;
 pub mod mutant;
+pub mod relay;
 pub mod schedule;
 
 pub use explorer::{
-    explore, run, run_ftp, run_http, run_http_with_options, seed_range, shrink,
-    standard_ftp_service, standard_http_service, ExploreSummary, RunReport,
+    explore, explore_virtual, run, run_ftp, run_http, run_http_with_options, run_virtual,
+    seed_range, shrink, standard_ftp_service, standard_http_service, ExploreSummary,
+    FtpDataTapTarget, RunReport, VirtualReport, VirtualTimeline,
 };
-pub use ftp_model::FtpModel;
+pub use ftp_model::{check_ftp, check_ftp_session, FtpDataCtx, FtpModel};
 pub use http_model::HttpFixture;
-pub use mutant::{FtpMutation, HttpMutation, MutantFtp, MutantHttp};
-pub use schedule::{enumerate_orders, generate, ConnScript, Proto, Schedule, Step};
+pub use mutant::{
+    truncated_retr_service, FtpMutation, HttpMutation, MutantFtp, MutantHttp, PrematureFtp,
+};
+pub use relay::{relay_differential, replaying_relay_diverges, DiffReport, ReplayingProxy};
+pub use schedule::{
+    enumerate_orders, generate, generate_stall_heavy, ConnScript, DataOp, DataOpKind, Proto,
+    Schedule, Step,
+};
 
 use nserver_core::tap::{ConnTrace, TapEvent};
 
 /// One conformance violation found in a connection trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// 1-based accept index of the offending connection.
     pub accept_index: u64,
@@ -108,12 +134,7 @@ mod tests {
     use super::*;
 
     fn trace(events: Vec<TapEvent>) -> ConnTrace {
-        ConnTrace {
-            accept_index: 1,
-            peer: "peer-1".into(),
-            profile: "Clean".into(),
-            events,
-        }
+        ConnTrace::synthetic(1, "peer-1", "Clean", events)
     }
 
     #[test]

@@ -6,13 +6,21 @@
 //! into the real service through these wrappers and assert the models
 //! catch it, shrink it, and emit a replayable counterexample. Each
 //! mutation is chosen to be *observable in the trace alphabet the models
-//! check*: response bytes for HTTP, reply codes for FTP.
+//! check*: response bytes for HTTP, reply codes — and, for the
+//! data-plane mutants, transfer payload bytes and completion ordering —
+//! for FTP.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use nserver_core::pipeline::{Action, ConnCtx, Service};
+use nserver_core::tap::TraceLog;
+use nserver_ftp::legacy::vfs::Vfs;
 use nserver_ftp::{FtpCodec, FtpRequest, FtpService};
 use nserver_http::{HttpCodec, Request, Response, Status};
+
+use crate::explorer::FtpDataTapTarget;
+use crate::ftp_model::FtpFixture;
 
 /// Which HTTP legality bug to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +145,77 @@ impl Service<FtpCodec> for MutantFtp {
     }
 }
 
+impl FtpDataTapTarget for MutantFtp {
+    fn attach_data_tap(&self, log: TraceLog) -> bool {
+        self.inner.attach_data_tap(log);
+        true
+    }
+}
+
+/// The payload-corruption mutant: a real `FtpService` whose
+/// `/pub/hello.txt` is silently truncated relative to the fixture the
+/// model replicates. Every control reply is legal — the bug is only
+/// observable in the data plane, where a `RETR` download's bytes
+/// diverge from the model's byte-exact expected payload.
+pub fn truncated_retr_service() -> FtpService {
+    let vfs = Arc::new(Vfs::new());
+    vfs.mkdir("/pub");
+    vfs.write("/pub/hello.txt", b"hello".to_vec());
+    FtpService::new(vfs, FtpFixture::users())
+}
+
+/// The completion-ordering mutant: transfers acknowledge `150` + `226`
+/// *immediately*, while the actual data transfer keeps running on a
+/// background thread — the completion reply reaches the control channel
+/// before the data socket closes. Caught by the model's global-sequence
+/// premature-completion check (or as a missing data trace when the
+/// orphaned transfer never lands).
+pub struct PrematureFtp {
+    inner: FtpService,
+}
+
+impl PrematureFtp {
+    pub fn new(inner: FtpService) -> Self {
+        Self { inner }
+    }
+}
+
+fn premature_map(action: Action<String>) -> Action<String> {
+    match action {
+        Action::Defer(job) => {
+            std::thread::spawn(move || {
+                // Let the eager reply win the race, then run the real
+                // transfer so the data-plane client is still served.
+                std::thread::sleep(Duration::from_millis(50));
+                let _ = job();
+            });
+            Action::Reply("150 Opening data connection.\r\n226 Transfer complete.\r\n".into())
+        }
+        other => other,
+    }
+}
+
+impl Service<FtpCodec> for PrematureFtp {
+    fn handle(&self, ctx: &ConnCtx, req: FtpRequest) -> Action<String> {
+        premature_map(self.inner.handle(ctx, req))
+    }
+
+    fn on_open(&self, ctx: &ConnCtx) -> Option<String> {
+        self.inner.on_open(ctx)
+    }
+
+    fn on_close(&self, ctx: &ConnCtx) {
+        self.inner.on_close(ctx);
+    }
+}
+
+impl FtpDataTapTarget for PrematureFtp {
+    fn attach_data_tap(&self, log: TraceLog) -> bool {
+        self.inner.attach_data_tap(log);
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +242,38 @@ mod tests {
     fn drop_connection_close_lies_in_the_header() {
         let resp = Response::error(Status::Forbidden, Version::Http11).with_keep_alive(false);
         assert!(mutate_http(HttpMutation::DropConnectionClose, resp).keep_alive);
+    }
+
+    #[test]
+    fn premature_map_replies_before_the_deferred_job_runs() {
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let job = Box::new(move || {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            "226 Transfer complete.\r\n".to_string()
+        });
+        match premature_map(Action::Defer(job)) {
+            Action::Reply(r) => {
+                assert!(r.starts_with("150 "), "eager completion reply: {r}");
+                assert!(r.contains("\r\n226 "), "both blocks in one write");
+            }
+            _ => panic!("Defer must become an immediate Reply"),
+        }
+        // The real job still runs (on the background thread).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !ran.load(std::sync::atomic::Ordering::SeqCst) {
+            assert!(std::time::Instant::now() < deadline, "job never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn truncated_service_disagrees_with_the_fixture() {
+        let svc = truncated_retr_service();
+        drop(svc); // constructible; the divergence itself is proven
+                   // end-to-end by tests/mutation.rs
+        let fixture = FtpFixture::vfs();
+        assert_eq!(&fixture.read("/pub/hello.txt").unwrap()[..], b"hello ftp");
     }
 
     #[test]

@@ -29,6 +29,40 @@ impl Proto {
     }
 }
 
+/// How the driver services one data (PASV) connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataOpKind {
+    /// Connect and drain to EOF (LIST / RETR downloads).
+    Read,
+    /// Connect, send the payload, close (STOR uploads).
+    Write,
+}
+
+impl DataOpKind {
+    fn name(self) -> &'static str {
+        match self {
+            DataOpKind::Read => "read",
+            DataOpKind::Write => "write",
+        }
+    }
+}
+
+/// One planned data-connection operation. The driver consumes these in
+/// order, one per `227 Entering Passive Mode` reply it observes on the
+/// owning control connection, and opens a real TCP connection to the
+/// announced port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataOp {
+    /// What the client does on the data socket.
+    pub kind: DataOpKind,
+    /// Upload payload (`Write` only; empty for `Read`).
+    pub payload: Vec<u8>,
+    /// Abort the data connection (abrupt close mid-stream, with bytes
+    /// still in flight) after transferring at most this many bytes.
+    /// `None` runs the transfer to completion.
+    pub abort_after: Option<usize>,
+}
+
 /// One client connection's script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConnScript {
@@ -37,12 +71,24 @@ pub struct ConnScript {
     /// Abruptly close the connection right after the last segment, without
     /// waiting for responses — the early-close/pipelining hazard.
     pub close_early: bool,
+    /// Planned data-connection operations, consumed one per observed 227
+    /// reply. Every PASV the generator emits gets exactly one op (even
+    /// transfers expected to fail before accepting, where the op's socket
+    /// just sees a reset).
+    pub data_ops: Vec<DataOp>,
 }
 
 impl ConnScript {
     /// All script bytes, concatenated.
     pub fn bytes(&self) -> Vec<u8> {
         self.segments.concat()
+    }
+
+    /// True when some planned data op aborts its socket mid-transfer —
+    /// the conn's data-plane outcomes are then nondeterministic and the
+    /// checker must tolerate 425s and truncated payloads.
+    pub fn has_abort(&self) -> bool {
+        self.data_ops.iter().any(|d| d.abort_after.is_some())
     }
 }
 
@@ -193,6 +239,7 @@ fn generate_http(seed: u64) -> Schedule {
         conns.push(ConnScript {
             segments,
             close_early: rng.chance(0.2),
+            data_ops: Vec::new(),
         });
     }
     let order = gen_order(&mut rng, &conns);
@@ -205,6 +252,17 @@ fn generate_http(seed: u64) -> Schedule {
     }
 }
 
+/// Draw a seeded STOR payload (small, byte-diverse).
+fn gen_payload(rng: &mut SimRng) -> Vec<u8> {
+    let len = rng.range(1, 600) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Maybe abort this data op mid-transfer (~15% of ops).
+fn gen_abort(rng: &mut SimRng) -> Option<usize> {
+    rng.chance(0.15).then(|| rng.below(64) as usize)
+}
+
 fn generate_ftp(seed: u64) -> Schedule {
     let mut rng = SimRng::new(seed ^ 0x46_5450); // "FTP"
     let plan = gen_plan(&mut rng);
@@ -213,37 +271,121 @@ fn generate_ftp(seed: u64) -> Schedule {
     for ci in 0..nconns {
         let ncmds = rng.range(2, 8);
         let mut lines: Vec<String> = Vec::new();
+        let mut data_ops: Vec<DataOp> = Vec::new();
+        // Most connections log in up front: transfers only run on a
+        // logged-in session, and without this bias almost every scripted
+        // PASV dies pre-login at the 530 gate, leaving the data plane
+        // unexercised. The uniform tail below still covers failed and
+        // repeated logins.
+        if rng.chance(0.7) {
+            if rng.chance(0.5) {
+                lines.push("USER anonymous".to_string());
+                lines.push("PASS guest".to_string());
+            } else {
+                lines.push("USER alice".to_string());
+                lines.push("PASS secret".to_string());
+            }
+        }
         for j in 0..ncmds {
-            // Paths are absolute or the two safe relatives, and MKD targets
-            // are unique per (schedule, connection) so the model's replica
-            // VFS cannot diverge from the shared one via cross-connection
-            // mutation. No PASV/DELE and no transfers after PASV: those
-            // reach out-of-band state the trace model cannot see.
-            let cmd = match rng.below(22) {
-                0 => "USER alice".to_string(),
-                1 => "USER anonymous".to_string(),
-                2 => "USER nobody".to_string(),
-                3 => "PASS secret".to_string(),
-                4 => "PASS guest".to_string(),
-                5 => "PASS wrong".to_string(),
-                6 => "PWD".to_string(),
-                7 => "SYST".to_string(),
-                8 => "NOOP".to_string(),
-                9 => "TYPE I".to_string(),
-                10 => "TYPE A".to_string(),
-                11 => "CWD /pub".to_string(),
-                12 => "CWD pub".to_string(),
-                13 => "CWD ..".to_string(),
-                14 => "CWD /nope".to_string(),
-                15 => "SIZE /pub/hello.txt".to_string(),
-                16 => "STAT".to_string(),
-                17 => "STAT /pub".to_string(),
-                18 => format!("MKD /m{ci}k{j}"),
-                19 => "LIST".to_string(),
-                20 => "RETR /pub/hello.txt".to_string(),
-                _ => "XYZZY".to_string(),
-            };
-            lines.push(cmd);
+            // Paths are absolute or the two safe relatives; MKD/STOR
+            // targets are unique per (schedule, connection) and /pub is
+            // never mutated, so the model's replica VFS cannot diverge
+            // from the shared one via cross-connection mutation. Every
+            // generated PASV is paired with exactly one data op; bare
+            // LIST/RETR (no PASV) keep the 503 path exercised.
+            match rng.below(28) {
+                0 => lines.push("USER alice".to_string()),
+                1 => lines.push("USER anonymous".to_string()),
+                2 => lines.push("USER nobody".to_string()),
+                3 => lines.push("PASS secret".to_string()),
+                4 => lines.push("PASS guest".to_string()),
+                5 => lines.push("PASS wrong".to_string()),
+                6 => lines.push("PWD".to_string()),
+                7 => lines.push("SYST".to_string()),
+                8 => lines.push("NOOP".to_string()),
+                9 => lines.push("TYPE I".to_string()),
+                10 => lines.push("TYPE A".to_string()),
+                11 => lines.push("CWD /pub".to_string()),
+                12 => lines.push("CWD pub".to_string()),
+                13 => lines.push("CWD ..".to_string()),
+                14 => lines.push("CWD /nope".to_string()),
+                15 => lines.push("SIZE /pub/hello.txt".to_string()),
+                16 => lines.push("STAT".to_string()),
+                17 => lines.push("STAT /pub".to_string()),
+                18 => lines.push(format!("MKD /m{ci}k{j}")),
+                // `/pub` (not bare LIST): a dangling PASV from a prior
+                // command can turn this into a real transfer, and `/` is
+                // mutated cross-connection while `/pub` never is.
+                19 => lines.push("LIST /pub".to_string()),
+                20 => lines.push("RETR /pub/hello.txt".to_string()),
+                21 => lines.push("XYZZY".to_string()),
+                22 => {
+                    lines.push("PASV".to_string());
+                    lines.push("LIST /pub".to_string());
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Read,
+                        payload: Vec::new(),
+                        abort_after: gen_abort(&mut rng),
+                    });
+                }
+                23 => {
+                    lines.push("PASV".to_string());
+                    lines.push("RETR /pub/hello.txt".to_string());
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Read,
+                        payload: Vec::new(),
+                        abort_after: gen_abort(&mut rng),
+                    });
+                }
+                24 => {
+                    // Statically-missing file: 550 without accepting the
+                    // data socket; the op's connection just sees a reset.
+                    lines.push("PASV".to_string());
+                    lines.push("RETR /nope".to_string());
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Read,
+                        payload: Vec::new(),
+                        abort_after: None,
+                    });
+                }
+                25 => {
+                    lines.push("PASV".to_string());
+                    lines.push(format!("STOR /u{ci}k{j}"));
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Write,
+                        payload: gen_payload(&mut rng),
+                        abort_after: gen_abort(&mut rng),
+                    });
+                }
+                26 => {
+                    // Write-back visibility: upload then immediately read
+                    // the same path back on a fresh data connection.
+                    lines.push("PASV".to_string());
+                    lines.push(format!("STOR /u{ci}k{j}"));
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Write,
+                        payload: gen_payload(&mut rng),
+                        abort_after: None,
+                    });
+                    lines.push("PASV".to_string());
+                    lines.push(format!("RETR /u{ci}k{j}"));
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Read,
+                        payload: Vec::new(),
+                        abort_after: None,
+                    });
+                }
+                _ => {
+                    // Dangling PASV: the listener is held until the next
+                    // transfer, QUIT, or connection teardown.
+                    lines.push("PASV".to_string());
+                    data_ops.push(DataOp {
+                        kind: DataOpKind::Read,
+                        payload: Vec::new(),
+                        abort_after: None,
+                    });
+                }
+            }
         }
         if rng.chance(0.4) {
             lines.push("QUIT".to_string());
@@ -257,6 +399,7 @@ fn generate_ftp(seed: u64) -> Schedule {
         conns.push(ConnScript {
             segments,
             close_early: rng.chance(0.2),
+            data_ops,
         });
     }
     let order = gen_order(&mut rng, &conns);
@@ -267,6 +410,20 @@ fn generate_ftp(seed: u64) -> Schedule {
         conns,
         order,
     }
+}
+
+/// A stall-heavy variant of [`generate`] for the simulated-time explorer:
+/// the same script shapes, but with long inter-segment pauses and a
+/// stall-biased fault plan, so wall-clock delivery time is dominated by
+/// sleeping — exactly what the virtual clock eliminates.
+pub fn generate_stall_heavy(proto: Proto, seed: u64) -> Schedule {
+    let mut sched = generate(proto, seed);
+    let mut rng = SimRng::new(seed ^ 0x5354_414c); // "STAL"
+    sched.plan.stall_per_mille = sched.plan.stall_per_mille.max(300);
+    for step in &mut sched.order {
+        step.pause_ms = rng.range(40, 120);
+    }
+    sched
 }
 
 fn hex_encode(b: &[u8]) -> String {
@@ -305,6 +462,17 @@ impl Schedule {
             out.push_str(&format!("conn close_early={}\n", u8::from(c.close_early)));
             for s in &c.segments {
                 out.push_str(&format!("seg {}\n", hex_encode(s)));
+            }
+            for d in &c.data_ops {
+                let abort = d
+                    .abort_after
+                    .map_or_else(|| "-".to_string(), |n| n.to_string());
+                let payload = if d.payload.is_empty() {
+                    "-".to_string()
+                } else {
+                    hex_encode(&d.payload)
+                };
+                out.push_str(&format!("data {} {} {}\n", d.kind.name(), abort, payload));
             }
         }
         for s in &self.order {
@@ -362,6 +530,7 @@ impl Schedule {
                     conns.push(ConnScript {
                         segments: Vec::new(),
                         close_early,
+                        data_ops: Vec::new(),
                     });
                 }
                 "seg" => conns
@@ -369,6 +538,34 @@ impl Schedule {
                     .ok_or("seg before any conn line")?
                     .segments
                     .push(hex_decode(rest)?),
+                "data" => {
+                    let f: Vec<&str> = rest.split_whitespace().collect();
+                    if f.len() != 3 {
+                        return Err(format!("data needs 3 fields, got {}", f.len()));
+                    }
+                    let kind = match f[0] {
+                        "read" => DataOpKind::Read,
+                        "write" => DataOpKind::Write,
+                        other => return Err(format!("unknown data op kind {other:?}")),
+                    };
+                    let abort_after = match f[1] {
+                        "-" => None,
+                        n => Some(n.parse().map_err(|e| format!("data abort: {e}"))?),
+                    };
+                    let payload = match f[2] {
+                        "-" => Vec::new(),
+                        hex => hex_decode(hex)?,
+                    };
+                    conns
+                        .last_mut()
+                        .ok_or("data before any conn line")?
+                        .data_ops
+                        .push(DataOp {
+                            kind,
+                            payload,
+                            abort_after,
+                        });
+                }
                 "step" => {
                     let (c, p) = rest.split_once(' ').ok_or("step needs two fields")?;
                     order.push(Step {
@@ -516,6 +713,74 @@ mod tests {
             for c in generate(Proto::Ftp, seed).conns {
                 assert!(c.bytes().len() < 4096, "seed {seed} script too long");
             }
+        }
+    }
+
+    #[test]
+    fn ftp_data_ops_pair_one_to_one_with_pasv_lines() {
+        let mut with_ops = 0;
+        for seed in 0..100 {
+            let s = generate(Proto::Ftp, seed);
+            for c in &s.conns {
+                let script = String::from_utf8_lossy(&c.bytes()).into_owned();
+                assert_eq!(
+                    script.matches("PASV\r\n").count(),
+                    c.data_ops.len(),
+                    "seed {seed}"
+                );
+            }
+            if s.conns.iter().any(|c| !c.data_ops.is_empty()) {
+                with_ops += 1;
+            }
+        }
+        // Transfers occur in a healthy fraction of generated schedules.
+        assert!(
+            with_ops >= 50,
+            "only {with_ops}/100 schedules have data ops"
+        );
+    }
+
+    #[test]
+    fn data_ops_serialize_and_parse_back() {
+        let mut s = generate(Proto::Ftp, 0);
+        s.conns[0].data_ops = vec![
+            DataOp {
+                kind: DataOpKind::Read,
+                payload: Vec::new(),
+                abort_after: None,
+            },
+            DataOp {
+                kind: DataOpKind::Write,
+                payload: vec![0, 255, 7],
+                abort_after: Some(2),
+            },
+        ];
+        let text = s.serialize();
+        assert!(text.contains("data read - -"), "{text}");
+        assert!(text.contains("data write 2 00ff07"), "{text}");
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(s, back);
+        // Pre-data-plane corpus files (no `data` lines) still parse.
+        let legacy: String =
+            text.lines()
+                .filter(|l| !l.starts_with("data "))
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        let old = Schedule::parse(&legacy).unwrap();
+        assert!(old.conns.iter().all(|c| c.data_ops.is_empty()));
+    }
+
+    #[test]
+    fn stall_heavy_schedules_pause_long_and_stay_replayable() {
+        for proto in [Proto::Http, Proto::Ftp] {
+            let s = generate_stall_heavy(proto, 3);
+            assert_eq!(s, generate_stall_heavy(proto, 3));
+            assert!(s.plan.stall_per_mille >= 300);
+            assert!(s.order.iter().all(|st| st.pause_ms >= 40));
+            assert_eq!(Schedule::parse(&s.serialize()).unwrap(), s);
         }
     }
 

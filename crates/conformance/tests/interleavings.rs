@@ -23,6 +23,7 @@ fn all_interleavings_of_a_small_http_case_conform() {
                     b"ing.html HTTP/1.1\r\nHost: c\r\nConnection: close\r\n\r\n".to_vec(),
                 ],
                 close_early: false,
+                data_ops: vec![],
             },
             ConnScript {
                 segments: vec![
@@ -30,6 +31,7 @@ fn all_interleavings_of_a_small_http_case_conform() {
                     b"GET /hello%20world.txt HTTP/1.1\r\nHost: c\r\n\r\n".to_vec(),
                 ],
                 close_early: false,
+                data_ops: vec![],
             },
         ],
         order: Vec::new(),

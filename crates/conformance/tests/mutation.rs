@@ -5,8 +5,9 @@
 //! keep the green exploration runs meaningful.
 
 use conformance::{
-    generate, run_ftp, run_http, shrink, standard_ftp_service, standard_http_service, FtpMutation,
-    HttpMutation, MutantFtp, MutantHttp, Proto, Schedule,
+    generate, replaying_relay_diverges, run_ftp, run_http, shrink, standard_ftp_service,
+    standard_http_service, truncated_retr_service, DataOpKind, FtpMutation, HttpMutation,
+    MutantFtp, MutantHttp, PrematureFtp, Proto, Schedule,
 };
 
 /// Find the first seed in `0..limit` whose schedule trips `fails`, check
@@ -78,6 +79,65 @@ fn ftp_login_bypass_is_caught() {
         report.violations.iter().any(|v| v.kind == "reply-mismatch")
     };
     caught_shrunk_and_replayable(Proto::Ftp, 25, &fails);
+}
+
+/// Data-plane soundness, payload axis: a backend whose `/pub/hello.txt`
+/// is silently truncated answers every control reply legally — only the
+/// `RETR` download bytes betray it, so catching it proves the checker
+/// really compares data-socket payloads against the replica VFS.
+#[test]
+fn ftp_truncated_retr_payload_is_caught() {
+    let fails = |s: &Schedule| {
+        let report = run_ftp(s, truncated_retr_service());
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == "data-payload-mismatch")
+    };
+    // The first witness needs a logged-in RETR of the truncated file to
+    // reach a successful 226 — those are sparser than raw RETR lines, so
+    // this scan band is wider than the control-channel mutants'.
+    let witness = caught_shrunk_and_replayable(Proto::Ftp, 120, &fails);
+    assert!(
+        witness
+            .conns
+            .iter()
+            .any(|c| c.bytes().windows(9).any(|w| w == b"hello.txt")),
+        "the shrunken witness should still RETR the truncated file:\n{}",
+        witness.serialize()
+    );
+}
+
+/// Data-plane soundness, ordering axis: a service that acknowledges
+/// `150`+`226` before the data socket has closed must be caught by the
+/// global-sequence premature-completion check (or, when the orphaned
+/// background transfer misses the tap entirely, as a missing data
+/// trace).
+#[test]
+fn ftp_premature_completion_is_caught() {
+    let fails = |s: &Schedule| {
+        let report = run_ftp(s, PrematureFtp::new(standard_ftp_service()));
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == "premature-completion" || v.kind == "missing-data-trace")
+    };
+    caught_shrunk_and_replayable(Proto::Ftp, 40, &fails);
+}
+
+/// Cluster soundness: a relay that replays its upstream bytes — the
+/// classic retry bug of re-sending a request that already succeeded —
+/// must diverge from the direct arm. The witness is held to contain a
+/// `STOR` upload so the replayed transfer is part of the story.
+#[test]
+fn relay_upstream_replay_is_caught() {
+    let fails = |s: &Schedule| {
+        s.conns
+            .iter()
+            .any(|c| c.data_ops.iter().any(|o| o.kind == DataOpKind::Write))
+            && replaying_relay_diverges(Proto::Ftp, s)
+    };
+    caught_shrunk_and_replayable(Proto::Ftp, 40, &fails);
 }
 
 #[test]

@@ -1,0 +1,53 @@
+//! Relay/cluster differential: the same sanitized schedule driven over
+//! real TCP against a direct backend and against the cluster front end
+//! must produce client-observably equivalent traces — including runs
+//! where a dead backend forces the relay's retry-rotation.
+
+use conformance::{relay_differential, seed_range, Proto};
+
+#[test]
+fn http_relay_is_trace_equivalent_to_direct() {
+    for seed in seed_range(40000, 40040) {
+        let rep = relay_differential(Proto::Http, seed, false);
+        assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
+        assert_eq!(rep.backend_failures, 0);
+    }
+}
+
+#[test]
+fn ftp_relay_is_trace_equivalent_to_direct() {
+    for seed in seed_range(41000, 41040) {
+        let rep = relay_differential(Proto::Ftp, seed, false);
+        assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
+        assert_eq!(rep.backend_failures, 0);
+    }
+}
+
+#[test]
+fn http_relay_failover_preserves_equivalence() {
+    for seed in seed_range(42000, 42015) {
+        let rep = relay_differential(Proto::Http, seed, true);
+        assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
+        assert!(
+            rep.dial_retries >= 1,
+            "seed {seed}: dead-first rotation must be retried"
+        );
+        assert_eq!(
+            rep.backend_failures, 0,
+            "seed {seed}: retry must rescue every client"
+        );
+    }
+}
+
+#[test]
+fn ftp_relay_failover_preserves_equivalence() {
+    for seed in seed_range(43000, 43015) {
+        let rep = relay_differential(Proto::Ftp, seed, true);
+        assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
+        assert!(
+            rep.dial_retries >= 1,
+            "seed {seed}: failover never happened"
+        );
+        assert_eq!(rep.backend_failures, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulated-time exploration: the virtual-clock driver must reach the
+//! same verdicts as wall-clock delivery while spending (almost) none of
+//! the schedules' scripted pause time.
+
+use std::time::Instant;
+
+use conformance::schedule::{generate, generate_stall_heavy};
+use conformance::{explore_virtual, run, run_virtual, seed_range, Proto};
+
+#[test]
+fn virtual_sweep_http_band() {
+    let seeds = seed_range(20000, 21000);
+    let runs = seeds.len();
+    let summary = explore_virtual(Proto::Http, seeds, generate);
+    assert_eq!(summary.runs, runs);
+    assert!(
+        summary.distinct_schedules * 100 >= runs * 95,
+        "schedule space too collapsed: {} distinct of {}",
+        summary.distinct_schedules,
+        runs
+    );
+}
+
+#[test]
+fn virtual_sweep_ftp_band() {
+    let seeds = seed_range(21000, 22000);
+    let runs = seeds.len();
+    let summary = explore_virtual(Proto::Ftp, seeds, generate);
+    assert_eq!(summary.runs, runs);
+}
+
+/// The headline claim: on stall-heavy schedules (every step pauses
+/// 40–120ms) the virtual driver is at least 5× faster than wall-clock
+/// delivery and reaches identical verdicts. Both presets run without
+/// stage deadlines and all injected stalls are call-counted, so pacing
+/// is unobservable to the server — verdict identity is by construction,
+/// and this test pins it empirically.
+#[test]
+fn stall_heavy_wall_vs_virtual_verdicts_and_speedup() {
+    let mut wall_us: u128 = 0;
+    let mut virt_us: u128 = 0;
+    let mut virtual_pause_ms: u64 = 0;
+    for seed in 31000..31008 {
+        for proto in [Proto::Http, Proto::Ftp] {
+            let sched = generate_stall_heavy(proto, seed);
+            let t0 = Instant::now();
+            let wall = run(&sched);
+            wall_us += t0.elapsed().as_micros();
+            let t1 = Instant::now();
+            let virt = run_virtual(&sched);
+            virt_us += t1.elapsed().as_micros();
+            assert_eq!(
+                wall.violations, virt.report.violations,
+                "{proto:?} seed {seed}: wall and virtual verdicts must be identical"
+            );
+            assert!(
+                wall.violations.is_empty(),
+                "{proto:?} seed {seed}: {:?}",
+                wall.violations
+            );
+            assert_eq!(
+                virt.timeline.deliveries.len(),
+                sched.order.len(),
+                "one link delivery per schedule step"
+            );
+            virtual_pause_ms += virt.timeline.virtual_elapsed_ms;
+        }
+    }
+    assert!(
+        virtual_pause_ms > 0,
+        "stall-heavy schedules must script real pauses"
+    );
+    assert!(
+        wall_us >= 5 * virt_us,
+        "virtual exploration must be ≥5× faster on stall-heavy schedules: \
+         wall {}ms vs virtual {}ms",
+        wall_us / 1000,
+        virt_us / 1000
+    );
+}

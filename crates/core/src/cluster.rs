@@ -88,10 +88,41 @@ struct Session {
     down_buf: BytesMut,
     client_eof: bool,
     backend_eof: bool,
+    /// Whether the finished direction's FIN was propagated (half-close).
+    fin_to_client: bool,
+    fin_to_backend: bool,
+    /// Lingering-close deadline: once one direction finished, the other
+    /// side gets this long to send its own FIN before the session is
+    /// reaped anyway.
+    drain_deadline: Option<Instant>,
     /// Interest currently registered for the client / backend stream.
     client_armed: Interest,
     backend_armed: Interest,
 }
+
+impl Session {
+    fn new(client: TcpStreamNb, backend: TcpStreamNb, backend_index: usize) -> Session {
+        Session {
+            client,
+            backend,
+            backend_index,
+            up_buf: BytesMut::new(),
+            down_buf: BytesMut::new(),
+            client_eof: false,
+            backend_eof: false,
+            fin_to_client: false,
+            fin_to_backend: false,
+            drain_deadline: None,
+            client_armed: Interest::READABLE,
+            backend_armed: Interest::READABLE,
+        }
+    }
+}
+
+/// How long a half-closed session keeps draining the still-open side
+/// before being reaped. Generous relative to test and RTT timescales;
+/// sessions normally leave via the peer's FIN long before this fires.
+const LINGER_DRAIN: Duration = Duration::from_secs(1);
 
 /// A running cluster front end.
 pub struct ClusterFrontEnd {
@@ -255,20 +286,7 @@ fn relay_loop(
                         next_key += 1;
                         let _ = poller.register(2 * k, &client, Interest::READABLE);
                         let _ = poller.register(2 * k + 1, &backend, Interest::READABLE);
-                        sessions.insert(
-                            k,
-                            Session {
-                                client,
-                                backend,
-                                backend_index: index,
-                                up_buf: BytesMut::new(),
-                                down_buf: BytesMut::new(),
-                                client_eof: false,
-                                backend_eof: false,
-                                client_armed: Interest::READABLE,
-                                backend_armed: Interest::READABLE,
-                            },
-                        );
+                        sessions.insert(k, Session::new(client, backend, index));
                         // Service once now: data may already be in flight.
                         touched.push(k);
                     }
@@ -314,20 +332,7 @@ fn relay_loop(
                     next_key += 1;
                     let _ = poller.register(2 * k, &pd.client, Interest::READABLE);
                     let _ = poller.register(2 * k + 1, &backend, Interest::READABLE);
-                    sessions.insert(
-                        k,
-                        Session {
-                            client: pd.client,
-                            backend,
-                            backend_index: index,
-                            up_buf: BytesMut::new(),
-                            down_buf: BytesMut::new(),
-                            client_eof: false,
-                            backend_eof: false,
-                            client_armed: Interest::READABLE,
-                            backend_armed: Interest::READABLE,
-                        },
-                    );
+                    sessions.insert(k, Session::new(pd.client, backend, index));
                     touched.push(k);
                 }
                 Err(_) => {
@@ -367,15 +372,28 @@ fn relay_loop(
                 &mut buf,
                 &stats.bytes_downstream,
             );
-            // Close once either side ended and its pending bytes drained.
-            if (s.client_eof && s.up_buf.is_empty()) || (s.backend_eof && s.down_buf.is_empty()) {
-                let mut s = sessions.remove(&k).expect("present");
-                let _ = poller.deregister(2 * k, &s.client);
-                let _ = poller.deregister(2 * k + 1, &s.backend);
-                s.client.shutdown();
-                s.backend.shutdown();
-                per_backend[s.backend_index] -= 1;
+            // A finished direction propagates as a half-close (FIN after
+            // the drained relay bytes), never as an immediate full close:
+            // closing a socket with unread peer bytes in its receive
+            // queue answers with RST, and an RST discards reply bytes the
+            // peer has not consumed yet. The session lingers — still
+            // pumping the open direction — until both sides finish or the
+            // drain deadline reaps it.
+            if s.client_eof && s.up_buf.is_empty() && !s.fin_to_backend {
+                s.backend.shutdown_write();
+                s.fin_to_backend = true;
+            }
+            if s.backend_eof && s.down_buf.is_empty() && !s.fin_to_client {
+                s.client.shutdown_write();
+                s.fin_to_client = true;
+            }
+            if s.client_eof && s.up_buf.is_empty() && s.backend_eof && s.down_buf.is_empty() {
+                let s = sessions.remove(&k).expect("present");
+                teardown(&mut poller, &mut per_backend, k, s);
                 continue;
+            }
+            if (s.fin_to_client || s.fin_to_backend) && s.drain_deadline.is_none() {
+                s.drain_deadline = Some(Instant::now() + LINGER_DRAIN);
             }
             // Re-arm interest: stop read-polling a half-closed side, poll
             // writability only while relay bytes are actually queued.
@@ -397,12 +415,31 @@ fn relay_loop(
             }
         }
 
+        // Reap half-closed sessions whose still-open side never sent its
+        // own FIN inside the lingering window.
+        let now = Instant::now();
+        let expired: Vec<u64> = sessions
+            .iter()
+            .filter(|(_, s)| s.drain_deadline.is_some_and(|d| d <= now))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            let s = sessions.remove(&k).expect("present");
+            teardown(&mut poller, &mut per_backend, k, s);
+        }
+
         // Block until a socket is ready or the shutdown waker fires. Only
-        // parked dials need a timed wake-up; otherwise the relay performs
-        // no periodic work at all.
+        // parked dials and lingering drains need a timed wake-up;
+        // otherwise the relay performs no periodic work at all.
         let timeout = parked
             .iter()
-            .map(|p| p.next_try.saturating_duration_since(Instant::now()))
+            .map(|p| p.next_try.saturating_duration_since(now))
+            .chain(
+                sessions
+                    .values()
+                    .filter_map(|s| s.drain_deadline)
+                    .map(|d| d.saturating_duration_since(now)),
+            )
             .min();
         if poller.wait(&mut events, timeout).is_err() {
             events.clear();
@@ -415,6 +452,15 @@ fn relay_loop(
     for mut p in parked.drain(..) {
         p.client.shutdown();
     }
+}
+
+/// Deregister and fully close a finished (or reaped) session.
+fn teardown(poller: &mut TcpPoller, per_backend: &mut [usize], k: u64, mut s: Session) {
+    let _ = poller.deregister(2 * k, &s.client);
+    let _ = poller.deregister(2 * k + 1, &s.backend);
+    s.client.shutdown();
+    s.backend.shutdown();
+    per_backend[s.backend_index] -= 1;
 }
 
 /// Move bytes from `from` towards `to` through `pending`. Returns whether

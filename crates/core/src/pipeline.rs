@@ -536,11 +536,25 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
         // Diagnostics: the executing thread (pool worker or dispatcher)
         // is between events again. No-op on unattached threads.
         diag::stamp_idle();
-        // Single choke point for dispatcher wake-ups: every outbox /
-        // closing transition a work item can cause has happened by now
-        // (including the panic path inside process_conn), so one
-        // notification covers them all.
+        // Backstop wake-up: replies notify eagerly as they reach the
+        // outbox (see `emit`), but closing transitions and the panic path
+        // may not, so every work item still ends with one notification.
         self.notifier.notify_conn(id);
+    }
+
+    /// Complete `seq` and, when that moved reply bytes into the outbox,
+    /// wake the owning dispatcher *now*. A work item can keep its worker
+    /// busy long after earlier replies in the batch are ready — most
+    /// acutely a synchronous `Defer` blocking in place (an FTP `PASV`
+    /// reply must reach the client while the deferred transfer is still
+    /// waiting to accept the data connection it announced) — so replies
+    /// cannot ride on the end-of-item notification alone.
+    fn emit(&self, conn: &Arc<ConnShared>, seq: u64, reply: Option<EncodedReply>) -> usize {
+        let emitted = conn.complete(seq, reply);
+        if emitted > 0 {
+            self.notifier.notify_conn(conn.id);
+        }
+        emitted
     }
 
     fn process_conn(&self, id: ConnId) {
@@ -597,7 +611,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                                 Some(id),
                                 format!("handler panic on seq={seq}"),
                             );
-                            conn.complete(seq, None);
+                            self.emit(&conn, seq, None);
                             conn.closing.store(true, Ordering::Relaxed);
                             return;
                         }
@@ -627,10 +641,10 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             Action::Reply(resp) => self.finish(conn, seq, resp, false),
             Action::ReplyClose(resp) => self.finish(conn, seq, resp, true),
             Action::NoReply => {
-                conn.complete(seq, None);
+                self.emit(conn, seq, None);
             }
             Action::Close => {
-                conn.complete(seq, None);
+                self.emit(conn, seq, None);
                 conn.closing.store(true, Ordering::Relaxed);
             }
             Action::Defer(job) => self.defer(conn, seq, job, false),
@@ -697,7 +711,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
             Ok(()) => {
                 let n = out.len();
                 self.tracer.span(SpanEvent::Encode { seq }, conn.id);
-                let emitted = conn.complete(seq, Some(out));
+                let emitted = self.emit(conn, seq, Some(out));
                 ServerStats::add(&self.stats.responses_sent, emitted as u64);
                 if let Some(log) = &self.logger {
                     log(&format!("{} seq={} bytes={}", conn.peer, seq, n));
@@ -712,7 +726,7 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                         format!("encode error: {e}"),
                     );
                 }
-                conn.complete(seq, None);
+                self.emit(conn, seq, None);
                 conn.closing.store(true, Ordering::Relaxed);
             }
         }

@@ -16,6 +16,7 @@
 //! pass-through.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -50,10 +51,24 @@ pub enum TapEvent {
     Shutdown,
 }
 
+/// Causal link from a secondary (data) connection's trace back to the
+/// control connection that announced it (FTP PASV/PORT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataParent {
+    /// `accept_index` of the owning control connection's trace.
+    pub control_accept_index: u64,
+    /// 1-based ordinal of the transfer attempt within that control
+    /// connection (each listener-consuming transfer command ticks it,
+    /// whether or not a data socket was ultimately accepted).
+    pub transfer_ordinal: u32,
+}
+
 /// The ordered observable trace of one accepted connection.
 #[derive(Debug, Clone)]
 pub struct ConnTrace {
     /// 1-based accept index (aligned with [`FaultPlan::profile_for`]).
+    /// Data-connection traces inherit their parent's index so violations
+    /// attribute to the control connection that owns the transfer.
     pub accept_index: u64,
     /// Peer label reported by the transport.
     pub peer: String,
@@ -62,9 +77,60 @@ pub struct ConnTrace {
     pub profile: String,
     /// The events, in occurrence order.
     pub events: Vec<TapEvent>,
+    /// Log-global sequence number of each event, aligned with `events`.
+    /// All traces opened by one [`TraceLog`] share a single counter, so
+    /// cross-connection ordering (e.g. "data socket closed before the
+    /// control 226 was written") is decidable. Hand-built traces may
+    /// leave this empty; ordering checks are then skipped.
+    pub seqs: Vec<u64>,
+    /// `Some` when this is a secondary (data) connection trace.
+    pub parent: Option<DataParent>,
 }
 
 impl ConnTrace {
+    /// Build a trace outside any [`TraceLog`] (tests and model fixtures):
+    /// no sequence stamps, no parent.
+    pub fn synthetic(
+        accept_index: u64,
+        peer: &str,
+        profile: &str,
+        events: Vec<TapEvent>,
+    ) -> ConnTrace {
+        ConnTrace {
+            accept_index,
+            peer: peer.to_string(),
+            profile: profile.to_string(),
+            events,
+            seqs: Vec::new(),
+            parent: None,
+        }
+    }
+
+    /// True for secondary (data) connection traces.
+    pub fn is_data(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Log-global sequence number of the last recorded event, if stamped.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.seqs.last().copied()
+    }
+
+    /// Sequence number of the `Wrote` event that carried the outbound
+    /// byte at `offset` (an index into [`ConnTrace::outbound`]). `None`
+    /// when the offset was never written or the trace is unstamped.
+    pub fn seq_at_outbound_offset(&self, offset: usize) -> Option<u64> {
+        let mut end = 0usize;
+        for (i, e) in self.events.iter().enumerate() {
+            if let TapEvent::Wrote(b) = e {
+                end += b.len();
+                if offset < end {
+                    return self.seqs.get(i).copied();
+                }
+            }
+        }
+        None
+    }
     /// All bytes the server read, concatenated in order (the decoder's
     /// exact input stream).
     pub fn inbound(&self) -> Vec<u8> {
@@ -103,12 +169,44 @@ impl ConnTrace {
     }
 }
 
+/// Writable handle onto one trace in a [`TraceLog`]: pushes events
+/// stamped with the log-global sequence counter. Cheap to clone and safe
+/// to move into data-transfer closures.
+#[derive(Clone)]
+pub struct TraceHandle {
+    trace: Arc<Mutex<ConnTrace>>,
+    seq: Arc<AtomicU64>,
+}
+
+impl TraceHandle {
+    /// Append `ev`, stamping it with the next log-global sequence number.
+    /// The stamp is drawn inside the trace lock so each trace's `seqs`
+    /// stay strictly increasing.
+    pub fn push(&self, ev: TapEvent) {
+        let mut t = self.trace.lock();
+        t.seqs.push(self.seq.fetch_add(1, Ordering::Relaxed));
+        t.events.push(ev);
+    }
+
+    /// Append a `ReadEof` unless one was already observed (the reactor may
+    /// poll a half-closed stream repeatedly; one EOF event suffices).
+    pub fn push_eof_once(&self) {
+        let mut t = self.trace.lock();
+        if !t.events.iter().any(|e| matches!(e, TapEvent::ReadEof)) {
+            t.seqs.push(self.seq.fetch_add(1, Ordering::Relaxed));
+            t.events.push(TapEvent::ReadEof);
+        }
+    }
+}
+
 /// Shared, clonable log of every connection trace a [`TapListener`]
-/// produced, plus accept-time failures.
+/// produced, plus accept-time failures. Also the registration point for
+/// secondary (data) connection traces via [`TraceLog::open_data`].
 #[derive(Clone, Default)]
 pub struct TraceLog {
     conns: Arc<Mutex<Vec<Arc<Mutex<ConnTrace>>>>>,
     accept_failures: Arc<Mutex<Vec<u64>>>,
+    seq: Arc<AtomicU64>,
 }
 
 impl TraceLog {
@@ -117,15 +215,55 @@ impl TraceLog {
         Self::default()
     }
 
-    fn open(&self, accept_index: u64, peer: String, profile: String) -> Arc<Mutex<ConnTrace>> {
+    fn open(&self, accept_index: u64, peer: String, profile: String) -> TraceHandle {
         let trace = Arc::new(Mutex::new(ConnTrace {
             accept_index,
             peer,
             profile,
             events: Vec::new(),
+            seqs: Vec::new(),
+            parent: None,
         }));
         self.conns.lock().push(Arc::clone(&trace));
-        trace
+        TraceHandle {
+            trace,
+            seq: Arc::clone(&self.seq),
+        }
+    }
+
+    /// Open a trace for a secondary (data) connection owned by the
+    /// `conn_ord`-th *successfully accepted* primary connection (1-based
+    /// — the reactor's `ConnId` order, which counts only successful
+    /// accepts, unlike `accept_index` which also counts injected accept
+    /// failures). `ordinal` is the 1-based transfer attempt within that
+    /// connection. Returns `None` if no such primary trace exists yet.
+    pub fn open_data(&self, conn_ord: u64, ordinal: u32, peer: String) -> Option<TraceHandle> {
+        let conns = self.conns.lock();
+        let parent = conns
+            .iter()
+            .filter(|t| t.lock().parent.is_none())
+            .nth(usize::try_from(conn_ord.checked_sub(1)?).ok()?)?;
+        let (accept_index, profile) = {
+            let p = parent.lock();
+            (p.accept_index, p.profile.clone())
+        };
+        drop(conns);
+        let trace = Arc::new(Mutex::new(ConnTrace {
+            accept_index,
+            peer,
+            profile,
+            events: Vec::new(),
+            seqs: Vec::new(),
+            parent: Some(DataParent {
+                control_accept_index: accept_index,
+                transfer_ordinal: ordinal,
+            }),
+        }));
+        self.conns.lock().push(Arc::clone(&trace));
+        Some(TraceHandle {
+            trace,
+            seq: Arc::clone(&self.seq),
+        })
     }
 
     fn record_accept_failure(&self, accept_index: u64) {
@@ -157,7 +295,7 @@ impl TraceLog {
 /// [`StreamIo`] wrapper recording each I/O event into the connection trace.
 pub struct TapStream<S> {
     inner: S,
-    trace: Arc<Mutex<ConnTrace>>,
+    trace: TraceHandle,
     shutdown_logged: bool,
 }
 
@@ -165,27 +303,16 @@ impl<S: StreamIo> StreamIo for TapStream<S> {
     fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
         match self.inner.try_read(buf) {
             Ok(ReadOutcome::Data(n)) => {
-                self.trace
-                    .lock()
-                    .events
-                    .push(TapEvent::Read(buf[..n].to_vec()));
+                self.trace.push(TapEvent::Read(buf[..n].to_vec()));
                 Ok(ReadOutcome::Data(n))
             }
             Ok(ReadOutcome::WouldBlock) => Ok(ReadOutcome::WouldBlock),
             Ok(ReadOutcome::Closed) => {
-                let mut t = self.trace.lock();
-                // Idempotent observation: the reactor may poll a
-                // half-closed stream repeatedly; one EOF event suffices.
-                if !t.events.iter().any(|e| matches!(e, TapEvent::ReadEof)) {
-                    t.events.push(TapEvent::ReadEof);
-                }
+                self.trace.push_eof_once();
                 Ok(ReadOutcome::Closed)
             }
             Err(e) => {
-                self.trace
-                    .lock()
-                    .events
-                    .push(TapEvent::ReadError(e.to_string()));
+                self.trace.push(TapEvent::ReadError(e.to_string()));
                 Err(e)
             }
         }
@@ -195,17 +322,11 @@ impl<S: StreamIo> StreamIo for TapStream<S> {
         match self.inner.try_write(data) {
             Ok(0) => Ok(0),
             Ok(n) => {
-                self.trace
-                    .lock()
-                    .events
-                    .push(TapEvent::Wrote(data[..n].to_vec()));
+                self.trace.push(TapEvent::Wrote(data[..n].to_vec()));
                 Ok(n)
             }
             Err(e) => {
-                self.trace
-                    .lock()
-                    .events
-                    .push(TapEvent::WriteError(e.to_string()));
+                self.trace.push(TapEvent::WriteError(e.to_string()));
                 Err(e)
             }
         }
@@ -218,7 +339,7 @@ impl<S: StreamIo> StreamIo for TapStream<S> {
     fn shutdown(&mut self) {
         if !self.shutdown_logged {
             self.shutdown_logged = true;
-            self.trace.lock().events.push(TapEvent::Shutdown);
+            self.trace.push(TapEvent::Shutdown);
         }
         self.inner.shutdown();
     }
@@ -425,6 +546,43 @@ mod tests {
             "{}",
             traces[0].profile
         );
+    }
+
+    #[test]
+    fn data_traces_join_to_their_control_connection() {
+        let (listener, connector) = mem::listener("tap-data");
+        let log = TraceLog::new();
+        let mut tapped = TapListener::new(listener, log.clone());
+        let mut client = connector.connect();
+        let mut server_side = tapped.try_accept().unwrap().unwrap();
+        server_side.try_write(b"227 ok\r\n").unwrap();
+        // ConnId order is 1-based over successful accepts.
+        let data = log
+            .open_data(1, 1, "data-peer".into())
+            .expect("parent exists");
+        data.push(TapEvent::Wrote(b"payload".to_vec()));
+        data.push(TapEvent::Shutdown);
+        server_side.try_write(b"226 done\r\n").unwrap();
+
+        let traces = log.snapshot();
+        assert_eq!(traces.len(), 2);
+        let (control, child) = (&traces[0], &traces[1]);
+        assert!(!control.is_data());
+        assert!(child.is_data());
+        let parent = child.parent.unwrap();
+        assert_eq!(parent.control_accept_index, control.accept_index);
+        assert_eq!(parent.transfer_ordinal, 1);
+        assert_eq!(child.accept_index, control.accept_index);
+        // Global sequencing: the data-socket close precedes the control
+        // write that follows it; the first control write precedes all
+        // data events.
+        let offset_226 = b"227 ok\r\n".len();
+        assert!(child.last_seq().unwrap() < control.seq_at_outbound_offset(offset_226).unwrap());
+        assert!(control.seq_at_outbound_offset(0).unwrap() < child.seqs[0]);
+        assert!(control.seq_at_outbound_offset(999).is_none());
+        // Unknown parent ordinal → no trace opened.
+        assert!(log.open_data(5, 1, "x".into()).is_none());
+        client.shutdown();
     }
 
     #[test]

@@ -266,6 +266,19 @@ impl TcpStreamNb {
     fn fd(&self) -> i32 {
         raw_fd(&self.inner)
     }
+
+    /// Half-close: flush queued bytes and send FIN, but keep the read
+    /// side open. Closing a socket while unread peer bytes sit in its
+    /// receive queue makes the kernel answer with RST — which discards
+    /// reply data the peer has not yet consumed. A relay that tears a
+    /// session down must therefore FIN first and *drain* the peer
+    /// (lingering close) rather than call [`StreamIo::shutdown`]
+    /// directly.
+    pub fn shutdown_write(&mut self) {
+        if self.open {
+            let _ = self.inner.shutdown(std::net::Shutdown::Write);
+        }
+    }
 }
 
 #[cfg(unix)]

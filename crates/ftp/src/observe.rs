@@ -76,6 +76,31 @@ pub struct ReplyBlock {
     pub multiline: bool,
     /// All lines of the block, terminators stripped.
     pub lines: Vec<String>,
+    /// Byte offset of the block's first byte within the outbound stream
+    /// (lets a checker locate the transport event that carried it).
+    pub offset: usize,
+}
+
+/// Parse the data port out of a `227 Entering Passive Mode
+/// (h1,h2,h3,h4,p1,p2)` reply text. `None` if the text does not carry a
+/// well-formed host-port tuple.
+pub fn parse_pasv_port(text: &str) -> Option<u16> {
+    let inner = text.split('(').nth(1)?.split(')').next()?;
+    let nums: Vec<u16> = inner
+        .split(',')
+        .map(|n| n.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    if nums.len() != 6 || nums[4] > 255 || nums[5] > 255 {
+        return None;
+    }
+    Some((nums[4] << 8) | nums[5])
+}
+
+/// The exact bytes a LIST transfer puts on the data socket for `entries`
+/// (one name per line, CRLF terminated). Single source of truth shared by
+/// the server's data path and the conformance replica.
+pub fn listing_text(entries: &[String]) -> String {
+    entries.iter().map(|e| format!("{e}\r\n")).collect()
 }
 
 /// How the reply stream ended.
@@ -156,6 +181,7 @@ pub fn split_replies(bytes: &[u8]) -> ReplyStream {
             text,
             multiline,
             lines,
+            offset: block_start,
         });
     }
     ReplyStream {
@@ -258,6 +284,36 @@ mod tests {
         let s = split_replies(&full.as_bytes()[..cut]);
         assert!(s.complete.is_empty());
         assert!(matches!(s.end, ReplyStreamEnd::Truncated(ref t) if t == &full.as_bytes()[..cut]));
+    }
+
+    #[test]
+    fn reply_blocks_carry_their_stream_offset() {
+        let mut wire = String::new();
+        wire.push_str(&replies::service_ready("COPS-FTP"));
+        let second = wire.len();
+        wire.push_str(&replies::goodbye());
+        let s = split_replies(wire.as_bytes());
+        assert_eq!(s.complete[0].offset, 0);
+        assert_eq!(s.complete[1].offset, second);
+    }
+
+    #[test]
+    fn pasv_port_parses_and_rejects() {
+        let text = replies::passive_mode([127, 0, 0, 1], 0x1234);
+        let s = split_replies(text.as_bytes());
+        assert_eq!(parse_pasv_port(&s.complete[0].text), Some(0x1234));
+        assert_eq!(parse_pasv_port("no tuple here"), None);
+        assert_eq!(parse_pasv_port("(1,2,3)"), None);
+        assert_eq!(parse_pasv_port("(1,2,3,4,999,1)"), None);
+    }
+
+    #[test]
+    fn listing_text_is_crlf_per_entry() {
+        assert_eq!(
+            listing_text(&["a.txt".to_string(), "sub/".to_string()]),
+            "a.txt\r\nsub/\r\n"
+        );
+        assert_eq!(listing_text(&[]), "");
     }
 
     #[test]

@@ -22,12 +22,14 @@ use nserver_core::event::ConnId;
 use nserver_core::metrics::{MetricsRegistry, Stage};
 use nserver_core::pipeline::{Action, ConnCtx, Service};
 use nserver_core::profiling::ServerStats;
+use nserver_core::tap::{TapEvent, TraceHandle, TraceLog};
 
 use crate::codec::{FtpCodec, FtpRequest};
 use crate::commands::Command;
 use crate::legacy::replies;
 use crate::legacy::users::UserRegistry;
 use crate::legacy::vfs::{normalize, Vfs};
+use crate::observe::listing_text;
 use crate::session::{Session, SessionState};
 
 /// How long a data transfer waits for the peer to connect to the passive
@@ -42,6 +44,7 @@ pub struct FtpService {
     server_name: String,
     status_source: Mutex<Option<(Arc<ServerStats>, Arc<MetricsRegistry>)>>,
     diag_hub: Mutex<Option<DiagHub>>,
+    data_tap: Mutex<Option<TraceLog>>,
 }
 
 impl FtpService {
@@ -54,6 +57,7 @@ impl FtpService {
             server_name: "COPS-FTP".to_string(),
             status_source: Mutex::new(None),
             diag_hub: Mutex::new(None),
+            data_tap: Mutex::new(None),
         }
     }
 
@@ -71,6 +75,31 @@ impl FtpService {
     /// answers 211 with a note and no snapshot.
     pub fn attach_diag(&self, hub: DiagHub) {
         *self.diag_hub.lock() = Some(hub);
+    }
+
+    /// Attach a conformance trace log so every data (PASV) socket gets a
+    /// secondary [`nserver_core::tap::ConnTrace`] joined to its control
+    /// connection. Pass the same log the control listener's
+    /// `TapListener` records into; without an attachment the data path
+    /// runs untapped and unchanged.
+    pub fn attach_data_tap(&self, log: TraceLog) {
+        *self.data_tap.lock() = Some(log);
+    }
+
+    /// Snapshot of the transfer-tap wiring for one Defer closure: the
+    /// attached log (if any), the owning connection, and the 1-based
+    /// ordinal this transfer attempt was assigned on its session.
+    fn transfer_tap(&self, conn: ConnId, session: &Arc<Mutex<Session>>) -> DataTap {
+        let ordinal = {
+            let mut s = session.lock();
+            s.transfer_seq += 1;
+            s.transfer_seq
+        };
+        DataTap {
+            log: self.data_tap.lock().clone(),
+            conn,
+            ordinal,
+        }
     }
 
     /// The multi-line 211 body for argument-less `STAT`.
@@ -112,6 +141,99 @@ impl FtpService {
     /// Number of live sessions (diagnostics).
     pub fn live_sessions(&self) -> usize {
         self.sessions.lock().len()
+    }
+}
+
+/// Everything a transfer closure needs to record its data socket into the
+/// conformance trace log: captured at `Action::Defer` creation so the
+/// closure stays `'static`.
+struct DataTap {
+    log: Option<TraceLog>,
+    conn: ConnId,
+    ordinal: u32,
+}
+
+impl DataTap {
+    /// Open the secondary trace once the data socket is accepted.
+    fn open(&self, data: &TcpStream) -> Option<TraceHandle> {
+        let log = self.log.as_ref()?;
+        let peer = data
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "data".to_string());
+        log.open_data(self.conn, self.ordinal, peer)
+    }
+}
+
+/// Write `bytes` to the data socket, recording each accepted chunk (and a
+/// terminal error) into the data trace. Chunked so partial progress under
+/// an aborting peer is observable.
+fn send_data(data: &mut TcpStream, bytes: &[u8], trace: Option<&TraceHandle>) -> bool {
+    for chunk in bytes.chunks(1024) {
+        let mut off = 0;
+        while off < chunk.len() {
+            match data.write(&chunk[off..]) {
+                Ok(0) => {
+                    if let Some(t) = trace {
+                        t.push(TapEvent::WriteError("data socket wrote zero".into()));
+                    }
+                    return false;
+                }
+                Ok(n) => {
+                    if let Some(t) = trace {
+                        t.push(TapEvent::Wrote(chunk[off..off + n].to_vec()));
+                    }
+                    off += n;
+                }
+                Err(e) => {
+                    if let Some(t) = trace {
+                        t.push(TapEvent::WriteError(e.to_string()));
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Read the data socket to EOF, recording each chunk (and EOF / a
+/// terminal error) into the data trace.
+fn recv_data(data: &mut TcpStream, trace: Option<&TraceHandle>) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match data.read(&mut buf) {
+            Ok(0) => {
+                if let Some(t) = trace {
+                    t.push_eof_once();
+                }
+                return Some(out);
+            }
+            Ok(n) => {
+                if let Some(t) = trace {
+                    t.push(TapEvent::Read(buf[..n].to_vec()));
+                }
+                out.extend_from_slice(&buf[..n]);
+            }
+            Err(e) => {
+                if let Some(t) = trace {
+                    t.push(TapEvent::ReadError(e.to_string()));
+                }
+                return None;
+            }
+        }
+    }
+}
+
+/// Drop the data socket and record the close. Transfer closures call this
+/// *before* returning their 150/226 reply string, so the recorded data
+/// close always precedes the control-channel completion write — the
+/// ordering invariant the conformance checker enforces.
+fn close_data(data: TcpStream, trace: Option<&TraceHandle>) {
+    drop(data);
+    if let Some(t) = trace {
+        t.push(TapEvent::Shutdown);
     }
 }
 
@@ -301,6 +423,7 @@ impl Service<FtpCodec> for FtpService {
                     None => cwd,
                 };
                 let vfs = Arc::clone(&self.vfs);
+                let tap = self.transfer_tap(ctx.id, &session);
                 // Blocking data transfer: Defer runs it synchronously in
                 // place (O4 = Synchronous) or on the helper pool (O4 =
                 // Asynchronous) — the hook code is identical.
@@ -311,11 +434,12 @@ impl Service<FtpCodec> for FtpService {
                     let Some(mut data) = accept_data(&listener) else {
                         return replies::data_failed();
                     };
-                    let text: String = listing.iter().map(|e| format!("{e}\r\n")).collect();
-                    if data.write_all(text.as_bytes()).is_err() {
+                    let trace = tap.open(&data);
+                    let text = listing_text(&listing);
+                    if !send_data(&mut data, text.as_bytes(), trace.as_ref()) {
                         return replies::data_failed();
                     }
-                    drop(data);
+                    close_data(data, trace.as_ref());
                     format!(
                         "{}{}",
                         replies::opening_data("directory listing"),
@@ -335,6 +459,7 @@ impl Service<FtpCodec> for FtpService {
                     return Action::Reply(replies::file_unavailable(&file));
                 };
                 let vfs = Arc::clone(&self.vfs);
+                let tap = self.transfer_tap(ctx.id, &session);
                 Action::Defer(Box::new(move || {
                     let Some(bytes) = vfs.read(&path) else {
                         return replies::file_unavailable(&path);
@@ -342,10 +467,11 @@ impl Service<FtpCodec> for FtpService {
                     let Some(mut data) = accept_data(&listener) else {
                         return replies::data_failed();
                     };
-                    if data.write_all(&bytes).is_err() {
+                    let trace = tap.open(&data);
+                    if !send_data(&mut data, &bytes, trace.as_ref()) {
                         return replies::data_failed();
                     }
-                    drop(data);
+                    close_data(data, trace.as_ref());
                     format!(
                         "{}{}",
                         replies::opening_data(&path),
@@ -365,15 +491,16 @@ impl Service<FtpCodec> for FtpService {
                     return Action::Reply(replies::file_unavailable(&file));
                 };
                 let vfs = Arc::clone(&self.vfs);
+                let tap = self.transfer_tap(ctx.id, &session);
                 Action::Defer(Box::new(move || {
                     let Some(mut data) = accept_data(&listener) else {
                         return replies::data_failed();
                     };
-                    let mut bytes = Vec::new();
-                    if data.read_to_end(&mut bytes).is_err() {
+                    let trace = tap.open(&data);
+                    let Some(bytes) = recv_data(&mut data, trace.as_ref()) else {
                         return replies::data_failed();
-                    }
-                    drop(data);
+                    };
+                    close_data(data, trace.as_ref());
                     if !vfs.write(&path, bytes) {
                         return replies::file_unavailable(&path);
                     }

@@ -30,6 +30,11 @@ pub struct Session {
     pub transfer_type: char,
     /// Passive-mode listener awaiting a data connection.
     pub pasv: Option<TcpListener>,
+    /// Count of listener-consuming transfer attempts so far (LIST, RETR,
+    /// STOR with a usable listener and path). Tags data-connection traces
+    /// so conformance checking can join each data socket to the transfer
+    /// command that owns it.
+    pub transfer_seq: u32,
 }
 
 impl Default for Session {
@@ -46,6 +51,7 @@ impl Session {
             cwd: "/".to_string(),
             transfer_type: 'A',
             pasv: None,
+            transfer_seq: 0,
         }
     }
 
