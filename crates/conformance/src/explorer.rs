@@ -173,12 +173,61 @@ pub fn run_http_with_options<S: Service<HttpCodec>>(
     run_http_paced(sched, svc, opts, Pacing::Wall).report
 }
 
+/// The explorer's standard transport stack: traces outermost, then fault
+/// injection, then the in-memory loopback.
+type BaseListener = TapListener<FaultyListener<mem::MemListener>>;
+
+/// Run an HTTP schedule against the standard service with the
+/// [`LingerlessListener`] transport mutant interposed: every
+/// server-initiated half-close becomes a hard close. Used by the
+/// mutation tests to prove the client-delivery check catches an
+/// RST-discarded response tail.
+///
+/// [`LingerlessListener`]: crate::mutant::LingerlessListener
+pub fn run_http_lingerless(sched: &Schedule) -> RunReport {
+    run_http_paced_on(
+        sched,
+        standard_http_service(),
+        cops_http_options(),
+        Pacing::Wall,
+        crate::mutant::LingerlessListener::new,
+    )
+    .report
+}
+
+/// The FTP flavour of [`run_http_lingerless`] (QUIT is a server-initiated
+/// close too).
+pub fn run_ftp_lingerless(sched: &Schedule) -> RunReport {
+    run_ftp_paced_on(
+        sched,
+        standard_ftp_service(),
+        Pacing::Wall,
+        crate::mutant::LingerlessListener::new,
+    )
+    .report
+}
+
 fn run_http_paced<S: Service<HttpCodec>>(
     sched: &Schedule,
     svc: S,
     opts: ServerOptions,
     pacing: Pacing,
 ) -> VirtualReport {
+    run_http_paced_on(sched, svc, opts, pacing, |l: BaseListener| l)
+}
+
+fn run_http_paced_on<S, L, F>(
+    sched: &Schedule,
+    svc: S,
+    opts: ServerOptions,
+    pacing: Pacing,
+    wrap: F,
+) -> VirtualReport
+where
+    S: Service<HttpCodec>,
+    L: nserver_core::transport::Listener,
+    F: FnOnce(BaseListener) -> L,
+{
     let fixture = HttpFixture::standard();
     let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
     let (listener, connector) = mem::listener(&format!("conformance-http-{}-{nonce}", sched.seed));
@@ -187,19 +236,36 @@ fn run_http_paced<S: Service<HttpCodec>>(
         .with_plan(sched.plan);
     let server = ServerBuilder::new(opts, HttpCodec::new(), svc)
         .expect("valid server options")
-        .serve(tapped);
+        .serve(wrap(tapped));
 
     let shared_order = Arc::new(Mutex::new(vec![None; sched.conns.len()]));
-    let (streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
+    let (mut streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
     let targets = strict_targets(sched, &connect_order, |conn| {
         Target::Bytes(expected_outbound(&fixture, &conn.bytes()).0.len())
     });
     quiesce(&log, &targets, Duration::from_secs(3));
     server.shutdown();
     let traces = log.snapshot();
-    let violations = collect_violations(sched, &traces, &log, &connect_order, |trace, strict| {
+    let mut violations = collect_violations(sched, &traces, &log, &connect_order, |trace, strict| {
         check_http(&fixture, trace, strict)
     });
+    violations.extend(client_delivery_violations(
+        sched,
+        &mut streams,
+        &traces,
+        &log,
+        &connect_order,
+        |conn, received| {
+            let expected = expected_outbound(&fixture, &conn.bytes()).0;
+            (received != expected).then(|| {
+                format!(
+                    "client received {} of {} expected response bytes",
+                    received.len(),
+                    expected.len()
+                )
+            })
+        },
+    ));
     drop(streams);
     VirtualReport {
         report: RunReport { traces, violations },
@@ -217,6 +283,15 @@ fn run_ftp_paced<S: Service<FtpCodec> + FtpDataTapTarget>(
     svc: S,
     pacing: Pacing,
 ) -> VirtualReport {
+    run_ftp_paced_on(sched, svc, pacing, |l: BaseListener| l)
+}
+
+fn run_ftp_paced_on<S, L, F>(sched: &Schedule, svc: S, pacing: Pacing, wrap: F) -> VirtualReport
+where
+    S: Service<FtpCodec> + FtpDataTapTarget,
+    L: nserver_core::transport::Listener,
+    F: FnOnce(BaseListener) -> L,
+{
     let nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
     let (listener, connector) = mem::listener(&format!("conformance-ftp-{}-{nonce}", sched.seed));
     let log = TraceLog::new();
@@ -225,12 +300,12 @@ fn run_ftp_paced<S: Service<FtpCodec> + FtpDataTapTarget>(
         .with_plan(sched.plan);
     let server = ServerBuilder::new(cops_ftp_options(), FtpCodec, svc)
         .expect("valid server options")
-        .serve(tapped);
+        .serve(wrap(tapped));
 
     let shared_order = Arc::new(Mutex::new(vec![None; sched.conns.len()]));
     let has_data_ops = sched.conns.iter().any(|c| !c.data_ops.is_empty());
     let pump = has_data_ops.then(|| spawn_data_pump(sched, &log, &shared_order));
-    let (streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
+    let (mut streams, connect_order, timeline) = deliver(sched, &connector, pacing, &shared_order);
     let targets = strict_targets(sched, &connect_order, |conn| {
         Target::Blocks(expected_replies(&conn.bytes()).len())
     });
@@ -245,7 +320,19 @@ fn run_ftp_paced<S: Service<FtpCodec> + FtpDataTapTarget>(
         pump.finish();
     }
     let traces = log.snapshot();
-    let violations = collect_ftp_violations(sched, &traces, &log, &connect_order, data_recorded);
+    let mut violations = collect_ftp_violations(sched, &traces, &log, &connect_order, data_recorded);
+    violations.extend(client_delivery_violations(
+        sched,
+        &mut streams,
+        &traces,
+        &log,
+        &connect_order,
+        |conn, received| {
+            let want = expected_replies(&conn.bytes()).len();
+            let got = split_replies(received).complete.len();
+            (got < want).then(|| format!("client received {got} of {want} expected reply blocks"))
+        },
+    ));
     drop(streams);
     VirtualReport {
         report: RunReport { traces, violations },
@@ -548,6 +635,72 @@ fn run_data_op(port: u16, op: DataOp, stop: &AtomicBool) {
             }
         }
     }
+}
+
+/// Drain everything a client stream still has buffered. Runs after
+/// [`ServerHandle::shutdown`] has joined every dispatcher, so a single
+/// pass to `WouldBlock`/`Closed` observes the final byte stream.
+///
+/// [`ServerHandle::shutdown`]: nserver_core::server::ServerHandle::shutdown
+fn drain_client(stream: &mut mem::MemStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.try_read(&mut buf) {
+            Ok(nserver_core::transport::ReadOutcome::Data(n)) => out.extend_from_slice(&buf[..n]),
+            _ => return out,
+        }
+    }
+}
+
+/// Client-observed delivery check. The server-side tap cannot see an
+/// RST-discarded tail: the outbox is fully drained before any close, so
+/// even a hard close that resets undelivered response bytes out of the
+/// transport leaves a perfect `Wrote` trace — only the client's receive
+/// queue shows the loss. After shutdown, every strictly-checked
+/// connection's client must hold the complete model-predicted stream;
+/// `expect` returns a diagnosis when it does not.
+fn client_delivery_violations(
+    sched: &Schedule,
+    streams: &mut [Option<mem::MemStream>],
+    traces: &[ConnTrace],
+    log: &TraceLog,
+    connect_order: &[Option<u64>],
+    expect: impl Fn(&crate::schedule::ConnScript, &[u8]) -> Option<String>,
+) -> Vec<Violation> {
+    let failed: HashSet<u64> = log.accept_failures().into_iter().collect();
+    let mut violations = Vec::new();
+    for (ci, (conn, k)) in sched.conns.iter().zip(connect_order).enumerate() {
+        let Some(k) = *k else { continue };
+        let strict = !failed.contains(&k)
+            && sched.plan.profile_for(k) == FaultProfile::Clean
+            && !conn.close_early
+            && !conn.has_abort();
+        if !strict {
+            continue;
+        }
+        if !traces
+            .iter()
+            .any(|t| t.accept_index == k && t.parent.is_none())
+        {
+            // Never accepted (run shut down first): nothing was promised
+            // to this client.
+            continue;
+        }
+        let Some(stream) = streams[ci].as_mut() else {
+            continue;
+        };
+        let received = drain_client(stream);
+        if let Some(detail) = expect(conn, &received) {
+            violations.push(Violation {
+                accept_index: k,
+                profile: "Clean".to_string(),
+                kind: "rst-discarded-tail",
+                detail,
+            });
+        }
+    }
+    violations
 }
 
 /// The quiesce targets: one per connection the models will check

@@ -403,33 +403,6 @@ pub fn pasv_outcomes(inbound: &[u8]) -> Vec<bool> {
     outcomes
 }
 
-/// Byte length of the longest `inbound` prefix the server will answer:
-/// everything up to and including the first session-closing command
-/// (`QUIT`), or `None` when the script never closes. Commands pipelined
-/// past a server-initiated close are not deterministically observable —
-/// the server's close finds them unread in its receive queue and the
-/// kernel answers with RST, which may discard the final reply still in
-/// flight — so differential drivers truncate scripts here.
-pub fn answered_prefix_len(inbound: &[u8]) -> Option<usize> {
-    let mut model = FtpModel::new();
-    for (i, req) in extract_commands(inbound).requests.iter().enumerate() {
-        match model.step(req) {
-            StepResult::Reply(..) => {}
-            StepResult::Transfer(spec) => model.commit_stor(&spec, None),
-            StepResult::Close(..) => {
-                // End of the (i+1)-th decoded line.
-                let mut idx = 0;
-                for _ in 0..=i {
-                    let rel = inbound[idx..].iter().position(|&b| b == b'\n')?;
-                    idx += rel + 1;
-                }
-                return Some(idx);
-            }
-        }
-    }
-    None
-}
-
 /// Data-plane context for [`check_ftp_session`].
 pub struct FtpDataCtx<'a> {
     /// Data-connection traces joined to this control connection (any

@@ -140,37 +140,6 @@ pub fn expected_outbound(fixture: &HttpFixture, inbound: &[u8]) -> (Vec<u8>, Vec
     (out.to_vec(), heads)
 }
 
-/// Byte length of the longest `inbound` prefix the server will answer:
-/// everything up to and including the first non-keep-alive request, or
-/// `None` when every request keeps the connection alive. Requests
-/// pipelined past a server-initiated close are not deterministically
-/// observable — the server's close finds them unread in its receive
-/// queue and the kernel answers with RST, which may discard the final
-/// response still in flight — so differential drivers truncate scripts
-/// here. Generated scripts carry no bodies, so the n-th request ends at
-/// the n-th head terminator.
-pub fn answered_prefix_len(inbound: &[u8]) -> Option<usize> {
-    let stream = extract_requests(inbound);
-    let mut answered = 0usize;
-    let mut closes = false;
-    for req in &stream.complete {
-        answered += 1;
-        if !req.keep_alive() {
-            closes = true;
-            break;
-        }
-    }
-    if !closes {
-        return None;
-    }
-    let mut idx = 0;
-    for _ in 0..answered {
-        let rel = inbound[idx..].windows(4).position(|w| w == b"\r\n\r\n")?;
-        idx += rel + 4;
-    }
-    Some(idx)
-}
-
 /// Check one connection trace against the model. `strict` demands the
 /// full expected stream was delivered (clean profile, no early close);
 /// otherwise any prefix is accepted.

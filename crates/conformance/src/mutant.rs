@@ -10,11 +10,15 @@
 //! data-plane mutants, transfer payload bytes and completion ordering —
 //! for FTP.
 
+use std::io;
 use std::sync::Arc;
 use std::time::Duration;
 
 use nserver_core::pipeline::{Action, ConnCtx, Service};
 use nserver_core::tap::TraceLog;
+use nserver_core::transport::{
+    Interest, Listener, PollEvent, Poller, ReadOutcome, StreamIo, Waker,
+};
 use nserver_ftp::legacy::vfs::Vfs;
 use nserver_ftp::{FtpCodec, FtpRequest, FtpService};
 use nserver_http::{HttpCodec, Request, Response, Status};
@@ -216,6 +220,124 @@ impl FtpDataTapTarget for PrematureFtp {
     }
 }
 
+/// The transport-level lingering-close mutant: every server-initiated
+/// half-close (`shutdown_write`, the first step of a lingering close) is
+/// rewritten into an immediate full close — the pre-lingering-close bug.
+/// A server that hard-closes while pipelined request bytes sit unread in
+/// its receive queue resets the connection, and the reset discards the
+/// final response out of the client's receive queue. The server's own
+/// trace stays perfect (the outbox is drained before any close), so this
+/// mutant is observable only client-side, as an `rst-discarded-tail`
+/// violation.
+pub struct LingerlessListener<L> {
+    inner: L,
+}
+
+impl<L> LingerlessListener<L> {
+    pub fn new(inner: L) -> Self {
+        Self { inner }
+    }
+}
+
+/// Stream wrapper for [`LingerlessListener`]: delegates everything
+/// except `shutdown_write`, which becomes a hard close.
+pub struct LingerlessStream<S> {
+    inner: S,
+}
+
+impl<S: StreamIo> StreamIo for LingerlessStream<S> {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+        self.inner.try_read(buf)
+    }
+
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.inner.try_write(data)
+    }
+
+    fn peer_label(&self) -> String {
+        self.inner.peer_label()
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+
+    fn shutdown_write(&mut self) {
+        // The bug under test: no FIN-first half-close, no linger — the
+        // socket is torn down with whatever the peer pipelined unread.
+        self.inner.shutdown();
+    }
+}
+
+/// Poller wrapper for [`LingerlessListener`]: pure delegation.
+pub struct LingerlessPoller<P> {
+    inner: P,
+}
+
+impl<P: Poller> Poller for LingerlessPoller<P> {
+    type Stream = LingerlessStream<P::Stream>;
+
+    fn register(
+        &mut self,
+        token: u64,
+        stream: &Self::Stream,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.register(token, &stream.inner, interest)
+    }
+
+    fn reregister(
+        &mut self,
+        token: u64,
+        stream: &Self::Stream,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.reregister(token, &stream.inner, interest)
+    }
+
+    fn deregister(&mut self, token: u64, stream: &Self::Stream) -> io::Result<()> {
+        self.inner.deregister(token, &stream.inner)
+    }
+
+    fn wait(&mut self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.wait(events, timeout)
+    }
+
+    fn waker(&self) -> Waker {
+        self.inner.waker()
+    }
+}
+
+impl<L: Listener> Listener for LingerlessListener<L> {
+    type Stream = LingerlessStream<L::Stream>;
+    type Poller = LingerlessPoller<L::Poller>;
+
+    fn try_accept(&mut self) -> io::Result<Option<Self::Stream>> {
+        Ok(self
+            .inner
+            .try_accept()?
+            .map(|s| LingerlessStream { inner: s }))
+    }
+
+    fn local_label(&self) -> String {
+        self.inner.local_label()
+    }
+
+    fn new_poller() -> io::Result<Self::Poller> {
+        Ok(LingerlessPoller {
+            inner: L::new_poller()?,
+        })
+    }
+
+    fn register_listener(&self, poller: &mut Self::Poller) -> io::Result<()> {
+        self.inner.register_listener(&mut poller.inner)
+    }
+
+    fn deregister_listener(&self, poller: &mut Self::Poller) -> io::Result<()> {
+        self.inner.deregister_listener(&mut poller.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +396,25 @@ mod tests {
                    // end-to-end by tests/mutation.rs
         let fixture = FtpFixture::vfs();
         assert_eq!(&fixture.read("/pub/hello.txt").unwrap()[..], b"hello ftp");
+    }
+
+    #[test]
+    fn lingerless_shutdown_write_is_a_hard_close() {
+        use nserver_core::transport::mem;
+        let (a, mut client) = mem::pair("srv", "cli");
+        let mut srv = LingerlessStream { inner: a };
+        client.try_write(b"GET /tail HTTP/1.1\r\n\r\n").unwrap();
+        srv.try_write(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        // The mutant turns the lingering close's FIN into a full close;
+        // the unread pipelined request makes that an RST, which discards
+        // the response out of the client's receive queue.
+        srv.shutdown_write();
+        let mut buf = [0u8; 64];
+        assert_eq!(
+            client.try_read(&mut buf).unwrap(),
+            ReadOutcome::Closed,
+            "RST must discard the undelivered response tail"
+        );
     }
 
     #[test]

@@ -69,11 +69,13 @@ impl DiffReport {
 /// differential compares two *live* arms, so every source of legitimate
 /// per-arm nondeterminism — injected faults, early closes, mid-transfer
 /// aborts, pacing — is removed. Bytes pipelined past a close-triggering
-/// request are cut for the same reason: the server's close finds them
-/// unread in its receive queue and the kernel answers with RST, which
-/// races the final response out of *either* arm. What remains
-/// (pipelined requests, multi-connection scripts, full PASV transfers)
-/// is exactly the behaviour the relay must preserve.
+/// request are deliberately *kept*: the server ends such a connection
+/// with a lingering close (drain, FIN, read until peer FIN), so the
+/// final response is a deterministic client observation in both arms —
+/// exactly the delivery guarantee the differential must pin down. What
+/// remains (pipelined requests, including past a close, multi-connection
+/// scripts, full PASV transfers) is exactly the behaviour the relay must
+/// preserve.
 pub fn sanitize_for_differential(sched: &Schedule) -> Schedule {
     let mut s = sched.clone();
     s.plan = FaultPlan::new(s.plan.seed);
@@ -81,20 +83,6 @@ pub fn sanitize_for_differential(sched: &Schedule) -> Schedule {
         conn.close_early = false;
         for op in &mut conn.data_ops {
             op.abort_after = None;
-        }
-        let script = conn.bytes();
-        let cut = match s.proto {
-            Proto::Http => crate::http_model::answered_prefix_len(&script),
-            Proto::Ftp => crate::ftp_model::answered_prefix_len(&script),
-        };
-        if let Some(cut) = cut.filter(|&c| c < script.len()) {
-            let mut remaining = cut;
-            conn.segments.retain_mut(|seg| {
-                let keep = remaining.min(seg.len());
-                seg.truncate(keep);
-                remaining -= keep;
-                !seg.is_empty()
-            });
         }
     }
     for step in &mut s.order {
@@ -559,10 +547,11 @@ mod tests {
     }
 
     #[test]
-    fn sanitize_truncates_pipelining_past_a_close() {
-        // HTTP: the second request closes; the third (and the whole
-        // second segment) must be cut so the server never closes with
-        // unread bytes in its receive queue.
+    fn sanitize_preserves_pipelining_past_a_close() {
+        // HTTP: the second request closes, the third is pipelined past
+        // it. The server's lingering close makes the second response a
+        // deterministic client observation, so the script survives
+        // byte-identical — the differential must exercise this tail.
         let mut s = generate(Proto::Http, 1);
         s.conns.truncate(1);
         s.conns[0].segments = vec![
@@ -572,23 +561,18 @@ mod tests {
             b"GET /index.html HTTP/1.1\r\nHost: c\r\n\r\n".to_vec(),
         ];
         let clean = sanitize_for_differential(&s);
-        assert_eq!(clean.conns[0].segments.len(), 1);
-        assert!(clean.conns[0]
-            .bytes()
-            .ends_with(b"Connection: close\r\n\r\n"));
+        assert_eq!(clean.conns[0].segments.len(), 2);
+        assert_eq!(clean.conns[0].bytes(), s.conns[0].bytes());
 
-        // FTP: nothing survives past QUIT.
+        // FTP: commands pipelined past QUIT are likewise preserved.
         let mut s = generate(Proto::Ftp, 1);
         s.conns.truncate(1);
         s.conns[0].segments = vec![b"USER anonymous\r\nPASS guest\r\nQUIT\r\nNOOP\r\n".to_vec()];
         s.conns[0].data_ops.clear();
         let clean = sanitize_for_differential(&s);
-        assert_eq!(
-            clean.conns[0].bytes(),
-            b"USER anonymous\r\nPASS guest\r\nQUIT\r\n"
-        );
+        assert_eq!(clean.conns[0].bytes(), s.conns[0].bytes());
 
-        // A script that never closes is left byte-identical.
+        // A script that never closes is (still) left byte-identical.
         let mut s = generate(Proto::Http, 1);
         s.conns.truncate(1);
         s.conns[0].segments = vec![b"GET /index.html HTTP/1.1\r\nHost: c\r\n\r\n".to_vec()];

@@ -5,9 +5,9 @@
 //! keep the green exploration runs meaningful.
 
 use conformance::{
-    generate, replaying_relay_diverges, run_ftp, run_http, shrink, standard_ftp_service,
-    standard_http_service, truncated_retr_service, DataOpKind, FtpMutation, HttpMutation,
-    MutantFtp, MutantHttp, PrematureFtp, Proto, Schedule,
+    generate, replaying_relay_diverges, run_ftp, run_http, run_http_lingerless, shrink,
+    standard_ftp_service, standard_http_service, truncated_retr_service, DataOpKind, FtpMutation,
+    HttpMutation, MutantFtp, MutantHttp, PrematureFtp, Proto, Schedule,
 };
 
 /// Find the first seed in `0..limit` whose schedule trips `fails`, check
@@ -123,6 +123,41 @@ fn ftp_premature_completion_is_caught() {
             .any(|v| v.kind == "premature-completion" || v.kind == "missing-data-trace")
     };
     caught_shrunk_and_replayable(Proto::Ftp, 40, &fails);
+}
+
+/// Close-semantics soundness: a transport mutant that rewrites the
+/// server's FIN-first half-close into an immediate hard close. The
+/// server-side traces stay perfect (the outbox drains before any close),
+/// so only the client-delivery check can see the loss: the hard close
+/// finds pipelined request bytes unread in the receive queue, resets the
+/// connection, and the reset discards the final response out of the
+/// client's receive queue.
+#[test]
+fn http_lingerless_close_is_caught() {
+    let fails = |s: &Schedule| {
+        // Deliver every step 50ms apart: far past the mutant's close
+        // latency (the pipelined tail then lands deterministically after
+        // the hard close and draws the reset), far under the real
+        // server's 1s linger window. Pinning the race structurally keeps
+        // the trip reproducible across shrink candidates; generated
+        // pauses (0–2ms) would make it a coin flip. One retry absorbs
+        // scheduler hiccups that outrun even the 50ms spacing.
+        let trip = |s: &Schedule| {
+            run_http_lingerless(s)
+                .violations
+                .iter()
+                .any(|v| v.kind == "rst-discarded-tail")
+        };
+        let mut paced = s.clone();
+        for st in &mut paced.order {
+            st.pause_ms = 50;
+        }
+        (0..2).any(|_| trip(&paced))
+    };
+    // Tripping needs a clean connection that pipelines bytes past a
+    // close-triggering request in a *later* segment — those line up less
+    // often than a plain close, hence the wider band.
+    caught_shrunk_and_replayable(Proto::Http, 60, &fails);
 }
 
 /// Cluster soundness: a relay that replays its upstream bytes — the

@@ -3,7 +3,21 @@
 //! must produce client-observably equivalent traces — including runs
 //! where a dead backend forces the relay's retry-rotation.
 
-use conformance::{relay_differential, seed_range, Proto};
+use conformance::{generate, relay_differential, seed_range, Proto};
+
+/// True when the script pipelines request bytes past a close-triggering
+/// `Connection: close` request — the header terminator of the closing
+/// request is followed by more bytes.
+fn pipelines_past_close(bytes: &[u8]) -> bool {
+    let find = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).position(|w| w == needle);
+    let Some(i) = find(bytes, b"Connection: close") else {
+        return false;
+    };
+    let Some(j) = find(&bytes[i..], b"\r\n\r\n") else {
+        return false;
+    };
+    bytes.len() > i + j + 4
+}
 
 #[test]
 fn http_relay_is_trace_equivalent_to_direct() {
@@ -21,6 +35,35 @@ fn ftp_relay_is_trace_equivalent_to_direct() {
         assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
         assert_eq!(rep.backend_failures, 0);
     }
+}
+
+/// The un-truncated differential: schedules that pipeline requests past
+/// a `Connection: close` now reach both arms intact (the sanitizer used
+/// to cut them at the close trigger). The server's lingering close must
+/// deliver the final response to the client in the direct arm and
+/// through the relay alike — trace equivalence over the full pipeline,
+/// tail included, is the delivery guarantee under test.
+#[test]
+fn http_relay_preserves_pipelining_past_close() {
+    let mut exercised = 0;
+    for seed in seed_range(40000, 40120) {
+        let sched = generate(Proto::Http, seed);
+        if !sched.conns.iter().any(|c| pipelines_past_close(&c.bytes())) {
+            continue;
+        }
+        let rep = relay_differential(Proto::Http, seed, false);
+        assert!(rep.equivalent(), "seed {seed}: {:#?}", rep.divergences);
+        assert_eq!(rep.backend_failures, 0);
+        exercised += 1;
+        if exercised == 6 {
+            break;
+        }
+    }
+    assert!(
+        exercised >= 3,
+        "seed band produced only {exercised} pipelined-past-close schedules — \
+         the generator stopped exercising the lingering-close path"
+    );
 }
 
 #[test]

@@ -29,6 +29,47 @@ fn virtual_sweep_ftp_band() {
     assert_eq!(summary.runs, runs);
 }
 
+/// Wall-clock and virtual delivery agree on pipelined-past-close
+/// schedules: the client must observe the complete final response (the
+/// lingering close's delivery guarantee) in both drivers, with no
+/// violations and identical verdicts.
+#[test]
+fn pipelined_close_tail_verdicts_match_wall_and_virtual() {
+    let close_then_more = |bytes: &[u8]| {
+        let find =
+            |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).position(|w| w == needle);
+        find(bytes, b"Connection: close")
+            .and_then(|i| find(&bytes[i..], b"\r\n\r\n").map(|j| i + j + 4))
+            .is_some_and(|end| bytes.len() > end)
+    };
+    let mut exercised = 0;
+    for seed in 20000..20120 {
+        let sched = generate(Proto::Http, seed);
+        if !sched.conns.iter().any(|c| close_then_more(&c.bytes())) {
+            continue;
+        }
+        let wall = run(&sched);
+        let virt = run_virtual(&sched);
+        assert_eq!(
+            wall.violations, virt.report.violations,
+            "seed {seed}: wall and virtual verdicts must be identical"
+        );
+        assert!(
+            wall.violations.is_empty(),
+            "seed {seed}: {:?}",
+            wall.violations
+        );
+        exercised += 1;
+        if exercised == 8 {
+            break;
+        }
+    }
+    assert!(
+        exercised >= 3,
+        "only {exercised} pipelined-past-close schedules in the band"
+    );
+}
+
 /// The headline claim: on stall-heavy schedules (every step pauses
 /// 40–120ms) the virtual driver is at least 5× faster than wall-clock
 /// delivery and reaches identical verdicts. Both presets run without

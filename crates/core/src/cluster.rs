@@ -379,6 +379,8 @@ fn relay_loop(
             // peer has not consumed yet. The session lingers — still
             // pumping the open direction — until both sides finish or the
             // drain deadline reaps it.
+            // The `is_empty` guards uphold the `shutdown_write` contract:
+            // FIN only ever follows a fully drained relay buffer.
             if s.client_eof && s.up_buf.is_empty() && !s.fin_to_backend {
                 s.backend.shutdown_write();
                 s.fin_to_backend = true;

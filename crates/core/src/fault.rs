@@ -346,6 +346,12 @@ impl<S: StreamIo> StreamIo for FaultyStream<S> {
     fn shutdown(&mut self) {
         self.inner.shutdown();
     }
+
+    fn shutdown_write(&mut self) {
+        // Fault profiles shape data flow, not teardown: half-close passes
+        // straight through, like `shutdown`.
+        self.inner.shutdown_write();
+    }
 }
 
 /// A [`Poller`] wrapper that redelivers readiness swallowed by fault

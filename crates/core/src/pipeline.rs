@@ -382,6 +382,12 @@ pub struct ConnShared {
     pub outbox: Mutex<Outbox>,
     /// Close once the outbox drains.
     pub closing: AtomicBool,
+    /// The peer half-closed (FIN observed): no further request bytes can
+    /// ever arrive. Set by the dispatcher, read by the decode loop — a
+    /// partial request still in the inbox at that point can never
+    /// complete, so the connection closes instead of idling until the O7
+    /// sweep.
+    pub peer_eof: AtomicBool,
     /// The stream failed hard (peer reset): the sink is dead. Replies
     /// completed after this point are discarded instead of queued, and the
     /// dispatcher never attempts another write — writing a response to a
@@ -414,6 +420,7 @@ impl ConnShared {
             inbox: Mutex::new(BytesMut::new()),
             outbox: Mutex::new(Outbox::new()),
             closing: AtomicBool::new(false),
+            peer_eof: AtomicBool::new(false),
             sink_dead: AtomicBool::new(false),
             decode_lock: Mutex::new(DecodeState::default()),
             send: Mutex::new(SendState {
@@ -617,7 +624,20 @@ impl<C: Codec, S: Service<C>> Engine<C, S> {
                         }
                     }
                 }
-                Ok(None) => return,
+                Ok(None) => {
+                    // No complete request in the inbox. If the peer has
+                    // already half-closed, whatever fragment remains can
+                    // never complete — reap the connection now rather
+                    // than holding it until the O7 idle sweep. (The
+                    // decode lock serializes with any concurrent decode,
+                    // and the dispatcher set `peer_eof` before submitting
+                    // this final process pass.)
+                    if conn.peer_eof.load(Ordering::Relaxed) && !conn.inbox.lock().is_empty() {
+                        conn.inbox.lock().clear();
+                        conn.closing.store(true, Ordering::Relaxed);
+                    }
+                    return;
+                }
                 Err(e) => {
                     ServerStats::bump(&self.stats.protocol_errors);
                     if self.tracer.is_enabled() {

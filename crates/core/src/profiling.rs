@@ -49,6 +49,12 @@ pub struct ServerStats {
     /// Application-hook panics caught by the framework (the request fails
     /// and its connection closes; the worker pool survives).
     pub handler_panics: AtomicU64,
+    /// Server-initiated closes that entered the lingering-close state:
+    /// outbox drained, FIN sent, read side held open until peer FIN.
+    pub connections_lingered: AtomicU64,
+    /// Lingering closes reaped by the linger deadline instead of a peer
+    /// FIN (the peer never acknowledged the close).
+    pub linger_reaped: AtomicU64,
 }
 
 impl ServerStats {
@@ -76,6 +82,8 @@ impl ServerStats {
             connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            connections_lingered: self.connections_lingered.load(Ordering::Relaxed),
+            linger_reaped: self.linger_reaped.load(Ordering::Relaxed),
         }
     }
 
@@ -110,6 +118,8 @@ pub struct StatsSnapshot {
     pub connections_timed_out: u64,
     pub accept_errors: u64,
     pub handler_panics: u64,
+    pub connections_lingered: u64,
+    pub linger_reaped: u64,
 }
 
 impl StatsSnapshot {
@@ -122,7 +132,7 @@ impl StatsSnapshot {
     /// Every counter as a `(name, value)` row — the single enumeration
     /// behind both [`render`](Self::render) and the Prometheus exposition
     /// in [`crate::metrics`].
-    pub fn rows(&self) -> [(&'static str, u64); 16] {
+    pub fn rows(&self) -> [(&'static str, u64); 18] {
         [
             ("connections accepted", self.connections_accepted),
             ("connections closed", self.connections_closed),
@@ -140,6 +150,8 @@ impl StatsSnapshot {
             ("connections timed out", self.connections_timed_out),
             ("accept errors", self.accept_errors),
             ("handler panics", self.handler_panics),
+            ("connections lingered", self.connections_lingered),
+            ("linger reaped", self.linger_reaped),
         ]
     }
 
@@ -201,12 +213,14 @@ mod tests {
     fn render_includes_every_counter() {
         let snap = StatsSnapshot::default();
         let text = snap.render();
-        assert_eq!(text.lines().count(), 16);
+        assert_eq!(text.lines().count(), 18);
         assert!(text.contains("bytes sent"));
         assert!(text.contains("accepts deferred"));
         assert!(text.contains("dispatcher wakeups"));
         assert!(text.contains("connections reset"));
         assert!(text.contains("connections timed out"));
         assert!(text.contains("handler panics"));
+        assert!(text.contains("connections lingered"));
+        assert!(text.contains("linger reaped"));
     }
 }

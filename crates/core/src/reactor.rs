@@ -205,11 +205,26 @@ struct ConnLocal<St> {
     /// When the outbox was first observed non-empty (O11 write-drain
     /// stage); cleared when it drains.
     drain_from: Option<Instant>,
+    /// `Some(deadline)` while the connection is in the lingering-close
+    /// state: the outbox drained, FIN went out via
+    /// [`StreamIo::shutdown_write`], and the read side is held open —
+    /// discarding whatever the peer pipelined past the close — until the
+    /// peer's own FIN or this deadline. The application-level close
+    /// (registry slot, `on_close`, counters) already happened at linger
+    /// entry; only the socket teardown is deferred.
+    linger_until: Option<Instant>,
 }
 
 /// How long a gated acceptor sleeps before re-checking the overload
 /// controller when no other event wakes it first.
 const GATED_ACCEPT_RECHECK: Duration = Duration::from_millis(10);
+
+/// How long a server-initiated close lingers — FIN sent, outbox empty,
+/// read side open — waiting for the peer's FIN before the hard close.
+/// Mirrors the cluster relay's `LINGER_DRAIN`: long enough for any
+/// response bytes in flight to be consumed, short enough that a peer
+/// that never acknowledges cannot pin the socket.
+const LINGER_CLOSE: Duration = Duration::from_secs(1);
 
 impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
     /// The dispatch loop. Blocks in the poller until some owned connection
@@ -232,6 +247,9 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         // transport notifies once per write, so capped intake must be
         // carried forward explicitly.
         let mut ready_backlog: VecDeque<u64> = VecDeque::new();
+        // Lingering-close deadlines in entry order (the linger duration
+        // is constant, so the front is always the earliest).
+        let mut linger_queue: VecDeque<(ConnId, Instant)> = VecDeque::new();
         let mut pend: HashSet<ConnId> = HashSet::new();
         let mut accept_gated = false;
         let mut listener_armed = false;
@@ -303,6 +321,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         accepted_at: nc.accepted_at,
                         header_seen: false,
                         drain_from: None,
+                        linger_until: None,
                     },
                 );
                 // Service immediately: flush any greeting, read early data.
@@ -354,6 +373,35 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     // Stale event for a connection already closed.
                     None => continue,
                 };
+                // A lingering close only drains: every response byte is
+                // on the wire and FIN is sent; keep reading and
+                // discarding until the peer answers with its own FIN (or
+                // errors), then tear the socket down.
+                if c.linger_until.is_some() {
+                    let mut reads = 0;
+                    loop {
+                        if reads == 8 {
+                            // Fairness cap: revisit without waiting.
+                            ready_backlog.push_back(id);
+                            break;
+                        }
+                        reads += 1;
+                        match c.stream.try_read(&mut read_buf) {
+                            Ok(ReadOutcome::Data(n)) => {
+                                // Discarded, but read off the transport —
+                                // keep the byte accounting aligned with
+                                // the trace.
+                                ServerStats::add(&self.engine.stats.bytes_read, n as u64);
+                            }
+                            Ok(ReadOutcome::WouldBlock) => break,
+                            Ok(ReadOutcome::Closed) | Err(_) => {
+                                to_remove.push(id);
+                                break;
+                            }
+                        }
+                    }
+                    continue;
+                }
                 // O11 write-drain stage opens when reply bytes are observed
                 // queued — checked before the flush as well, so a reply that
                 // drains within one service pass still gets its window.
@@ -364,6 +412,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     c.drain_from = Some(Instant::now());
                 }
                 let wrote_any = Self::flush(&self.engine.stats, c);
+                let was_eof = c.peer_eof;
                 let (read, saturated) = self.read_into_inbox(c, &mut read_buf);
                 if saturated {
                     ready_backlog.push_back(id);
@@ -385,10 +434,25 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         tracker.touch(id, Instant::now());
                     }
                     self.submit_work(Work::Process(id), c.shared.priority);
+                } else if c.peer_eof && !was_eof && !c.shared.inbox.lock().is_empty() {
+                    // Peer half-closed with a partial request buffered and
+                    // no fresh bytes to trigger a decode pass: submit one
+                    // final pass so the decode loop can observe `peer_eof`
+                    // and reap the fragment that can never complete.
+                    self.submit_work(Work::Process(id), c.shared.priority);
                 }
                 let closing = c.shared.closing.load(Ordering::Relaxed);
-                let outbox_empty = c.shared.outbox.lock().is_empty();
+                // Sampling order matters: `responses_pending` (the send
+                // lock) before the outbox. `complete` moves ready replies
+                // into the outbox while holding the send lock, so a
+                // completion racing this close test is either still
+                // pending (sampled first → close deferred one pass) or
+                // its bytes are already visible to the outbox sample
+                // below. Outbox-first sampling lost that race: both
+                // looked clear while the final response landed between
+                // the two samples, and the close discarded it.
                 let pending = c.shared.responses_pending();
+                let outbox_empty = c.shared.outbox.lock().is_empty();
                 // O11 write-drain stage: opens when reply bytes are first
                 // observed queued, closes when the outbox fully drains.
                 if outbox_empty {
@@ -407,19 +471,66 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 }
                 // After peer EOF, a non-empty inbox may still hold a
                 // complete request a worker has not decoded yet, so the
-                // connection is kept until the inbox drains; a peer that
-                // half-closes mid-request therefore lingers until the O7
-                // idle sweep (or shutdown) reaps it — the conservative
-                // choice over dropping a decodable request. A draining
-                // dispatcher applies the same quiesce test to every
-                // connection, EOF or not.
+                // connection is kept until the inbox drains (the decode
+                // loop reaps fragments that can never complete — see
+                // `peer_eof` in `ConnShared`). A draining dispatcher
+                // applies the same quiesce test to every connection, EOF
+                // or not.
                 if (closing && outbox_empty && !pending)
                     || ((c.peer_eof || draining)
                         && outbox_empty
                         && !pending
                         && c.shared.inbox.lock().is_empty())
                 {
-                    to_remove.push(id);
+                    if c.peer_eof || c.shared.sink_dead.load(Ordering::Relaxed) {
+                        // Hard close: the peer's byte stream is fully
+                        // consumed (FIN seen) or the transport already
+                        // failed — no unread bytes are left for a close
+                        // to RST-discard.
+                        to_remove.push(id);
+                    } else {
+                        // Server-initiated close with a live peer:
+                        // lingering close. The outbox is drained
+                        // (asserted — `shutdown_write` does not flush);
+                        // FIN goes out now, and the read side stays open
+                        // so bytes the peer pipelined past the
+                        // close-triggering request are consumed instead
+                        // of provoking an RST that can discard the final
+                        // response still in flight.
+                        // Re-check under the lock before committing the
+                        // FIN: a reply that slipped into the outbox since
+                        // the sample above must flush first. Defer one
+                        // pass rather than half-close over queued bytes
+                        // (`shutdown_write` does not flush).
+                        if !c.shared.outbox.lock().is_empty() {
+                            ready_backlog.push_back(id);
+                            continue;
+                        }
+                        c.stream.shutdown_write();
+                        let deadline = Instant::now() + LINGER_CLOSE;
+                        c.linger_until = Some(deadline);
+                        linger_queue.push_back((id, deadline));
+                        ServerStats::bump(&self.engine.stats.connections_lingered);
+                        // The application-level close happens now — the
+                        // slot stops counting against overload admission
+                        // and the service sees `on_close`; only the
+                        // socket teardown is deferred.
+                        self.release(c);
+                        if let Some(ref mut tracker) = idle {
+                            tracker.forget(id);
+                        }
+                        if let Some(ref mut st) = stage {
+                            st.forget(id);
+                        }
+                        // Keep reading (discard-only) and drain anything
+                        // already buffered on the next pass.
+                        let want = Interest::READABLE;
+                        if c.armed != want {
+                            let _ = self.poller.reregister(id, &c.stream, want);
+                            c.armed = want;
+                        }
+                        ready_backlog.push_back(id);
+                    }
                     continue;
                 }
                 // Stage deadlines: the write-drain window opens while reply
@@ -505,6 +616,30 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 }
             }
 
+            // 6c. Linger sweep: hard-close lingering connections whose
+            //     deadline passed without a peer FIN. The peer had a full
+            //     linger window to consume the final response; its unread
+            //     bytes (if any) are forfeit now.
+            if linger_queue
+                .front()
+                .is_some_and(|&(_, deadline)| deadline <= Instant::now())
+            {
+                let now = Instant::now();
+                while let Some(&(id, deadline)) = linger_queue.front() {
+                    if deadline > now {
+                        break;
+                    }
+                    linger_queue.pop_front();
+                    if let Some(mut c) = conns.remove(&id) {
+                        ServerStats::bump(&self.engine.stats.linger_reaped);
+                        self.engine
+                            .tracer
+                            .record(EventKind::Timer, Some(id), "linger deadline");
+                        self.finalize(&mut c);
+                    }
+                }
+            }
+
             // 7. Block until readiness, a waker, or the next deadline. No
             //    deadline and no backlog means a fully event-driven sleep.
             let timeout = if !ready_backlog.is_empty() {
@@ -525,6 +660,16 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                         let d = deadline.saturating_duration_since(Instant::now());
                         t = Some(t.map_or(d, |cur| cur.min(d)));
                     }
+                }
+                // Earliest live linger deadline (stale entries for
+                // connections the peer's FIN already closed are dropped).
+                while let Some(&(id, deadline)) = linger_queue.front() {
+                    if conns.contains_key(&id) {
+                        let d = deadline.saturating_duration_since(Instant::now());
+                        t = Some(t.map_or(d, |cur| cur.min(d)));
+                        break;
+                    }
+                    linger_queue.pop_front();
                 }
                 if draining && !conns.is_empty() {
                     // No readiness event marks "in-flight work completed";
@@ -649,6 +794,7 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                     accepted_at,
                     header_seen: false,
                     drain_from: None,
+                    linger_until: None,
                 },
             );
             pend.insert(id);
@@ -734,12 +880,14 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
                 Ok(ReadOutcome::WouldBlock) => return (got, false),
                 Ok(ReadOutcome::Closed) => {
                     c.peer_eof = true;
+                    c.shared.peer_eof.store(true, Ordering::Relaxed);
                     return (got, false);
                 }
                 Err(_) => {
                     // A hard read error is a reset: both directions of the
                     // stream are gone, so the sink is dead too.
                     c.peer_eof = true;
+                    c.shared.peer_eof.store(true, Ordering::Relaxed);
                     c.shared.sink_dead.store(true, Ordering::Relaxed);
                     if !c.shared.closing.swap(true, Ordering::Relaxed) {
                         ServerStats::bump(&self.engine.stats.connections_reset);
@@ -755,6 +903,19 @@ impl<C: Codec, S: Service<C>, L: Listener> Dispatcher<C, S, L> {
         let id = c.shared.id;
         let _ = self.poller.deregister(id, &c.stream);
         c.stream.shutdown();
+        // A lingering close already released the application-level state
+        // at linger entry; only the socket teardown remained.
+        if c.linger_until.is_none() {
+            self.release(c);
+        }
+    }
+
+    /// The application-visible half of closing a connection: free the
+    /// registry slot (overload admission), run the close hook, count and
+    /// stamp the close. Runs at linger entry for a lingering close, at
+    /// `finalize` otherwise — exactly once either way.
+    fn release(&mut self, c: &ConnLocal<L::Stream>) {
+        let id = c.shared.id;
         self.engine.registry.write().remove(&id);
         ServerStats::bump(&self.engine.stats.connections_closed);
         self.engine.service.on_close(&c.shared.ctx());

@@ -49,6 +49,10 @@ pub enum TapEvent {
     WriteError(String),
     /// The server shut the stream down.
     Shutdown,
+    /// The server half-closed: FIN sent, read side kept open. The stamp
+    /// that distinguishes a FIN-first lingering close (this, then reads,
+    /// then `Shutdown`) from a hard close (`Shutdown` with no FIN).
+    ShutdownWrite,
 }
 
 /// Causal link from a secondary (data) connection's trace back to the
@@ -342,6 +346,11 @@ impl<S: StreamIo> StreamIo for TapStream<S> {
             self.trace.push(TapEvent::Shutdown);
         }
         self.inner.shutdown();
+    }
+
+    fn shutdown_write(&mut self) {
+        self.trace.push(TapEvent::ShutdownWrite);
+        self.inner.shutdown_write();
     }
 }
 

@@ -40,8 +40,20 @@ pub trait StreamIo: Send + 'static {
     fn try_write(&mut self, data: &[u8]) -> io::Result<usize>;
     /// Human-readable peer identity (IP:port for TCP).
     fn peer_label(&self) -> String;
-    /// Close the stream (idempotent).
+    /// Close the stream (idempotent). Closing while unread peer bytes
+    /// sit in the receive queue makes a kernel transport answer with RST
+    /// — discarding reply data the peer has not yet consumed. Server
+    /// close paths that owe the peer bytes must use
+    /// [`shutdown_write`](Self::shutdown_write) plus a lingering drain
+    /// instead.
     fn shutdown(&mut self);
+    /// Half-close: send FIN (end the write side) but keep reading. This
+    /// does **not** flush: the caller must have fully drained its
+    /// outgoing queue first — any bytes still queued above this call are
+    /// lost. After the FIN the caller keeps reading and discarding until
+    /// peer EOF or a linger deadline (lingering close), then calls
+    /// [`shutdown`](Self::shutdown).
+    fn shutdown_write(&mut self);
 }
 
 // ---------------------------------------------------------------------------
@@ -267,18 +279,6 @@ impl TcpStreamNb {
         raw_fd(&self.inner)
     }
 
-    /// Half-close: flush queued bytes and send FIN, but keep the read
-    /// side open. Closing a socket while unread peer bytes sit in its
-    /// receive queue makes the kernel answer with RST — which discards
-    /// reply data the peer has not yet consumed. A relay that tears a
-    /// session down must therefore FIN first and *drain* the peer
-    /// (lingering close) rather than call [`StreamIo::shutdown`]
-    /// directly.
-    pub fn shutdown_write(&mut self) {
-        if self.open {
-            let _ = self.inner.shutdown(std::net::Shutdown::Write);
-        }
-    }
 }
 
 #[cfg(unix)]
@@ -328,6 +328,18 @@ impl StreamIo for TcpStreamNb {
         if self.open {
             let _ = self.inner.shutdown(std::net::Shutdown::Both);
             self.open = false;
+        }
+    }
+
+    /// FIN-only: no flush — the caller guarantees its outgoing queue is
+    /// empty (see the [`StreamIo`] contract). Closing a socket with
+    /// unread peer bytes in its receive queue makes the kernel answer
+    /// with RST, which discards reply data the peer has not yet
+    /// consumed; a server or relay tearing a session down must FIN first
+    /// and drain the peer rather than call `shutdown` directly.
+    fn shutdown_write(&mut self) {
+        if self.open {
+            let _ = self.inner.shutdown(std::net::Shutdown::Write);
         }
     }
 }
@@ -795,6 +807,17 @@ pub mod mem {
         fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
             let mut pipe = self.write.lock();
             if pipe.closed {
+                drop(pipe);
+                // Writing into a fully-closed peer answers with RST, and
+                // an arriving RST flushes the receive queue: bytes the
+                // peer sent that we never read are discarded along with
+                // the connection. A half-closed peer (`shutdown_write`)
+                // never closes this pipe, so a lingering server keeps
+                // accepting late pipelined writes without resetting.
+                let mut read = self.read.lock();
+                read.buf.clear();
+                read.closed = true;
+                read.notify();
                 return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
             }
             pipe.buf.extend(data.iter().copied());
@@ -809,10 +832,29 @@ pub mod mem {
         }
 
         fn shutdown(&mut self) {
+            // RST semantics, mirroring a kernel socket: a full close with
+            // unread peer bytes still in our receive queue resets the
+            // connection, discarding whatever we wrote that the peer has
+            // not yet read. This is exactly the data loss a lingering
+            // close exists to avoid, and modelling it here is what lets
+            // the in-memory conformance explorer observe it.
             let mut read = self.read.lock();
+            let rst = !read.buf.is_empty();
             read.closed = true;
             read.notify();
             drop(read);
+            let mut write = self.write.lock();
+            if rst && !write.closed {
+                write.buf.clear();
+            }
+            write.closed = true;
+            write.notify();
+        }
+
+        fn shutdown_write(&mut self) {
+            // Half-close: end our write side only. The peer observes EOF
+            // after draining buffered bytes; our read side stays open so
+            // a lingering close can keep discarding late arrivals.
             let mut write = self.write.lock();
             write.closed = true;
             write.notify();

@@ -15,6 +15,7 @@ use nserver_core::server::ServerBuilder;
 use nserver_core::transport::mem;
 use nserver_core::transport::{ReadOutcome, StreamIo, TcpListenerNb, TcpStreamNb};
 use nserver_core::Priority;
+use proptest::prelude::*;
 
 /// Newline-delimited text codec.
 struct LineCodec;
@@ -404,6 +405,112 @@ fn logging_option_emits_access_lines() {
     server.shutdown();
 }
 
+/// Lingering close: a request pipelined past the close-triggering one
+/// must not cost the client the final response. The server half-closes
+/// (FIN) after draining "bye", keeps reading, and discards the late
+/// line instead of hard-closing into unread bytes (which would reset
+/// the connection and flush the client's receive queue).
+#[test]
+fn lingering_close_preserves_the_final_response() {
+    let (listener, connector) = mem::listener("linger");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+
+    let mut c = connector.connect();
+    c.try_write(b"a\nquit\n").unwrap();
+    // Let "quit" close the connection server-side, then pipeline a late
+    // line into the linger window.
+    std::thread::sleep(Duration::from_millis(100));
+    c.try_write(b"late\n").unwrap();
+
+    // Every response up to and including the close-triggering one
+    // arrives intact, then FIN.
+    let lines = read_lines(&mut c, 3);
+    assert_eq!(lines, vec!["hello", "echo:a", "bye"]);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut buf = [0u8; 64];
+    let mut closed = false;
+    while Instant::now() < deadline {
+        match c.try_read(&mut buf).unwrap() {
+            ReadOutcome::Closed => {
+                closed = true;
+                break;
+            }
+            ReadOutcome::Data(_) => panic!("unexpected bytes after 'bye'"),
+            ReadOutcome::WouldBlock => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    assert!(closed, "server never sent FIN after quit");
+    // The client answers the FIN with its own: the linger ends on peer
+    // EOF, not the deadline.
+    c.shutdown_write();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline && server.stats().connections_closed < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_lingered, 1);
+    assert_eq!(stats.connections_closed, 1);
+    assert_eq!(stats.linger_reaped, 0, "peer FIN should end the linger");
+    server.shutdown();
+}
+
+/// A peer that never acknowledges the server's FIN is reaped when the
+/// linger deadline (1s) passes instead of pinning the slot forever.
+#[test]
+fn silent_peer_is_linger_reaped_at_the_deadline() {
+    let (listener, connector) = mem::listener("linger-reap");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    let lines = talk(&mut c, b"quit\n", 2);
+    assert_eq!(lines, vec!["hello", "bye"]);
+    // Never FIN; the server must give up on its own.
+    let deadline = Instant::now() + Duration::from_secs(4);
+    while Instant::now() < deadline && server.stats().linger_reaped < 1 {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_lingered, 1);
+    assert_eq!(stats.linger_reaped, 1, "linger deadline never fired");
+    server.shutdown();
+}
+
+/// A peer that half-closes mid-request leaves a fragment that can never
+/// complete. The decode loop must reap it promptly — no `idle_shutdown_ms`
+/// is configured here, so before the fix this connection hung until
+/// server shutdown.
+#[test]
+fn half_close_mid_request_is_reaped_promptly() {
+    let (listener, connector) = mem::listener("half");
+    let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+        .unwrap()
+        .serve(listener);
+    let mut c = connector.connect();
+    assert_eq!(read_lines(&mut c, 1), vec!["hello"]);
+    // A partial line (no terminator), then FIN.
+    c.try_write(b"incompl").unwrap();
+    c.shutdown_write();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut buf = [0u8; 64];
+    let mut closed = false;
+    while Instant::now() < deadline {
+        if matches!(c.try_read(&mut buf).unwrap(), ReadOutcome::Closed) {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(closed, "mid-request half-close was not reaped");
+    let stats = server.stats();
+    assert_eq!(stats.connections_closed, 1);
+    // FIN was already seen: a hard close, no linger needed.
+    assert_eq!(stats.connections_lingered, 0);
+    server.shutdown();
+}
+
 #[test]
 fn heavy_pipelined_load_is_lossless() {
     let opts = ServerOptions {
@@ -438,4 +545,73 @@ fn heavy_pipelined_load_is_lossless() {
     }
     assert_eq!(&lines[1..], &expect[..]);
     server.shutdown();
+}
+
+proptest! {
+    // Each case boots a real server, so the case count stays small.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Delivery property behind the lingering close: for any pipeline of
+    /// requests where one triggers the close, the client receives every
+    /// response up to and including the final one, byte-exact — no
+    /// matter how many requests ride behind the close trigger or when
+    /// they land relative to the server's FIN.
+    #[test]
+    fn pipelined_close_delivers_every_response_byte_exact(
+        words in proptest::collection::vec("[a-z]{1,8}", 1..6),
+        tail in proptest::collection::vec("[a-z]{1,8}", 0..4),
+        tail_pause_ms in 0u64..120,
+    ) {
+        let (listener, connector) = mem::listener("prop-linger");
+        let server = ServerBuilder::new(base_options(), LineCodec, EchoService)
+            .unwrap()
+            .serve(listener);
+        let mut c = connector.connect();
+
+        let mut head = String::new();
+        for w in &words {
+            head.push_str(w);
+            head.push('\n');
+        }
+        head.push_str("quit\n");
+        c.try_write(head.as_bytes()).unwrap();
+        if !tail.is_empty() {
+            // Land the pipelined tail anywhere from before the close
+            // decision to deep inside the linger window.
+            std::thread::sleep(Duration::from_millis(tail_pause_ms));
+            let mut late = String::new();
+            for w in &tail {
+                late.push_str(w);
+                late.push('\n');
+            }
+            if c.try_write(late.as_bytes()).is_err() {
+                // Linger already reaped (or shutdown raced): the close
+                // trigger's responses were flushed before FIN either way.
+            }
+        }
+
+        let mut expected = String::from("hello\n");
+        for w in &words {
+            expected.push_str(&format!("echo:{w}\n"));
+        }
+        expected.push_str("bye\n");
+
+        let mut acc = Vec::new();
+        let mut buf = [0u8; 4096];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut closed = false;
+        while Instant::now() < deadline {
+            match c.try_read(&mut buf).unwrap() {
+                ReadOutcome::Data(n) => acc.extend_from_slice(&buf[..n]),
+                ReadOutcome::WouldBlock => std::thread::sleep(Duration::from_micros(300)),
+                ReadOutcome::Closed => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(closed, "server never closed after quit");
+        prop_assert_eq!(String::from_utf8(acc).unwrap(), expected);
+        server.shutdown();
+    }
 }
